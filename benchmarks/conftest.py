@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table or figure through its experiment
+driver, prints the resulting rows (so the captured output is the reproduced
+artifact), and asserts the qualitative claims the paper makes about it.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest  # noqa: E402
+
+from repro.experiments import run_experiment  # noqa: E402
+
+
+@pytest.fixture
+def run_and_report(benchmark, capsys):
+    """Run an experiment driver once under pytest-benchmark and print its table."""
+
+    def runner(experiment_id: str, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.to_table())
+        return result
+
+    return runner

@@ -1,0 +1,55 @@
+"""Benchmarks regenerating the characterisation figures (Fig. 1 and Fig. 3-7)."""
+
+
+def test_bench_fig1_roofline(run_and_report):
+    """Fig. 1: recommendation models sit in the memory-bound roofline region."""
+    result = run_and_report("figure-1")
+    assert result.metadata["max_rec_intensity"] < result.metadata["ridge_point"]
+    rows = {row[0]: row for row in result.rows}
+    assert rows["resnet50"][1] > result.metadata["max_rec_intensity"]
+
+
+def test_bench_fig3_operator_breakdown(run_and_report):
+    """Fig. 3: operator time breakdown at batch 64 groups models by bottleneck."""
+    result = run_and_report("figure-3")
+    dominant = result.metadata["dominant_by_model"]
+    assert dominant["dlrm-rmc1"] == "embedding"
+    assert dominant["dlrm-rmc2"] == "embedding"
+    for name in ("dlrm-rmc3", "ncf", "wnd", "mt-wnd"):
+        assert dominant[name] == "fc"
+    assert dominant["dien"] == "recurrent"
+
+
+def test_bench_fig4_gpu_speedup(run_and_report):
+    """Fig. 4: GPU-over-CPU speedup grows with batch size; crossover varies."""
+    result = run_and_report("figure-4")
+    for row in result.rows:
+        speedup_small, speedup_large = row[1], row[6]
+        assert speedup_large > speedup_small
+        assert speedup_large > 1.0
+    loading = result.column("data-loading-fraction")
+    assert sum(loading) / len(loading) >= 0.45
+
+
+def test_bench_fig5_query_size_distributions(run_and_report):
+    """Fig. 5: production query sizes have a heavier tail than lognormal."""
+    result = run_and_report("figure-5")
+    assert (
+        result.metadata["production_tail_ratio_p99_p50"]
+        > result.metadata["lognormal_tail_ratio_p99_p50"]
+    )
+    assert 0.35 <= result.metadata["production_top_quartile_work_share"] <= 0.8
+
+
+def test_bench_fig6_large_query_execution_share(run_and_report):
+    """Fig. 6: the top quartile of queries carries ~half of CPU time and gains most on GPU."""
+    result = run_and_report("figure-6")
+    for row in result.rows:
+        assert 0.3 <= row[2] <= 0.7  # large-query share of CPU time
+        assert row[3] > 1.0  # GPU speedup on the large-query population
+
+
+def test_bench_fig7_subsampling(run_and_report):
+    """Fig. 7: a handful of nodes tracks the fleet-wide latency distribution."""
+    result = run_and_report("figure-7")
+    assert result.metadata["max_gap"] < 0.35

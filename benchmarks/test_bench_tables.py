@@ -1,0 +1,20 @@
+"""Benchmarks regenerating Table I and Table II."""
+
+
+def test_bench_table1_model_architectures(run_and_report):
+    """Table I: architectural features of the eight recommendation models."""
+    result = run_and_report("table-1")
+    assert len(result.rows) == 8
+    lookups = dict(zip(result.column("model"), result.column("lookups")))
+    assert lookups["dlrm-rmc1"] > lookups["dlrm-rmc3"]
+    assert lookups["din"] >= 100
+
+
+def test_bench_table2_bottlenecks_and_slas(run_and_report):
+    """Table II: measured runtime bottleneck and published SLA target per model."""
+    result = run_and_report("table-2")
+    assert len(result.rows) == 8
+    assert result.metadata["bottleneck_agreement"] >= 0.75
+    sla = dict(zip(result.column("model"), result.column("sla-target-ms")))
+    assert sla["ncf"] == 5.0
+    assert sla["dlrm-rmc2"] == 400.0

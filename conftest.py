@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the src/ layout importable without installation.
+
+``pip install -e .`` (or ``python setup.py develop``) is the supported way to
+install the package, but adding ``src/`` to ``sys.path`` here keeps the test
+and benchmark suites runnable in environments where an editable install is
+not possible (e.g. offline machines without wheel support).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

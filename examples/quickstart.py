@@ -1,0 +1,73 @@
+"""Quickstart: run recommendation inference and tune the scheduler.
+
+This example walks through the three layers of the library:
+
+1. build a recommendation model from the zoo and run a real (NumPy) forward
+   pass to get click-through-rate predictions;
+2. inspect the model's performance profile (operator breakdown, roofline
+   placement) on a server CPU;
+3. let DeepRecSched tune the per-request batch size against the model's SLA
+   and compare the resulting throughput with the static production baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DeepRecSched, SLATier, get_model
+from repro.execution import build_cpu_engine, compute_breakdown
+from repro.hardware import RooflineModel, skylake
+
+
+def run_inference() -> None:
+    """Score a batch of candidate items with DLRM-RMC1."""
+    model = get_model("dlrm-rmc1", rng=42)
+    batch = model.sample_batch(batch_size=8, rng=7)
+    ctr = model.predict_ctr(batch)
+    print("== Inference ==")
+    print(f"model: {model.name}, batch of {batch.batch_size} candidate items")
+    print("click-through-rate predictions:", [round(float(p), 4) for p in ctr])
+    print()
+
+
+def inspect_performance() -> None:
+    """Show where the model's time goes and where it sits on the roofline."""
+    engine = build_cpu_engine("dlrm-rmc1", "broadwell")
+    breakdown = compute_breakdown(engine, batch_size=64)
+    print("== Operator breakdown at batch 64 (Broadwell) ==")
+    for category, fraction in sorted(
+        breakdown.fractions.items(), key=lambda item: -item[1]
+    ):
+        print(f"  {category.value:10s} {fraction * 100:5.1f}%")
+    roofline = RooflineModel(skylake())
+    intensity = engine.model.operational_intensity(64)
+    print(
+        f"operational intensity {intensity:.2f} FLOPs/byte vs ridge point "
+        f"{roofline.ridge_point:.1f} -> "
+        f"{'memory' if roofline.is_memory_bound(intensity) else 'compute'}-bound"
+    )
+    print()
+
+
+def tune_scheduler() -> None:
+    """Compare the static baseline with DeepRecSched-CPU at the medium SLA."""
+    scheduler = DeepRecSched(
+        "dlrm-rmc1",
+        cpu_platform="skylake",
+        gpu_platform=None,
+        num_queries=300,
+        capacity_iterations=4,
+        seed=1,
+    )
+    baseline = scheduler.baseline(SLATier.MEDIUM)
+    tuned = scheduler.optimize_cpu(SLATier.MEDIUM)
+    print("== DeepRecSched-CPU vs static baseline (medium SLA) ==")
+    print(f"baseline: batch {baseline.batch_size:4d} -> {baseline.qps:8.1f} QPS")
+    print(f"tuned:    batch {tuned.batch_size:4d} -> {tuned.qps:8.1f} QPS")
+    print(f"speedup:  {tuned.qps / baseline.qps:.2f}x")
+
+
+if __name__ == "__main__":
+    run_inference()
+    inspect_performance()
+    tune_scheduler()

@@ -1,0 +1,53 @@
+"""repro: a reproduction of DeepRecSys (ISCA 2020).
+
+The package provides two artifacts mirroring the paper:
+
+* **DeepRecInfra** (:mod:`repro.infra`, :mod:`repro.models`,
+  :mod:`repro.queries`, :mod:`repro.serving`) — an end-to-end at-scale
+  recommendation inference infrastructure: eight industry-representative
+  models, SLA tail-latency targets, and a production-like query load
+  generator feeding a discrete-event serving simulator.
+* **DeepRecSched** (:mod:`repro.core`) — a hill-climbing scheduler that
+  maximises latency-bounded throughput by tuning the per-request batch size
+  and the accelerator query-size offload threshold.
+
+Quickstart::
+
+    from repro import DeepRecSched, SLATier
+
+    sched = DeepRecSched("dlrm-rmc1", cpu_platform="skylake")
+    baseline = sched.baseline(SLATier.MEDIUM)
+    tuned = sched.optimize_cpu(SLATier.MEDIUM)
+    print(tuned.qps / baseline.qps)
+"""
+
+from repro.core.scheduler import DeepRecSched, OperatingPoint
+from repro.execution.engine import build_cpu_engine, build_engine_pair, build_gpu_engine
+from repro.infra.deeprecinfra import DeepRecInfra, InfraConfig
+from repro.models.zoo import available_models, get_config, get_model
+from repro.queries.generator import LoadGenerator
+from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.serving.sla import SLATier, sla_target, sla_targets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeepRecSched",
+    "OperatingPoint",
+    "build_cpu_engine",
+    "build_engine_pair",
+    "build_gpu_engine",
+    "DeepRecInfra",
+    "InfraConfig",
+    "available_models",
+    "get_config",
+    "get_model",
+    "LoadGenerator",
+    "ServingConfig",
+    "ServingSimulator",
+    "SimulationResult",
+    "SLATier",
+    "sla_target",
+    "sla_targets",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""DeepRecSched: hill-climbing scheduler for latency-bounded recommendation inference."""
+
+from repro.core.batch_tuner import BatchSizeTuner, BatchTuningResult
+from repro.core.hill_climber import ClimbResult, hill_climb, power_of_two_candidates
+from repro.core.offload_tuner import OffloadThresholdTuner, OffloadTuningResult
+from repro.core.scheduler import DeepRecSched, OperatingPoint
+from repro.core.static_scheduler import StaticSchedulerPolicy, static_batch_size
+
+__all__ = [
+    "BatchSizeTuner",
+    "BatchTuningResult",
+    "ClimbResult",
+    "hill_climb",
+    "power_of_two_candidates",
+    "OffloadThresholdTuner",
+    "OffloadTuningResult",
+    "DeepRecSched",
+    "OperatingPoint",
+    "StaticSchedulerPolicy",
+    "static_batch_size",
+]

@@ -1,0 +1,119 @@
+"""Generic hill-climbing optimiser used by DeepRecSched.
+
+Section IV-C observes that the QPS-vs-batch-size and QPS-vs-offload-threshold
+surfaces are smooth enough that a simple hill climber finds the optimum: start
+from the smallest candidate, keep moving to the next larger candidate while
+the objective improves, and stop after the objective degrades ``patience``
+times in a row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, List, Sequence, TypeVar
+
+from repro.utils.validation import check_positive
+
+CandidateT = TypeVar("CandidateT")
+
+
+@dataclass
+class ClimbResult(Generic[CandidateT]):
+    """Outcome of one hill climb.
+
+    Attributes
+    ----------
+    best_candidate:
+        Candidate with the highest objective value among those evaluated.
+    best_value:
+        Objective value at ``best_candidate``.
+    evaluations:
+        Every candidate evaluated, in evaluation order, with its value.
+    """
+
+    best_candidate: CandidateT
+    best_value: float
+    evaluations: List[tuple]
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of objective evaluations the climb performed."""
+        return len(self.evaluations)
+
+    def as_dict(self) -> Dict[CandidateT, float]:
+        """Evaluated candidates mapped to their objective values."""
+        return dict(self.evaluations)
+
+
+def hill_climb(
+    candidates: Sequence[CandidateT],
+    objective: Callable[[CandidateT], float],
+    patience: int = 2,
+    relative_tolerance: float = 0.0,
+) -> ClimbResult:
+    """Walk ``candidates`` in order while ``objective`` keeps improving.
+
+    Parameters
+    ----------
+    candidates:
+        Ordered candidate values (e.g. increasing batch sizes).
+    objective:
+        Function to maximise.
+    patience:
+        Number of consecutive non-improving candidates tolerated before
+        stopping.  ``patience=1`` stops at the first degradation (the paper's
+        description); the default of 2 is slightly more robust to simulator
+        noise.
+    relative_tolerance:
+        A candidate counts as improving if it exceeds the best value by more
+        than this relative margin.
+    """
+    if not candidates:
+        raise ValueError("candidates must not be empty")
+    check_positive("patience", patience)
+    if relative_tolerance < 0:
+        raise ValueError(f"relative_tolerance must be >= 0, got {relative_tolerance}")
+
+    evaluations: List[tuple] = []
+    best_candidate = candidates[0]
+    best_value = objective(best_candidate)
+    evaluations.append((best_candidate, best_value))
+    misses = 0
+
+    for candidate in candidates[1:]:
+        value = objective(candidate)
+        evaluations.append((candidate, value))
+        if value > best_value * (1.0 + relative_tolerance):
+            best_candidate, best_value = candidate, value
+            misses = 0
+        elif best_value > 0:
+            # Only count non-improving steps against the patience budget once a
+            # feasible (positive-objective) operating point has been found;
+            # otherwise an infeasible low end of the candidate range (e.g.
+            # batch sizes too small to meet a tight SLA at all) would stop the
+            # climb before it ever reaches the feasible region.
+            misses += 1
+            if misses >= patience:
+                break
+    return ClimbResult(
+        best_candidate=best_candidate, best_value=best_value, evaluations=evaluations
+    )
+
+
+def power_of_two_candidates(minimum: int, maximum: int) -> List[int]:
+    """Powers of two in ``[minimum, maximum]``, always including both ends."""
+    check_positive("minimum", minimum)
+    check_positive("maximum", maximum)
+    if maximum < minimum:
+        raise ValueError(f"maximum {maximum} < minimum {minimum}")
+    values = []
+    value = 1
+    while value <= maximum:
+        if value >= minimum:
+            values.append(value)
+        value *= 2
+    if not values or values[0] != minimum:
+        values.insert(0, minimum)
+    if values[-1] != maximum:
+        values.append(maximum)
+    return values

@@ -1,0 +1,120 @@
+"""DeepRecSched-GPU: accelerator query-size-threshold tuning.
+
+The second half of the DeepRecSched algorithm (Section IV-C): with the CPU
+batch size fixed by :class:`~repro.core.batch_tuner.BatchSizeTuner`, start
+from a unit query-size threshold (every query offloaded to the accelerator)
+and hill-climb over increasing thresholds — shrinking the share of work on
+the accelerator — until the latency-bounded throughput stops improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.hill_climber import ClimbResult, hill_climb, power_of_two_candidates
+from repro.execution.engine import EnginePair
+from repro.queries.generator import LoadGenerator
+from repro.queries.size_dist import MAX_QUERY_SIZE
+from repro.serving.capacity import find_max_qps
+from repro.serving.simulator import ServingConfig, SimulationResult
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class OffloadTuningResult:
+    """Outcome of one query-size-threshold tuning run."""
+
+    best_threshold: int
+    best_qps: float
+    batch_size: int
+    sla_latency_s: float
+    qps_by_threshold: Dict[int, float]
+    gpu_work_fraction: float
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of thresholds the hill climb evaluated."""
+        return len(self.qps_by_threshold)
+
+
+class OffloadThresholdTuner:
+    """Hill-climbing query-size-threshold tuner (the GPU half of DeepRecSched)."""
+
+    def __init__(
+        self,
+        engines: EnginePair,
+        load_generator: LoadGenerator,
+        num_cores: int = 0,
+        num_queries: int = 800,
+        capacity_iterations: int = 6,
+        max_threshold: int = MAX_QUERY_SIZE,
+        patience: int = 4,
+    ) -> None:
+        if not engines.has_accelerator:
+            raise ValueError("offload tuning requires an accelerator engine")
+        check_positive("num_queries", num_queries)
+        check_positive("capacity_iterations", capacity_iterations)
+        check_positive("max_threshold", max_threshold)
+        self._engines = engines
+        self._load_generator = load_generator
+        self._num_cores = num_cores
+        self._num_queries = num_queries
+        self._capacity_iterations = capacity_iterations
+        self._max_threshold = max_threshold
+        self._patience = patience
+
+    def candidates(self) -> List[int]:
+        """Threshold candidates explored by the hill climb.
+
+        Starts at the unit threshold (all queries on the accelerator, exactly
+        as Section IV-C describes) and then climbs through power-of-two
+        thresholds; very small thresholds below the bulk of the query-size
+        distribution route essentially everything to the accelerator, so the
+        climb skips straight from 1 to 16.
+        """
+        powers = [c for c in power_of_two_candidates(16, self._max_threshold) if c >= 16]
+        return [1] + powers
+
+    def _evaluate(
+        self, threshold: int, batch_size: int, sla_latency_s: float
+    ) -> tuple:
+        config = ServingConfig(
+            batch_size=batch_size,
+            num_cores=self._num_cores,
+            offload_threshold=threshold,
+        )
+        outcome = find_max_qps(
+            self._engines,
+            config,
+            sla_latency_s,
+            self._load_generator,
+            num_queries=self._num_queries,
+            iterations=self._capacity_iterations,
+        )
+        return outcome.max_qps, outcome.result
+
+    def tune(self, batch_size: int, sla_latency_s: float) -> OffloadTuningResult:
+        """Run the hill climb over thresholds at a fixed CPU batch size."""
+        check_positive("batch_size", batch_size)
+        check_positive("sla_latency_s", sla_latency_s)
+        results: Dict[int, Optional[SimulationResult]] = {}
+
+        def objective(threshold: int) -> float:
+            qps, result = self._evaluate(threshold, batch_size, sla_latency_s)
+            results[threshold] = result
+            return qps
+
+        climb: ClimbResult = hill_climb(
+            self.candidates(), objective, patience=self._patience
+        )
+        best_result = results.get(climb.best_candidate)
+        gpu_fraction = best_result.gpu_work_fraction if best_result is not None else 0.0
+        return OffloadTuningResult(
+            best_threshold=climb.best_candidate,
+            best_qps=climb.best_value,
+            batch_size=batch_size,
+            sla_latency_s=sla_latency_s,
+            qps_by_threshold=climb.as_dict(),
+            gpu_work_fraction=gpu_fraction,
+        )

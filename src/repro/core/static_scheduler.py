@@ -1,0 +1,49 @@
+"""Static production baseline scheduler.
+
+The baseline DeepRecSched is compared against (Section V) uses a *fixed*
+per-request batch size chosen so that the largest possible query splits
+evenly across all available cores — e.g. with a maximum query size of 1000
+candidates on a 40-core Skylake, the static batch size is 25.  It never
+offloads to an accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import CPUPlatform
+from repro.queries.size_dist import MAX_QUERY_SIZE
+from repro.serving.simulator import ServingConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StaticSchedulerPolicy:
+    """Fixed batch-size policy derived from the worst-case query."""
+
+    max_query_size: int = MAX_QUERY_SIZE
+
+    def __post_init__(self) -> None:
+        check_positive("max_query_size", self.max_query_size)
+
+    def batch_size(self, platform: CPUPlatform, num_cores: int = 0) -> int:
+        """Fixed batch size: the largest query split evenly over the cores."""
+        cores = num_cores if num_cores else platform.num_cores
+        check_positive("num_cores", cores)
+        return max(1, -(-self.max_query_size // cores))
+
+    def serving_config(
+        self, platform: CPUPlatform, num_cores: int = 0, warmup_fraction: float = 0.1
+    ) -> ServingConfig:
+        """The baseline's :class:`ServingConfig` (no accelerator offload)."""
+        return ServingConfig(
+            batch_size=self.batch_size(platform, num_cores),
+            num_cores=num_cores,
+            offload_threshold=None,
+            warmup_fraction=warmup_fraction,
+        )
+
+
+def static_batch_size(platform: CPUPlatform, max_query_size: int = MAX_QUERY_SIZE) -> int:
+    """Convenience wrapper: the baseline's fixed batch size for ``platform``."""
+    return StaticSchedulerPolicy(max_query_size).batch_size(platform)

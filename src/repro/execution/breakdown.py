@@ -1,0 +1,74 @@
+"""Operator time-breakdown helpers (Fig. 3).
+
+Turns a :class:`~repro.execution.cpu_engine.CPUEngine`'s per-category times
+into normalised fractions and identifies the dominant bucket, which is how
+the paper classifies models as embedding-, MLP-, or attention-dominated
+(Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.execution.cpu_engine import CPUEngine
+from repro.models.ops import OperatorCategory
+
+
+@dataclass(frozen=True)
+class OperatorBreakdown:
+    """Normalised operator time breakdown for one model at one batch size."""
+
+    model_name: str
+    batch_size: int
+    fractions: Mapping[OperatorCategory, float]
+    total_latency_s: float
+
+    def fraction(self, category: OperatorCategory) -> float:
+        """Fraction of request time spent in ``category`` (0 if absent)."""
+        return self.fractions.get(category, 0.0)
+
+    @property
+    def dominant_category(self) -> OperatorCategory:
+        """Category with the largest share of request time."""
+        return max(self.fractions, key=self.fractions.get)
+
+    @property
+    def dnn_fraction(self) -> float:
+        """Combined FC share (the "MLP" bucket of the paper's breakdown)."""
+        return self.fraction(OperatorCategory.FC)
+
+    @property
+    def embedding_fraction(self) -> float:
+        """Embedding gather share."""
+        return self.fraction(OperatorCategory.EMBEDDING)
+
+    @property
+    def attention_fraction(self) -> float:
+        """Attention plus recurrent share (DIN/DIEN's distinguishing bucket)."""
+        return self.fraction(OperatorCategory.ATTENTION) + self.fraction(
+            OperatorCategory.RECURRENT
+        )
+
+
+def compute_breakdown(
+    engine: CPUEngine, batch_size: int = 64, active_cores: int = 1
+) -> OperatorBreakdown:
+    """Compute the normalised operator breakdown for one engine.
+
+    The paper's Fig. 3 uses a fixed batch size of 64 on a single worker, which
+    is the default here.
+    """
+    times = engine.operator_breakdown(batch_size, active_cores)
+    total = sum(times.values())
+    if total <= 0:
+        raise ValueError("operator breakdown produced a non-positive total latency")
+    fractions: Dict[OperatorCategory, float] = {
+        category: latency / total for category, latency in times.items()
+    }
+    return OperatorBreakdown(
+        model_name=engine.model.name,
+        batch_size=batch_size,
+        fractions=fractions,
+        total_latency_s=total,
+    )

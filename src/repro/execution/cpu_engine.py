@@ -1,0 +1,228 @@
+"""Single-request CPU inference engine (latency model).
+
+Given a recommendation model, a CPU platform, a per-request batch size, and
+the number of concurrently active cores, the engine estimates the latency of
+one inference request running on one core.  Each operator contributes
+``max(compute_time, memory_time) + dispatch_overhead``, where
+
+* compute time uses the core's peak FLOP rate derated by a batch-dependent
+  efficiency curve — the SIMD curve for dense operators (wider vector units
+  need larger batches) and a flat curve for recurrent cells (GRUs gain little
+  from batching),
+* memory time splits regular (streaming) from irregular (gather) traffic,
+  applies per-access-pattern effective-bandwidth curves, shares the socket
+  bandwidth across active cores, and applies the cache-contention factor of
+  the platform's LLC policy.  Dense-layer weights are served from the LLC
+  (rather than DRAM) when the model's non-embedding weight footprint fits —
+  which it does on Skylake's larger LLC for DLRM-RMC3 but not on Broadwell's,
+  reproducing the Fig. 12(c) platform difference,
+* the dispatch overhead models framework/per-operator launch cost, which is
+  what makes very small batches (and therefore very many requests per query)
+  unattractive.
+
+The same engine also produces the per-operator-category time breakdown used
+for Fig. 3 and Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.execution.efficiency import (
+    irregular_access_curve,
+    recurrent_efficiency_curve,
+    regular_access_curve,
+    simd_efficiency_curve,
+)
+from repro.hardware.cpu import CPUPlatform
+from repro.models.base import RecommendationModel
+from repro.models.ops import Operator, OperatorCategory
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Ratio of on-chip (LLC) bandwidth to a core's DRAM bandwidth share.
+LLC_BANDWIDTH_MULTIPLIER = 6.0
+
+#: Fraction of the LLC the non-embedding weights may occupy and still be
+#: considered cache-resident (the rest holds activations and embedding rows).
+LLC_RESIDENCY_FRACTION = 0.8
+
+
+@dataclass(frozen=True)
+class RequestLatency:
+    """Latency of one request, split into compute/memory/overhead components."""
+
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end request latency in seconds."""
+        return self.compute_s + self.memory_s + self.overhead_s
+
+
+class CPUEngine:
+    """Latency model for recommendation inference on one CPU core."""
+
+    def __init__(
+        self,
+        model: RecommendationModel,
+        platform: CPUPlatform,
+        per_operator_overhead_s: float = 20e-6,
+        per_request_overhead_s: float = 120e-6,
+    ) -> None:
+        check_non_negative("per_operator_overhead_s", per_operator_overhead_s)
+        check_non_negative("per_request_overhead_s", per_request_overhead_s)
+        self._model = model
+        self._platform = platform
+        self._per_operator_overhead_s = per_operator_overhead_s
+        self._per_request_overhead_s = per_request_overhead_s
+        self._simd_curve = simd_efficiency_curve(platform.simd_width_bits)
+        self._recurrent_curve = recurrent_efficiency_curve()
+        self._regular_curve = regular_access_curve()
+        self._irregular_curve = irregular_access_curve()
+        self._weights_llc_resident = self._fits_in_llc(model, platform)
+        self._cache: Dict[tuple, RequestLatency] = {}
+
+    @staticmethod
+    def _fits_in_llc(model: RecommendationModel, platform: CPUPlatform) -> bool:
+        """True when the model's non-embedding weights fit in the LLC."""
+        dense_weight_bytes = sum(
+            op.weight_bytes()
+            for op in model.operators()
+            if op.category is not OperatorCategory.EMBEDDING
+        )
+        return dense_weight_bytes <= LLC_RESIDENCY_FRACTION * platform.cache.llc_bytes
+
+    @property
+    def model(self) -> RecommendationModel:
+        """The model whose latency this engine estimates."""
+        return self._model
+
+    @property
+    def platform(self) -> CPUPlatform:
+        """The CPU platform the model runs on."""
+        return self._platform
+
+    @property
+    def weights_llc_resident(self) -> bool:
+        """True when dense-layer weights are served from the LLC, not DRAM."""
+        return self._weights_llc_resident
+
+    # ------------------------------------------------------------------ #
+
+    def _core_bandwidth(self, active_cores: int) -> float:
+        """Effective DRAM bandwidth available to one core, bytes/s.
+
+        A lone core is limited by its own load/store capability
+        (``per_core_bandwidth``); with many active cores, the socket bandwidth
+        is shared and the LLC contention factor of the platform's inclusion
+        policy is applied on top.
+        """
+        platform = self._platform
+        fair_share = platform.memory_bandwidth / active_cores
+        bandwidth = min(platform.per_core_bandwidth, fair_share)
+        contention = platform.cache.contention_factor(active_cores, platform.num_cores)
+        return bandwidth / contention
+
+    def _compute_efficiency(self, category: OperatorCategory, batch_size: int) -> float:
+        if category is OperatorCategory.RECURRENT:
+            return self._recurrent_curve(batch_size)
+        return self._simd_curve(batch_size)
+
+    def _operator_latency(
+        self, op: Operator, batch_size: int, active_cores: int
+    ) -> RequestLatency:
+        platform = self._platform
+        cost = op.cost(batch_size)
+        efficiency = self._compute_efficiency(op.category, batch_size)
+        compute_s = cost.flops / (platform.per_core_peak_flops * efficiency)
+
+        dram_bandwidth = self._core_bandwidth(active_cores)
+        regular_bytes = cost.regular_bytes
+        llc_bytes = 0.0
+        if (
+            self._weights_llc_resident
+            and op.category is not OperatorCategory.EMBEDDING
+        ):
+            # Dense weights are re-read from the LLC, not DRAM.
+            llc_bytes = min(op.weight_bytes(), regular_bytes)
+            regular_bytes -= llc_bytes
+
+        llc_bandwidth = platform.per_core_bandwidth * LLC_BANDWIDTH_MULTIPLIER
+        regular_eff = self._regular_curve(batch_size)
+        memory_s = (
+            regular_bytes / (dram_bandwidth * regular_eff)
+            + llc_bytes / (llc_bandwidth * regular_eff)
+            + cost.irregular_bytes / (dram_bandwidth * self._irregular_curve(batch_size))
+        )
+
+        # The slower resource dominates but the other is partially hidden
+        # rather than free (imperfect overlap on an out-of-order core).
+        dominant = max(compute_s, memory_s)
+        hidden = min(compute_s, memory_s)
+        total = dominant + 0.2 * hidden
+        if compute_s >= memory_s:
+            compute_part, memory_part = compute_s, total - compute_s
+        else:
+            memory_part, compute_part = memory_s, total - memory_s
+        return RequestLatency(
+            compute_s=compute_part,
+            memory_s=memory_part,
+            overhead_s=self._per_operator_overhead_s,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def request_latency(self, batch_size: int, active_cores: int = 1) -> RequestLatency:
+        """Latency of one request of ``batch_size`` items on one core.
+
+        ``active_cores`` is the number of cores concurrently executing
+        requests (including this one); it controls bandwidth sharing and
+        cache contention.
+        """
+        check_positive("batch_size", batch_size)
+        check_positive("active_cores", active_cores)
+        active_cores = min(active_cores, self._platform.num_cores)
+        key = (batch_size, active_cores)
+        if key in self._cache:
+            return self._cache[key]
+
+        compute = memory = overhead = 0.0
+        for op in self._model.operators():
+            latency = self._operator_latency(op, batch_size, active_cores)
+            compute += latency.compute_s
+            memory += latency.memory_s
+            overhead += latency.overhead_s
+        result = RequestLatency(
+            compute_s=compute,
+            memory_s=memory,
+            overhead_s=overhead + self._per_request_overhead_s,
+        )
+        self._cache[key] = result
+        return result
+
+    def request_latency_s(self, batch_size: int, active_cores: int = 1) -> float:
+        """Scalar request latency in seconds."""
+        return self.request_latency(batch_size, active_cores).total_s
+
+    def operator_breakdown(
+        self, batch_size: int, active_cores: int = 1
+    ) -> Dict[OperatorCategory, float]:
+        """Time per operator category for one request (seconds).
+
+        This is the quantity plotted (as fractions) in Fig. 3.
+        """
+        check_positive("batch_size", batch_size)
+        check_positive("active_cores", active_cores)
+        active_cores = min(active_cores, self._platform.num_cores)
+        breakdown: Dict[OperatorCategory, float] = {}
+        for op in self._model.operators():
+            latency = self._operator_latency(op, batch_size, active_cores)
+            breakdown[op.category] = breakdown.get(op.category, 0.0) + latency.total_s
+        return breakdown
+
+    def throughput_items_per_s(self, batch_size: int, active_cores: int = 1) -> float:
+        """Items per second one core sustains at ``batch_size``."""
+        return batch_size / self.request_latency_s(batch_size, active_cores)

@@ -1,0 +1,83 @@
+"""Engine construction helpers.
+
+``build_cpu_engine`` / ``build_gpu_engine`` wire a zoo model to a platform;
+:class:`EnginePair` bundles the CPU engine with an optional accelerator engine
+for components (the serving simulator, DeepRecSched) that schedule across
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.execution.cpu_engine import CPUEngine
+from repro.execution.gpu_engine import GPUEngine
+from repro.hardware.cpu import CPUPlatform, get_cpu
+from repro.hardware.gpu import GPUPlatform, get_gpu
+from repro.models.base import RecommendationModel
+from repro.models.zoo import get_model
+from repro.utils.rng import SeedLike
+
+
+def _resolve_model(model: Union[str, RecommendationModel], rng: SeedLike) -> RecommendationModel:
+    if isinstance(model, RecommendationModel):
+        return model
+    # Engines only need the analytic operator graph, not runnable weights.
+    return get_model(model, rng=rng, build_executable=False)
+
+
+def build_cpu_engine(
+    model: Union[str, RecommendationModel],
+    platform: Union[str, CPUPlatform] = "skylake",
+    rng: SeedLike = None,
+) -> CPUEngine:
+    """Build a :class:`CPUEngine` from a zoo key / model and a platform name."""
+    cpu = get_cpu(platform) if isinstance(platform, str) else platform
+    return CPUEngine(_resolve_model(model, rng), cpu)
+
+
+def build_gpu_engine(
+    model: Union[str, RecommendationModel],
+    platform: Union[str, GPUPlatform] = "gtx1080ti",
+    rng: SeedLike = None,
+) -> GPUEngine:
+    """Build a :class:`GPUEngine` from a zoo key / model and a platform name."""
+    gpu = get_gpu(platform) if isinstance(platform, str) else platform
+    return GPUEngine(_resolve_model(model, rng), gpu)
+
+
+@dataclass
+class EnginePair:
+    """A CPU engine plus an optional accelerator engine for the same model."""
+
+    cpu: CPUEngine
+    gpu: Optional[GPUEngine] = None
+
+    @property
+    def model(self) -> RecommendationModel:
+        """The recommendation model both engines serve."""
+        return self.cpu.model
+
+    @property
+    def has_accelerator(self) -> bool:
+        """True when an accelerator engine is attached."""
+        return self.gpu is not None
+
+
+def build_engine_pair(
+    model: Union[str, RecommendationModel],
+    cpu_platform: Union[str, CPUPlatform] = "skylake",
+    gpu_platform: Union[str, GPUPlatform, None] = "gtx1080ti",
+    rng: SeedLike = None,
+) -> EnginePair:
+    """Build CPU and (optionally) GPU engines sharing one model instance.
+
+    Pass ``gpu_platform=None`` for a CPU-only pair.
+    """
+    resolved = _resolve_model(model, rng)
+    cpu_engine = build_cpu_engine(resolved, cpu_platform)
+    gpu_engine = None
+    if gpu_platform is not None:
+        gpu_engine = build_gpu_engine(resolved, gpu_platform)
+    return EnginePair(cpu=cpu_engine, gpu=gpu_engine)

@@ -1,0 +1,37 @@
+"""Per-table / per-figure experiment drivers reproducing the paper's evaluation."""
+
+# Importing the driver modules registers them with the experiment registry.
+from repro.experiments import (  # noqa: F401
+    ablations,
+    fig1_roofline,
+    fig3_operators,
+    fig4_gpu_speedup,
+    fig5_query_sizes,
+    fig6_query_breakdown,
+    fig7_subsampling,
+    fig9_batch_sweep,
+    fig10_threshold_sweep,
+    fig11_throughput,
+    fig12_parallelism,
+    fig13_production,
+    fig14_gpu_tradeoff,
+    table1_models,
+    table2_sla,
+)
+from repro.experiments.registry import (
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import render_report, run_experiment, run_experiments
+
+__all__ = [
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "ExperimentResult",
+    "render_report",
+    "run_experiment",
+    "run_experiments",
+]

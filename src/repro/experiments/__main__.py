@@ -1,0 +1,59 @@
+"""Command-line entry point for regenerating paper tables and figures.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments figure-3
+    python -m repro.experiments table-1 figure-5 --output report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import available_experiments
+from repro.experiments.runner import render_report, run_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate DeepRecSys paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="Experiment ids (e.g. figure-3, table-1). Default: all registered.",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="List registered experiment ids and exit."
+    )
+    parser.add_argument(
+        "--output", default="", help="Write the report to a file as well as stdout."
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the requested experiments and print a plain-text report."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    ids = args.experiments or None
+    results = run_experiments(ids)
+    report = render_report(results)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Fig. 13: batch-size tuning deployed on a production-scale cluster.
+
+Simulates the paper's production experiment protocol: a heterogeneous fleet
+of machines receives diurnally modulated live traffic near its serving
+capacity, first with the fixed production batch size (largest query split
+over all worker cores) and then with the tuned batch size; the reported
+quantities are the resulting p95 and p99 tail-latency reductions (the paper
+measures 1.39x and 1.31x across models and servers).
+
+The production experiment ran for 24 hours on hundreds of machines; here the
+traffic cycle is compressed (seconds instead of hours) and the fleet is a few
+nodes with a reduced worker-core count, which preserves the load-relative
+behaviour while keeping the simulation affordable.
+"""
+
+from __future__ import annotations
+
+from repro.core.static_scheduler import StaticSchedulerPolicy
+from repro.execution.engine import build_engine_pair
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.infra.datacenter import DatacenterCluster
+from repro.queries.size_dist import ProductionQuerySizes
+from repro.queries.trace import DiurnalPattern
+from repro.utils.validation import check_in_range, check_positive
+
+
+@register_experiment("figure-13")
+def run(
+    model: str = "dlrm-rmc1",
+    tuned_batch_size: int = 512,
+    num_nodes: int = 2,
+    num_cores_per_node: int = 16,
+    load_fraction: float = 1.05,
+    duration_s: float = 8.0,
+    diurnal_amplitude: float = 0.4,
+    seed: int = 29,
+) -> ExperimentResult:
+    """Compare fixed vs tuned batch size on a loaded production fleet.
+
+    ``load_fraction`` sets the mean offered load as a fraction of the fixed
+    configuration's estimated capacity; with the default diurnal amplitude the
+    traffic peak pushes the fixed configuration past saturation, which is
+    exactly the regime where the tuned batch size pays off.
+    """
+    check_positive("tuned_batch_size", tuned_batch_size)
+    check_positive("num_cores_per_node", num_cores_per_node)
+    check_in_range("load_fraction", load_fraction, 0.1, 1.5)
+
+    cluster = DatacenterCluster(
+        model, num_nodes=num_nodes, num_cores=num_cores_per_node, seed=seed
+    )
+    pattern = DiurnalPattern(amplitude=diurnal_amplitude, period_s=duration_s)
+
+    reference = build_engine_pair(model, "skylake", None)
+    fixed_batch = StaticSchedulerPolicy().batch_size(
+        reference.cpu.platform, num_cores=num_cores_per_node
+    )
+    mean_query_size = ProductionQuerySizes().mean()
+    base_rate = load_fraction * cluster.estimated_capacity_qps(
+        fixed_batch, mean_query_size
+    )
+
+    fixed = cluster.run_diurnal(
+        batch_size=fixed_batch,
+        base_rate_qps=base_rate,
+        duration_s=duration_s,
+        pattern=pattern,
+        seed=seed,
+    )
+    tuned = cluster.run_diurnal(
+        batch_size=tuned_batch_size,
+        base_rate_qps=base_rate,
+        duration_s=duration_s,
+        pattern=pattern,
+        seed=seed,
+    )
+
+    p95_reduction = fixed.p95_latency_s / tuned.p95_latency_s
+    p99_reduction = fixed.p99_latency_s / tuned.p99_latency_s
+
+    result = ExperimentResult(
+        experiment_id="figure-13",
+        title="Production-cluster tail latency: fixed vs tuned batch size",
+        headers=["configuration", "batch-size", "p95-ms", "p99-ms"],
+    )
+    result.add_row(
+        "fixed (baseline)", fixed_batch,
+        round(fixed.p95_latency_s * 1e3, 2), round(fixed.p99_latency_s * 1e3, 2),
+    )
+    result.add_row(
+        "tuned (deeprecsched)", tuned_batch_size,
+        round(tuned.p95_latency_s * 1e3, 2), round(tuned.p99_latency_s * 1e3, 2),
+    )
+    result.metadata["p95_reduction"] = p95_reduction
+    result.metadata["p99_reduction"] = p99_reduction
+    result.metadata["offered_qps"] = base_rate
+    result.metadata["fixed_batch_size"] = fixed_batch
+    result.notes = (
+        f"p95 reduction {p95_reduction:.2f}x, p99 reduction {p99_reduction:.2f}x "
+        "(paper: 1.39x and 1.31x)."
+    )
+    return result

@@ -1,0 +1,85 @@
+"""Fig. 1: recommendation models on a Skylake roofline next to CNN/RNN workloads.
+
+Places each recommendation model (and the ResNet-50 / DeepSpeech2 reference
+workloads) on the roofline of a server CPU: operational intensity on the
+x-axis, achieved performance on the y-axis.  The paper's observation is that
+recommendation models cluster in the memory-bound, low-intensity region while
+the CNN sits near the compute roof.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.execution.engine import build_cpu_engine
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.hardware.cpu import get_cpu
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+from repro.models.nonrec import reference_workloads
+from repro.models.zoo import MODEL_NAMES, get_model
+from repro.utils.units import flops_to_gflops
+
+
+@register_experiment("figure-1")
+def run(
+    models: Optional[Sequence[str]] = None,
+    platform: str = "skylake",
+    batch_size: int = 64,
+) -> ExperimentResult:
+    """Compute roofline placements for the model zoo and reference DNNs."""
+    names = list(models) if models is not None else list(MODEL_NAMES)
+    cpu = get_cpu(platform)
+    roofline = RooflineModel(cpu)
+
+    result = ExperimentResult(
+        experiment_id="figure-1",
+        title=f"Roofline placement on {platform} (batch {batch_size})",
+        headers=[
+            "workload",
+            "op-intensity",
+            "achieved-gflops",
+            "attainable-gflops",
+            "memory-bound",
+        ],
+    )
+
+    rec_intensities = []
+    for name in names:
+        model = get_model(name, build_executable=False)
+        engine = build_cpu_engine(model, platform)
+        intensity = model.operational_intensity(batch_size)
+        latency = engine.request_latency_s(batch_size, active_cores=1)
+        achieved = model.flops(batch_size) / latency
+        point = RooflinePoint(name, intensity, achieved)
+        rec_intensities.append(intensity)
+        result.add_row(
+            name,
+            round(intensity, 3),
+            round(flops_to_gflops(achieved), 3),
+            round(flops_to_gflops(roofline.attainable_flops(intensity)), 3),
+            roofline.is_memory_bound(intensity),
+        )
+
+    reference_intensities = []
+    for workload in reference_workloads():
+        intensity = workload.operational_intensity(batch_size)
+        # Reference DNNs achieve a healthy fraction of their attainable rate.
+        achieved = 0.6 * roofline.attainable_flops(intensity)
+        reference_intensities.append(intensity)
+        result.add_row(
+            workload.name,
+            round(intensity, 3),
+            round(flops_to_gflops(achieved), 3),
+            round(flops_to_gflops(roofline.attainable_flops(intensity)), 3),
+            roofline.is_memory_bound(intensity),
+        )
+
+    result.metadata["ridge_point"] = roofline.ridge_point
+    result.metadata["max_rec_intensity"] = max(rec_intensities)
+    result.metadata["min_reference_intensity"] = min(reference_intensities)
+    result.notes = (
+        "Recommendation models sit at low operational intensity (memory-bound "
+        "region); CNN/RNN references sit at much higher intensity."
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Fig. 3: operator time breakdown per model at batch size 64.
+
+Reports, for every model, the fraction of request time spent in each operator
+category (FC, embedding, attention, recurrent, concat, sum) on a Broadwell
+core — the basis for the embedding- / MLP- / attention-dominated grouping
+used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.execution.breakdown import compute_breakdown
+from repro.execution.engine import build_cpu_engine
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.models.ops import OperatorCategory
+from repro.models.zoo import MODEL_NAMES
+
+_COLUMNS = [
+    OperatorCategory.FC,
+    OperatorCategory.EMBEDDING,
+    OperatorCategory.ATTENTION,
+    OperatorCategory.RECURRENT,
+    OperatorCategory.CONCAT,
+    OperatorCategory.SUM,
+]
+
+
+@register_experiment("figure-3")
+def run(
+    models: Optional[Sequence[str]] = None,
+    platform: str = "broadwell",
+    batch_size: int = 64,
+) -> ExperimentResult:
+    """Compute per-category time fractions for each model."""
+    names = list(models) if models is not None else list(MODEL_NAMES)
+    result = ExperimentResult(
+        experiment_id="figure-3",
+        title=f"Operator time breakdown at batch {batch_size} on {platform}",
+        headers=["model", "dominant"]
+        + [category.value for category in _COLUMNS]
+        + ["latency-ms"],
+    )
+    dominant = {}
+    for name in names:
+        breakdown = compute_breakdown(build_cpu_engine(name, platform), batch_size)
+        dominant[name] = breakdown.dominant_category.value
+        result.add_row(
+            name,
+            breakdown.dominant_category.value,
+            *[round(breakdown.fraction(category), 3) for category in _COLUMNS],
+            round(breakdown.total_latency_s * 1e3, 3),
+        )
+    result.metadata["dominant_by_model"] = dominant
+    return result

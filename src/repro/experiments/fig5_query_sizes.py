@@ -1,0 +1,68 @@
+"""Fig. 5: production query-size distribution vs lognormal.
+
+Compares the production (heavy-tail) query-size distribution against the
+lognormal assumption from prior work: percentiles of each, the p75 knee, and
+the share of total work carried by the largest quarter of queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.queries.size_dist import (
+    LognormalQuerySizes,
+    ProductionQuerySizes,
+    work_share_above_percentile,
+)
+
+DEFAULT_PERCENTILES = (25, 50, 75, 90, 95, 99)
+
+
+@register_experiment("figure-5")
+def run(
+    num_samples: int = 20000,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Compare the production and lognormal query-size distributions."""
+    production = ProductionQuerySizes()
+    lognormal = LognormalQuerySizes()
+    prod_samples = production.sample(num_samples, rng=seed)
+    logn_samples = lognormal.sample(num_samples, rng=seed + 1)
+
+    result = ExperimentResult(
+        experiment_id="figure-5",
+        title="Query working-set-size distributions (production vs lognormal)",
+        headers=["distribution"]
+        + [f"p{int(pct)}" for pct in percentiles]
+        + ["mean", "max", "top-quartile-work-share"],
+    )
+    for label, samples, dist in (
+        ("production", prod_samples, production),
+        ("lognormal", logn_samples, lognormal),
+    ):
+        work_share = work_share_above_percentile(dist, 75.0, count=num_samples, rng=seed)
+        result.add_row(
+            label,
+            *[float(np.percentile(samples, pct)) for pct in percentiles],
+            float(np.mean(samples)),
+            int(samples.max()),
+            round(work_share, 3),
+        )
+
+    prod_tail_ratio = float(np.percentile(prod_samples, 99) / np.percentile(prod_samples, 50))
+    logn_tail_ratio = float(np.percentile(logn_samples, 99) / np.percentile(logn_samples, 50))
+    result.metadata["production_tail_ratio_p99_p50"] = prod_tail_ratio
+    result.metadata["lognormal_tail_ratio_p99_p50"] = logn_tail_ratio
+    result.metadata["production_top_quartile_work_share"] = work_share_above_percentile(
+        production, 75.0, count=num_samples, rng=seed
+    )
+    result.notes = (
+        "Production query sizes have a heavier tail than lognormal; the top "
+        "quartile of queries carries roughly half of all work."
+    )
+    return result

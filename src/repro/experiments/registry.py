@@ -1,0 +1,39 @@
+"""Experiment registry: maps paper table/figure identifiers to driver functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.result import ExperimentResult
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def register_experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering a driver function under ``experiment_id``."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        key = experiment_id.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"experiment {experiment_id!r} is already registered")
+        _REGISTRY[key] = fn
+        return fn
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """Return the driver registered under ``experiment_id``."""
+    key = experiment_id.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
+        )
+    return _REGISTRY[key]
+
+
+def available_experiments() -> List[str]:
+    """All registered experiment identifiers, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,75 @@
+"""Common result container for experiment drivers.
+
+Every paper table/figure driver returns an :class:`ExperimentResult`: the
+experiment identifier, a set of rows mirroring what the paper plots, and a
+plain-text rendering used by the benchmark harness and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerated for one paper table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier such as ``"figure-11"`` or ``"table-1"``.
+    title:
+        Human-readable description of what the rows show.
+    headers:
+        Column names.
+    rows:
+        One entry per plotted row/series point.
+    notes:
+        Free-form commentary (e.g. which paper claim the rows support).
+    metadata:
+        Machine-readable summary values (speedups, optima) keyed by name.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the header length)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+
+    def to_table(self, float_fmt: str = ".3f") -> str:
+        """Render the rows as an aligned plain-text table."""
+        heading = f"[{self.experiment_id}] {self.title}"
+        table = format_table(self.headers, self.rows, float_fmt=float_fmt, title=heading)
+        if self.notes:
+            return f"{table}\n{self.notes}"
+        return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialisable representation (id, headers, rows, metadata)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+            "metadata": dict(self.metadata),
+        }
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one named column."""
+        if name not in self.headers:
+            raise KeyError(f"unknown column {name!r}; headers: {list(self.headers)}")
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,38 @@
+"""Experiment runner: execute registered drivers by id and render reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.registry import available_experiments, get_experiment
+from repro.experiments.result import ExperimentResult
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run a single registered experiment and return its result."""
+    driver = get_experiment(experiment_id)
+    return driver(**kwargs)
+
+
+def run_experiments(
+    experiment_ids: Optional[Sequence[str]] = None,
+    overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[ExperimentResult]:
+    """Run several experiments (all registered ones by default).
+
+    ``overrides`` maps experiment ids to keyword arguments for their drivers,
+    so callers can lower fidelity for quick runs.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
+    overrides = overrides or {}
+    results = []
+    for experiment_id in ids:
+        kwargs = overrides.get(experiment_id, {})
+        results.append(run_experiment(experiment_id, **kwargs))
+    return results
+
+
+def render_report(results: Sequence[ExperimentResult]) -> str:
+    """Render a multi-experiment plain-text report."""
+    sections = [result.to_table() for result in results]
+    return "\n\n".join(sections)

@@ -1,0 +1,52 @@
+"""Table I: architectural features of the eight recommendation models."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.models.zoo import MODEL_NAMES, get_config
+from repro.utils.units import bytes_to_gb
+
+
+@register_experiment("table-1")
+def run(models: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Regenerate the Table I rows from the zoo configurations."""
+    names = list(models) if models is not None else list(MODEL_NAMES)
+    result = ExperimentResult(
+        experiment_id="table-1",
+        title="Architectural features of state-of-the-art recommendation models",
+        headers=[
+            "model",
+            "company",
+            "domain",
+            "dense-fc",
+            "predict-fc",
+            "tasks",
+            "tables",
+            "lookups",
+            "pooling",
+            "emb-dim",
+            "storage-gb",
+        ],
+    )
+    for name in names:
+        config = get_config(name)
+        dense_fc = "-".join(str(width) for width in config.dense_fc) or "-"
+        predict_fc = "-".join(str(width) for width in config.predict_fc)
+        result.add_row(
+            config.name,
+            config.company,
+            config.domain,
+            dense_fc,
+            predict_fc,
+            config.num_tasks,
+            config.embedding.num_tables,
+            config.embedding.lookups_per_table,
+            config.pooling.value,
+            config.embedding.embedding_dim,
+            round(bytes_to_gb(config.embedding.storage_bytes), 3),
+        )
+    result.metadata["num_models"] = len(names)
+    return result

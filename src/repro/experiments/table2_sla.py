@@ -1,0 +1,58 @@
+"""Table II: runtime bottleneck class and SLA target per model.
+
+The bottleneck column is *measured* (dominant operator category of the
+modelled breakdown at batch 64), not copied from the config, so this
+experiment doubles as a consistency check between the model definitions and
+the paper's classification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.execution.breakdown import compute_breakdown
+from repro.execution.engine import build_cpu_engine
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.models.ops import OperatorCategory
+from repro.models.zoo import MODEL_NAMES, get_config
+
+_BOTTLENECK_LABELS = {
+    OperatorCategory.EMBEDDING: "embedding dominated",
+    OperatorCategory.FC: "mlp dominated",
+    OperatorCategory.ATTENTION: "attention dominated",
+    OperatorCategory.RECURRENT: "attention-based gru dominated",
+    OperatorCategory.CONCAT: "data-movement dominated",
+    OperatorCategory.SUM: "data-movement dominated",
+    OperatorCategory.OTHER: "other",
+}
+
+
+@register_experiment("table-2")
+def run(
+    models: Optional[Sequence[str]] = None,
+    platform: str = "broadwell",
+    batch_size: int = 64,
+) -> ExperimentResult:
+    """Regenerate Table II: measured bottleneck plus published SLA target."""
+    names = list(models) if models is not None else list(MODEL_NAMES)
+    result = ExperimentResult(
+        experiment_id="table-2",
+        title="Runtime bottleneck and SLA tail-latency target per model",
+        headers=["model", "measured-bottleneck", "expected-class", "sla-target-ms"],
+    )
+    matches = 0
+    for name in names:
+        config = get_config(name)
+        breakdown = compute_breakdown(build_cpu_engine(name, platform), batch_size)
+        measured = _BOTTLENECK_LABELS[breakdown.dominant_category]
+        expected = config.bottleneck.value
+        if expected.split("-")[0] in measured:
+            matches += 1
+        result.add_row(name, measured, expected, config.sla_target_ms)
+    result.metadata["bottleneck_agreement"] = matches / len(names)
+    result.notes = (
+        "SLA targets are the published medium targets; Low/High tiers are "
+        "50% below/above."
+    )
+    return result

@@ -1,0 +1,34 @@
+"""Hardware platform models: server CPUs, GPU accelerators, caches, rooflines, power."""
+
+from repro.hardware.cache import (
+    CacheHierarchy,
+    CachePolicy,
+    exclusive_hierarchy,
+    inclusive_hierarchy,
+)
+from repro.hardware.cpu import CPUPlatform, available_cpus, broadwell, get_cpu, skylake
+from repro.hardware.gpu import GPUPlatform, available_gpus, get_gpu, gtx_1080ti
+from repro.hardware.platform import HardwarePlatform
+from repro.hardware.power import PowerReport, SystemPowerModel
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+
+__all__ = [
+    "CacheHierarchy",
+    "CachePolicy",
+    "exclusive_hierarchy",
+    "inclusive_hierarchy",
+    "CPUPlatform",
+    "available_cpus",
+    "broadwell",
+    "get_cpu",
+    "skylake",
+    "GPUPlatform",
+    "available_gpus",
+    "get_gpu",
+    "gtx_1080ti",
+    "HardwarePlatform",
+    "PowerReport",
+    "SystemPowerModel",
+    "RooflineModel",
+    "RooflinePoint",
+]

@@ -1,0 +1,153 @@
+"""Server-class CPU platform models (Intel Broadwell and Skylake).
+
+The two platforms mirror the machines used in the paper's evaluation
+(Section V): a 28-core 2.4 GHz Broadwell with AVX-2 and an inclusive L2/L3
+hierarchy, and a 40-core 2.0 GHz Skylake with AVX-512 and an exclusive
+hierarchy.  The parameters that matter for the reproduction are the relative
+differences: SIMD width (batch-level parallelism payoff), core count
+(request-level parallelism), and cache policy (contention under many active
+cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cache import CacheHierarchy, exclusive_hierarchy, inclusive_hierarchy
+from repro.hardware.platform import HardwarePlatform
+from repro.utils.units import GB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CPUPlatform(HardwarePlatform):
+    """A multi-core server CPU.
+
+    Attributes
+    ----------
+    num_cores:
+        Physical cores available to inference workers.
+    frequency_hz:
+        Core clock frequency.
+    simd_width_bits:
+        Vector register width (256 for AVX-2, 512 for AVX-512).
+    cache:
+        LLC contention model (inclusive or exclusive).
+    per_core_bandwidth_fraction:
+        Fraction of the socket's DRAM bandwidth one core can sustain on its
+        own.  Embedding-gather-heavy requests on a single core are limited by
+        this, not by the full socket bandwidth.
+    """
+
+    num_cores: int = 1
+    frequency_hz: float = 2.0e9
+    simd_width_bits: int = 256
+    cache: CacheHierarchy = field(default_factory=lambda: exclusive_hierarchy(38.5 * 2**20))
+    per_core_bandwidth_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("num_cores", self.num_cores)
+        check_positive("frequency_hz", self.frequency_hz)
+        if self.simd_width_bits not in (128, 256, 512):
+            raise ValueError(
+                f"simd_width_bits must be one of 128/256/512, got {self.simd_width_bits}"
+            )
+        if not 0.0 < self.per_core_bandwidth_fraction <= 1.0:
+            raise ValueError(
+                "per_core_bandwidth_fraction must be in (0, 1], got "
+                f"{self.per_core_bandwidth_fraction}"
+            )
+
+    @property
+    def simd_lanes_fp32(self) -> int:
+        """Number of single-precision lanes per SIMD instruction."""
+        return self.simd_width_bits // 32
+
+    @property
+    def flops_per_cycle_per_core(self) -> float:
+        """Peak FP32 FLOPs per cycle per core (two FMA ports, 2 FLOPs each)."""
+        return self.simd_lanes_fp32 * 2 * 2
+
+    @property
+    def per_core_peak_flops(self) -> float:
+        """Peak FP32 throughput of a single core, in FLOP/s."""
+        return self.flops_per_cycle_per_core * self.frequency_hz
+
+    @property
+    def per_core_bandwidth(self) -> float:
+        """DRAM bandwidth a single core can sustain, in bytes/s."""
+        return self.memory_bandwidth * self.per_core_bandwidth_fraction
+
+
+def broadwell(num_cores: int = 28) -> CPUPlatform:
+    """Intel Broadwell server CPU used in the paper (dual-socket, 28 cores).
+
+    AVX-2 (256-bit SIMD), 2.4 GHz, inclusive L2/L3, 120 W TDP.
+    """
+    frequency = 2.4e9
+    simd_bits = 256
+    lanes = simd_bits // 32
+    peak = num_cores * lanes * 2 * 2 * frequency
+    return CPUPlatform(
+        name="broadwell",
+        peak_flops=peak,
+        memory_bandwidth=77.0 * GB,
+        tdp_watts=120.0,
+        idle_power_fraction=0.35,
+        num_cores=num_cores,
+        frequency_hz=frequency,
+        simd_width_bits=simd_bits,
+        cache=inclusive_hierarchy(35.0 * 2**20),
+        per_core_bandwidth_fraction=0.16,
+    )
+
+
+def skylake(num_cores: int = 40) -> CPUPlatform:
+    """Intel Skylake server CPU used in the paper (dual-socket, 40 cores).
+
+    AVX-512, 2.0 GHz, exclusive L2/L3, 125 W TDP.
+    """
+    frequency = 2.0e9
+    simd_bits = 512
+    lanes = simd_bits // 32
+    peak = num_cores * lanes * 2 * 2 * frequency
+    return CPUPlatform(
+        name="skylake",
+        peak_flops=peak,
+        memory_bandwidth=107.0 * GB,
+        tdp_watts=125.0,
+        idle_power_fraction=0.35,
+        num_cores=num_cores,
+        frequency_hz=frequency,
+        simd_width_bits=simd_bits,
+        cache=exclusive_hierarchy(55.0 * 2**20),
+        per_core_bandwidth_fraction=0.14,
+    )
+
+
+_CPU_REGISTRY = {
+    "broadwell": broadwell,
+    "skylake": skylake,
+}
+
+
+def get_cpu(name: str, num_cores: int = 0) -> CPUPlatform:
+    """Return a named CPU platform (``"broadwell"`` or ``"skylake"``).
+
+    ``num_cores=0`` keeps the platform's default core count.
+    """
+    key = name.lower()
+    if key not in _CPU_REGISTRY:
+        raise KeyError(
+            f"unknown CPU platform {name!r}; available: {sorted(_CPU_REGISTRY)}"
+        )
+    factory = _CPU_REGISTRY[key]
+    if num_cores:
+        return factory(num_cores=num_cores)
+    return factory()
+
+
+def available_cpus() -> list:
+    """Names of the registered CPU platforms."""
+    return sorted(_CPU_REGISTRY)

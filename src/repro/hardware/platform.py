@@ -1,0 +1,67 @@
+"""Base hardware platform abstraction.
+
+A :class:`HardwarePlatform` exposes the small set of machine parameters the
+execution engines need to estimate operator latency: peak compute throughput,
+memory bandwidth, and power.  Concrete CPU and GPU platforms live in
+:mod:`repro.hardware.cpu` and :mod:`repro.hardware.gpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HardwarePlatform:
+    """Common parameters shared by CPU and GPU platforms.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name (e.g. ``"skylake"``).
+    peak_flops:
+        Peak single-precision throughput of the whole device, in FLOP/s.
+    memory_bandwidth:
+        Peak DRAM bandwidth of the whole device, in bytes/s.
+    tdp_watts:
+        Thermal design power, in watts.  Used by the power model.
+    idle_power_fraction:
+        Fraction of TDP drawn when the device is idle.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    tdp_watts: float
+    idle_power_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive("peak_flops", self.peak_flops)
+        check_positive("memory_bandwidth", self.memory_bandwidth)
+        check_positive("tdp_watts", self.tdp_watts)
+        if not 0.0 <= self.idle_power_fraction <= 1.0:
+            raise ValueError(
+                f"idle_power_fraction must be in [0, 1], got {self.idle_power_fraction}"
+            )
+
+    @property
+    def machine_balance(self) -> float:
+        """Ridge-point operational intensity (FLOPs/byte) of the roofline."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def idle_power(self) -> float:
+        """Power drawn when idle, in watts."""
+        return self.tdp_watts * self.idle_power_fraction
+
+    def power_at_utilization(self, utilization: float) -> float:
+        """Power drawn at a given utilization in [0, 1], in watts.
+
+        Linear interpolation between idle power and TDP — the standard
+        first-order server power model.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        idle = self.idle_power()
+        return idle + (self.tdp_watts - idle) * utilization

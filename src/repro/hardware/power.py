@@ -1,0 +1,71 @@
+"""System power model for QPS/Watt efficiency reporting.
+
+The paper compares DeepRecSched-CPU and DeepRecSched-GPU on QPS/Watt
+(Fig. 11 bottom, Fig. 14 bottom): the GPU adds a large power footprint, so
+offloading only pays off in efficiency terms for compute-intensive models or
+tight latency targets.  :class:`SystemPowerModel` sums per-device power given
+each device's utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.gpu import GPUPlatform
+from repro.hardware.platform import HardwarePlatform
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power and efficiency of one serving configuration."""
+
+    cpu_watts: float
+    gpu_watts: float
+    qps: float
+
+    @property
+    def total_watts(self) -> float:
+        """Total system power."""
+        return self.cpu_watts + self.gpu_watts
+
+    @property
+    def qps_per_watt(self) -> float:
+        """Throughput-per-watt efficiency metric used throughout the paper."""
+        check_positive("total_watts", self.total_watts)
+        return self.qps / self.total_watts
+
+
+class SystemPowerModel:
+    """Power of a CPU server optionally paired with a GPU accelerator."""
+
+    def __init__(
+        self, cpu: HardwarePlatform, gpu: Optional[GPUPlatform] = None
+    ) -> None:
+        self._cpu = cpu
+        self._gpu = gpu
+
+    @property
+    def cpu(self) -> HardwarePlatform:
+        """The CPU platform."""
+        return self._cpu
+
+    @property
+    def gpu(self) -> Optional[GPUPlatform]:
+        """The attached accelerator, if any."""
+        return self._gpu
+
+    def power(
+        self, cpu_utilization: float, gpu_utilization: float = 0.0, qps: float = 0.0
+    ) -> PowerReport:
+        """Return system power at the given device utilizations.
+
+        A GPU that is attached but idle still draws its idle power — this is
+        exactly why DeepRecSched-GPU does not always win on QPS/Watt.
+        """
+        cpu_watts = self._cpu.power_at_utilization(cpu_utilization)
+        gpu_watts = 0.0
+        if self._gpu is not None:
+            gpu_watts = self._gpu.power_at_utilization(gpu_utilization)
+        return PowerReport(cpu_watts=cpu_watts, gpu_watts=gpu_watts, qps=qps)

@@ -1,0 +1,78 @@
+"""Roofline model (Fig. 1).
+
+The paper's first figure places the eight recommendation models on a Skylake
+roofline next to ResNet-50 and DeepSpeech2, showing that recommendation models
+sit in the memory-bound region with low operational intensity.  This module
+computes attainable performance for a given operational intensity on a
+platform and classifies workload points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hardware.platform import HardwarePlatform
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on a roofline.
+
+    Attributes
+    ----------
+    name:
+        Workload name (e.g. ``"dlrm-rmc1"``).
+    operational_intensity:
+        FLOPs per byte of DRAM traffic.
+    achieved_flops:
+        Measured / modelled throughput of the workload, FLOP/s.
+    """
+
+    name: str
+    operational_intensity: float
+    achieved_flops: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("operational_intensity", self.operational_intensity)
+        check_non_negative("achieved_flops", self.achieved_flops)
+
+
+class RooflineModel:
+    """Attainable-performance roofline for one hardware platform."""
+
+    def __init__(self, platform: HardwarePlatform) -> None:
+        self._platform = platform
+
+    @property
+    def platform(self) -> HardwarePlatform:
+        """The platform this roofline describes."""
+        return self._platform
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity (FLOPs/byte) where the roofline bends."""
+        return self._platform.machine_balance
+
+    def attainable_flops(self, operational_intensity: float) -> float:
+        """Peak attainable FLOP/s at the given operational intensity."""
+        check_non_negative("operational_intensity", operational_intensity)
+        return min(
+            self._platform.peak_flops,
+            operational_intensity * self._platform.memory_bandwidth,
+        )
+
+    def is_memory_bound(self, operational_intensity: float) -> bool:
+        """True if a workload at this intensity is limited by memory bandwidth."""
+        return operational_intensity < self.ridge_point
+
+    def efficiency(self, point: RooflinePoint) -> float:
+        """Fraction of attainable performance the workload achieves (0-1]."""
+        attainable = self.attainable_flops(point.operational_intensity)
+        check_positive("attainable_flops", attainable)
+        return min(1.0, point.achieved_flops / attainable)
+
+    def curve(self, intensities: Sequence[float]) -> List[float]:
+        """Attainable FLOP/s at each of the given operational intensities."""
+        return [self.attainable_flops(oi) for oi in intensities]

@@ -1,0 +1,18 @@
+"""DeepRecInfra facade and datacenter-cluster simulation."""
+
+from repro.infra.datacenter import (
+    ClusterNode,
+    ClusterResult,
+    DatacenterCluster,
+    ScaledCPUEngine,
+)
+from repro.infra.deeprecinfra import DeepRecInfra, InfraConfig
+
+__all__ = [
+    "ClusterNode",
+    "ClusterResult",
+    "DatacenterCluster",
+    "ScaledCPUEngine",
+    "DeepRecInfra",
+    "InfraConfig",
+]

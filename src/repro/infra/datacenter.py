@@ -1,0 +1,256 @@
+"""Datacenter-scale cluster simulation.
+
+Two of the paper's experiments need more than a single simulated server:
+
+* **Fig. 7** shows that the latency distribution measured on a handful of
+  machines tracks the datacenter-wide distribution to within ~10 %, which
+  justifies studying tail behaviour on a small subsample of the fleet.
+* **Fig. 13** deploys the batch-size optimisation on a production cluster of
+  hundreds of heterogeneous machines receiving live (diurnal) traffic for
+  24 hours and reports 1.39x / 1.31x reductions in p95 / p99 latency.
+
+:class:`DatacenterCluster` models a fleet of inference servers with per-node
+heterogeneity (platform mix and a small per-node speed spread), a random
+load balancer, and trace-driven execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.execution.cpu_engine import CPUEngine, RequestLatency
+from repro.execution.engine import EnginePair, build_cpu_engine
+from repro.queries.query import Query
+from repro.queries.size_dist import ProductionQuerySizes, QuerySizeDistribution
+from repro.queries.trace import DiurnalPattern, QueryTrace, generate_diurnal_trace
+from repro.serving.capacity import estimate_upper_bound_qps
+from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.utils.rng import RngFactory
+from repro.utils.stats import max_relative_cdf_gap
+from repro.utils.validation import check_positive
+
+
+class ScaledCPUEngine:
+    """A CPU engine whose latencies are scaled by a per-node speed factor.
+
+    Production fleets are heterogeneous even within a platform generation
+    (DVFS, memory population, co-located workloads); a node with
+    ``speed_factor=1.05`` is 5 % slower than nominal.
+    """
+
+    def __init__(self, engine: CPUEngine, speed_factor: float = 1.0) -> None:
+        check_positive("speed_factor", speed_factor)
+        self._engine = engine
+        self._speed_factor = speed_factor
+
+    @property
+    def platform(self):
+        """The underlying platform (unscaled)."""
+        return self._engine.platform
+
+    @property
+    def model(self):
+        """The model served by this node."""
+        return self._engine.model
+
+    @property
+    def speed_factor(self) -> float:
+        """Latency multiplier applied to the nominal engine."""
+        return self._speed_factor
+
+    def request_latency(self, batch_size: int, active_cores: int = 1) -> RequestLatency:
+        """Scaled per-request latency components."""
+        nominal = self._engine.request_latency(batch_size, active_cores)
+        factor = self._speed_factor
+        return RequestLatency(
+            compute_s=nominal.compute_s * factor,
+            memory_s=nominal.memory_s * factor,
+            overhead_s=nominal.overhead_s * factor,
+        )
+
+    def request_latency_s(self, batch_size: int, active_cores: int = 1) -> float:
+        """Scaled scalar request latency."""
+        return self.request_latency(batch_size, active_cores).total_s
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """One inference server in the fleet."""
+
+    node_id: int
+    platform_name: str
+    speed_factor: float
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate and per-node latency statistics from one cluster run."""
+
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    per_node_results: Dict[int, SimulationResult]
+    latencies_s: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes that processed traffic."""
+        return len(self.per_node_results)
+
+    def node_latencies(self, node_ids: Sequence[int]) -> List[float]:
+        """Pooled query latencies of a subset of nodes."""
+        pooled: List[float] = []
+        for node_id in node_ids:
+            if node_id not in self.per_node_results:
+                raise KeyError(f"node {node_id} not present in this result")
+            pooled.extend(self.per_node_results[node_id].latencies_s)
+        return pooled
+
+    def subsample_gap(self, node_ids: Sequence[int]) -> float:
+        """Max relative CDF gap between a node subsample and the whole fleet.
+
+        This is the Fig. 7 metric: the paper reports the subsample tracking
+        the datacenter distribution to within ~10 %.
+        """
+        return max_relative_cdf_gap(self.latencies_s, self.node_latencies(node_ids))
+
+
+class DatacenterCluster:
+    """A fleet of heterogeneous inference servers behind a random load balancer."""
+
+    def __init__(
+        self,
+        model: str,
+        num_nodes: int = 20,
+        platform_mix: Optional[Dict[str, float]] = None,
+        speed_spread: float = 0.06,
+        num_cores: int = 0,
+        seed: int = 0,
+    ) -> None:
+        check_positive("num_nodes", num_nodes)
+        if not 0.0 <= speed_spread < 0.5:
+            raise ValueError(f"speed_spread must be in [0, 0.5), got {speed_spread}")
+        mix = platform_mix if platform_mix is not None else {"skylake": 0.5, "broadwell": 0.5}
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("platform_mix weights must sum to a positive value")
+        self._model = model
+        self._num_cores = num_cores
+        self._rng_factory = RngFactory(seed)
+        rng = self._rng_factory.child("cluster-nodes")
+
+        platform_names = list(mix)
+        probabilities = np.array([mix[name] for name in platform_names]) / total
+        self._nodes: List[ClusterNode] = []
+        self._engines: Dict[int, EnginePair] = {}
+        for node_id in range(num_nodes):
+            platform_name = str(rng.choice(platform_names, p=probabilities))
+            speed_factor = float(1.0 + rng.uniform(-speed_spread, speed_spread))
+            self._nodes.append(ClusterNode(node_id, platform_name, speed_factor))
+            base_engine = build_cpu_engine(model, platform_name)
+            scaled = ScaledCPUEngine(base_engine, speed_factor)
+            self._engines[node_id] = EnginePair(cpu=scaled, gpu=None)
+
+    @property
+    def model(self) -> str:
+        """Zoo key of the model the fleet serves."""
+        return self._model
+
+    @property
+    def nodes(self) -> List[ClusterNode]:
+        """The fleet's nodes."""
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Fleet size."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ #
+
+    def estimated_capacity_qps(
+        self, batch_size: int, mean_query_size: Optional[float] = None
+    ) -> float:
+        """Optimistic fleet-wide throughput bound at a given batch size.
+
+        Sums each node's upper-bound capacity using that node's platform and
+        speed factor.  Used by the Fig. 13 experiment to pick an offered load
+        that sits just below the fixed configuration's saturation point
+        regardless of the fleet's platform mix.
+        """
+        check_positive("batch_size", batch_size)
+        if mean_query_size is None:
+            mean_query_size = ProductionQuerySizes().mean()
+        config = ServingConfig(batch_size=batch_size, num_cores=self._num_cores)
+        return sum(
+            estimate_upper_bound_qps(self._engines[node.node_id], config, mean_query_size)
+            for node in self._nodes
+        )
+
+    def _partition(self, queries: Sequence[Query]) -> Dict[int, List[Query]]:
+        """Randomly load-balance queries across nodes (uniform)."""
+        rng = self._rng_factory.child("load-balancer")
+        assignments = rng.integers(0, self.num_nodes, size=len(queries))
+        per_node: Dict[int, List[Query]] = {node.node_id: [] for node in self._nodes}
+        for query, node_id in zip(queries, assignments):
+            per_node[int(node_id)].append(query)
+        return per_node
+
+    def run(
+        self,
+        queries: Sequence[Query],
+        batch_size: int,
+        warmup_fraction: float = 0.05,
+    ) -> ClusterResult:
+        """Serve ``queries`` across the fleet at a fixed per-request batch size."""
+        check_positive("batch_size", batch_size)
+        if not queries:
+            raise ValueError("cannot run a cluster simulation with no queries")
+        per_node = self._partition(queries)
+        per_node_results: Dict[int, SimulationResult] = {}
+        pooled: List[float] = []
+        for node in self._nodes:
+            node_queries = per_node[node.node_id]
+            if not node_queries:
+                continue
+            config = ServingConfig(
+                batch_size=batch_size,
+                num_cores=self._num_cores,
+                warmup_fraction=warmup_fraction,
+            )
+            simulator = ServingSimulator(self._engines[node.node_id], config)
+            result = simulator.run(node_queries)
+            per_node_results[node.node_id] = result
+            pooled.extend(result.latencies_s)
+        if not pooled:
+            raise ValueError("no node processed any measurable queries")
+        pooled_array = np.asarray(pooled)
+        return ClusterResult(
+            p50_latency_s=float(np.percentile(pooled_array, 50)),
+            p95_latency_s=float(np.percentile(pooled_array, 95)),
+            p99_latency_s=float(np.percentile(pooled_array, 99)),
+            per_node_results=per_node_results,
+            latencies_s=pooled,
+        )
+
+    def run_diurnal(
+        self,
+        batch_size: int,
+        base_rate_qps: float,
+        duration_s: float,
+        pattern: Optional[DiurnalPattern] = None,
+        sizes: Optional[QuerySizeDistribution] = None,
+        seed: int = 17,
+    ) -> ClusterResult:
+        """Serve a diurnally modulated trace (the Fig. 13 protocol)."""
+        trace: QueryTrace = generate_diurnal_trace(
+            base_rate_qps=base_rate_qps,
+            duration_s=duration_s,
+            pattern=pattern,
+            sizes=sizes if sizes is not None else ProductionQuerySizes(),
+            seed=seed,
+        )
+        return self.run(trace.queries, batch_size)

@@ -1,0 +1,77 @@
+"""Recommendation model zoo: configurations, analytic operators, runnable networks."""
+
+from repro.models.base import RecommendationModel
+from repro.models.config import (
+    BottleneckClass,
+    EmbeddingConfig,
+    InteractionType,
+    ModelConfig,
+    PoolingType,
+)
+from repro.models.dien import dien_config
+from repro.models.din import din_config
+from repro.models.dlrm import dlrm_rmc1_config, dlrm_rmc2_config, dlrm_rmc3_config
+from repro.models.inputs import RecommendationBatch, generate_batch, query_input_bytes
+from repro.models.ncf import ncf_config
+from repro.models.nonrec import ReferenceWorkload, deepspeech2, reference_workloads, resnet50
+from repro.models.ops import (
+    AttentionUnit,
+    Concat,
+    ElementwiseSum,
+    EmbeddingGather,
+    FullyConnected,
+    GRULayer,
+    Operator,
+    OperatorCategory,
+    OperatorCost,
+    mlp_operators,
+)
+from repro.models.wnd import mt_wnd_config, wnd_config
+from repro.models.zoo import (
+    MODEL_NAMES,
+    available_models,
+    get_config,
+    get_model,
+    models_by_bottleneck,
+    register_model,
+)
+
+__all__ = [
+    "RecommendationModel",
+    "BottleneckClass",
+    "EmbeddingConfig",
+    "InteractionType",
+    "ModelConfig",
+    "PoolingType",
+    "dien_config",
+    "din_config",
+    "dlrm_rmc1_config",
+    "dlrm_rmc2_config",
+    "dlrm_rmc3_config",
+    "RecommendationBatch",
+    "generate_batch",
+    "query_input_bytes",
+    "ncf_config",
+    "ReferenceWorkload",
+    "deepspeech2",
+    "reference_workloads",
+    "resnet50",
+    "AttentionUnit",
+    "Concat",
+    "ElementwiseSum",
+    "EmbeddingGather",
+    "FullyConnected",
+    "GRULayer",
+    "Operator",
+    "OperatorCategory",
+    "OperatorCost",
+    "mlp_operators",
+    "mt_wnd_config",
+    "wnd_config",
+    "MODEL_NAMES",
+    "available_models",
+    "get_config",
+    "get_model",
+    "models_by_bottleneck",
+    "register_model",
+]

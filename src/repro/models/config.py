@@ -1,0 +1,184 @@
+"""Model architecture configuration (the knobs of Fig. 2).
+
+The paper's generalised recommendation architecture is parameterised by the
+width/depth of the dense-feature DNN stack, the predictor DNN stack, the
+number of embedding tables, lookups per table, the sparse-pooling operator,
+and the feature-interaction operator.  :class:`ModelConfig` captures exactly
+those knobs; the eight industry models (Table I) are specific configurations
+of it, constructed in the per-model modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class PoolingType(str, Enum):
+    """Sparse-feature pooling operator placed on top of the embedding lookups."""
+
+    SUM = "sum"
+    CONCAT = "concat"
+    ATTENTION = "attention"
+    ATTENTION_RNN = "attention_rnn"
+
+
+class InteractionType(str, Enum):
+    """Feature-interaction operator combining dense and sparse branches."""
+
+    CONCAT = "concat"
+    SUM = "sum"
+
+
+class BottleneckClass(str, Enum):
+    """Runtime-bottleneck label from Table II, used to group models in plots."""
+
+    EMBEDDING = "embedding-dominated"
+    MLP = "mlp-dominated"
+    ATTENTION = "attention-dominated"
+
+
+@dataclass(frozen=True)
+class EmbeddingConfig:
+    """Embedding-table configuration of one model.
+
+    Attributes
+    ----------
+    num_tables:
+        Number of embedding tables (one per categorical feature).
+    rows_per_table:
+        Nominal number of rows (categories) per table; drives storage cost.
+    embedding_dim:
+        Latent dimension of every table.
+    lookups_per_table:
+        Average multi-hot lookups per table per sample (pooling fan-in).
+    """
+
+    num_tables: int
+    rows_per_table: int
+    embedding_dim: int
+    lookups_per_table: int
+
+    def __post_init__(self) -> None:
+        check_positive("num_tables", self.num_tables)
+        check_positive("rows_per_table", self.rows_per_table)
+        check_positive("embedding_dim", self.embedding_dim)
+        check_positive("lookups_per_table", self.lookups_per_table)
+
+    @property
+    def storage_bytes(self) -> float:
+        """Nominal embedding storage (FP32)."""
+        return float(self.num_tables) * self.rows_per_table * self.embedding_dim * 4
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Full architectural configuration of one recommendation model.
+
+    Attributes
+    ----------
+    name:
+        Zoo key, e.g. ``"dlrm-rmc1"``.
+    dense_input_dim:
+        Dimensionality of the continuous (dense) input features; 0 when the
+        model takes no dense inputs (NCF, DIN, DIEN).
+    dense_fc:
+        Hidden/output widths of the dense-feature DNN stack (empty when the
+        dense features bypass it, as in Wide&Deep).
+    predict_fc:
+        Hidden/output widths of the predictor DNN stack (excluding its input
+        width, which is derived from the interaction output).
+    num_tasks:
+        Number of parallel predictor stacks (MT-WnD runs one per objective).
+    embedding:
+        Embedding-table configuration.
+    pooling:
+        Sparse-pooling operator.
+    interaction:
+        Feature-interaction operator.
+    sequence_length:
+        User-behaviour sequence length consumed by attention/GRU pooling.
+    attention_hidden:
+        Hidden widths of the attention scorer MLP.
+    gru_hidden_dim:
+        Hidden size of the interest-evolution GRU (DIEN only).
+    bottleneck:
+        Table II runtime-bottleneck classification.
+    sla_target_ms:
+        Published medium SLA tail-latency target in milliseconds (Table II).
+    company / domain:
+        Provenance columns of Table I, for reporting.
+    """
+
+    name: str
+    dense_input_dim: int
+    dense_fc: Tuple[int, ...]
+    predict_fc: Tuple[int, ...]
+    embedding: EmbeddingConfig
+    pooling: PoolingType
+    interaction: InteractionType
+    bottleneck: BottleneckClass
+    sla_target_ms: float
+    num_tasks: int = 1
+    sequence_length: int = 0
+    attention_hidden: Tuple[int, ...] = (36,)
+    gru_hidden_dim: int = 0
+    company: str = "-"
+    domain: str = "-"
+
+    def __post_init__(self) -> None:
+        check_non_negative("dense_input_dim", self.dense_input_dim)
+        check_positive("num_tasks", self.num_tasks)
+        check_positive("sla_target_ms", self.sla_target_ms)
+        check_non_negative("sequence_length", self.sequence_length)
+        check_non_negative("gru_hidden_dim", self.gru_hidden_dim)
+        if not self.predict_fc:
+            raise ValueError("predict_fc must have at least one layer width")
+        if self.dense_fc and self.dense_input_dim == 0:
+            raise ValueError("a dense FC stack requires dense_input_dim > 0")
+        needs_sequence = self.pooling in (PoolingType.ATTENTION, PoolingType.ATTENTION_RNN)
+        if needs_sequence and self.sequence_length == 0:
+            raise ValueError(f"{self.pooling.value} pooling requires sequence_length > 0")
+        if self.pooling is PoolingType.ATTENTION_RNN and self.gru_hidden_dim == 0:
+            raise ValueError("attention_rnn pooling requires gru_hidden_dim > 0")
+
+    @property
+    def has_dense_stack(self) -> bool:
+        """True if dense features pass through a bottom MLP."""
+        return bool(self.dense_fc)
+
+    @property
+    def dense_output_dim(self) -> int:
+        """Width of the dense branch after the (optional) dense stack."""
+        if self.has_dense_stack:
+            return self.dense_fc[-1]
+        return self.dense_input_dim
+
+    @property
+    def sparse_output_dim(self) -> int:
+        """Width of the sparse branch after pooling."""
+        emb = self.embedding
+        if self.pooling is PoolingType.SUM:
+            return emb.embedding_dim
+        if self.pooling is PoolingType.CONCAT:
+            return emb.num_tables * emb.embedding_dim
+        if self.pooling is PoolingType.ATTENTION:
+            # Pooled behaviour vector concatenated with the candidate-side tables.
+            return emb.num_tables * emb.embedding_dim
+        # ATTENTION_RNN: GRU hidden state concatenated with remaining embeddings.
+        return self.gru_hidden_dim + (emb.num_tables - 1) * emb.embedding_dim
+
+    @property
+    def interaction_output_dim(self) -> int:
+        """Width of the feature-interaction output feeding the predictor stack."""
+        if self.interaction is InteractionType.CONCAT:
+            return self.dense_output_dim + self.sparse_output_dim
+        return max(self.dense_output_dim, self.sparse_output_dim)
+
+    @property
+    def sla_target_s(self) -> float:
+        """Medium SLA target in seconds."""
+        return self.sla_target_ms / 1e3

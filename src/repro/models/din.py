@@ -1,0 +1,43 @@
+"""Alibaba Deep Interest Network (DIN) configuration.
+
+DIN models user interest with an attention mechanism (local activation units)
+over a long user-behaviour sequence gathered from large multi-hot embedding
+tables (hundreds of lookups), plus several smaller one-hot tables.  There are
+no dense input features, and the predictor stack is small (200-80-2).  Its
+runtime is split between embedding gathers, concatenation, and the attention
+FCs, with a 100 ms SLA (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.models.config import (
+    BottleneckClass,
+    EmbeddingConfig,
+    InteractionType,
+    ModelConfig,
+    PoolingType,
+)
+
+
+def din_config() -> ModelConfig:
+    """Table I configuration of DIN (embedding + attention dominated)."""
+    return ModelConfig(
+        name="din",
+        company="Alibaba",
+        domain="e-commerce",
+        dense_input_dim=0,
+        dense_fc=(),
+        predict_fc=(200, 80, 2),
+        embedding=EmbeddingConfig(
+            num_tables=16,
+            rows_per_table=2_000_000,
+            embedding_dim=32,
+            lookups_per_table=150,
+        ),
+        pooling=PoolingType.ATTENTION,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.ATTENTION,
+        sla_target_ms=100.0,
+        sequence_length=150,
+        attention_hidden=(36,),
+    )

@@ -1,0 +1,89 @@
+"""Facebook DLRM configurations (DLRM-RMC1, RMC2, RMC3).
+
+The three DLRM variants share the generalised structure — a dense-FC bottom
+stack, many embedding tables with tens of lookups each, sum pooling, concat
+interaction, and a predictor stack — but are sized very differently
+(Table I):
+
+* RMC1: small FC stacks, ≤10 tables × ~80 lookups → embedding-dominated.
+* RMC2: small FC stacks, ≤40 tables × ~80 lookups → embedding-dominated,
+  with a relaxed 400 ms SLA.
+* RMC3: a large 2560-512-32 dense stack, ≤10 tables × ~20 lookups →
+  MLP-dominated.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import (
+    BottleneckClass,
+    EmbeddingConfig,
+    InteractionType,
+    ModelConfig,
+    PoolingType,
+)
+
+
+def dlrm_rmc1_config() -> ModelConfig:
+    """Table I configuration of DLRM-RMC1 (embedding-dominated, 100 ms SLA)."""
+    return ModelConfig(
+        name="dlrm-rmc1",
+        company="Facebook",
+        domain="social-media",
+        dense_input_dim=256,
+        dense_fc=(256, 128, 32),
+        predict_fc=(256, 64, 1),
+        embedding=EmbeddingConfig(
+            num_tables=8,
+            rows_per_table=4_000_000,
+            embedding_dim=32,
+            lookups_per_table=80,
+        ),
+        pooling=PoolingType.SUM,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.EMBEDDING,
+        sla_target_ms=100.0,
+    )
+
+
+def dlrm_rmc2_config() -> ModelConfig:
+    """Table I configuration of DLRM-RMC2 (embedding-dominated, 400 ms SLA)."""
+    return ModelConfig(
+        name="dlrm-rmc2",
+        company="Facebook",
+        domain="social-media",
+        dense_input_dim=256,
+        dense_fc=(256, 128, 32),
+        predict_fc=(512, 128, 1),
+        embedding=EmbeddingConfig(
+            num_tables=32,
+            rows_per_table=4_000_000,
+            embedding_dim=32,
+            lookups_per_table=80,
+        ),
+        pooling=PoolingType.SUM,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.EMBEDDING,
+        sla_target_ms=400.0,
+    )
+
+
+def dlrm_rmc3_config() -> ModelConfig:
+    """Table I configuration of DLRM-RMC3 (MLP-dominated, 100 ms SLA)."""
+    return ModelConfig(
+        name="dlrm-rmc3",
+        company="Facebook",
+        domain="social-media",
+        dense_input_dim=2560,
+        dense_fc=(2560, 512, 32),
+        predict_fc=(512, 128, 1),
+        embedding=EmbeddingConfig(
+            num_tables=10,
+            rows_per_table=1_000_000,
+            embedding_dim=32,
+            lookups_per_table=20,
+        ),
+        pooling=PoolingType.SUM,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.MLP,
+        sla_target_ms=100.0,
+    )

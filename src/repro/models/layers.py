@@ -1,0 +1,246 @@
+"""Executable NumPy layers used by the model zoo's forward passes.
+
+The analytic operators in :mod:`repro.models.ops` drive the performance
+model; the layers here make every model in the zoo *runnable* so that tests
+and examples can exercise real inference (producing click-through-rate
+predictions) rather than stubs.  They are intentionally small, dependency-free
+NumPy implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_positive
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class Linear:
+    """Affine layer ``y = act(x W + b)`` with He-style random initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        rng: SeedLike = None,
+    ) -> None:
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        if activation not in ("relu", "sigmoid", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        generator = derive_rng(rng)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = generator.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.activation = activation
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to a ``(batch, in_features)`` input."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        out = x @ self.weight + self.bias
+        if self.activation == "relu":
+            return relu(out)
+        if self.activation == "sigmoid":
+            return sigmoid(out)
+        return out
+
+
+class MLP:
+    """Stack of :class:`Linear` layers.
+
+    The final layer's activation is configurable (recommendation predictor
+    stacks end in a sigmoid to emit a CTR probability).
+    """
+
+    def __init__(
+        self,
+        layer_dims: Sequence[int],
+        final_activation: str = "none",
+        rng: SeedLike = None,
+    ) -> None:
+        if len(layer_dims) < 2:
+            raise ValueError(f"layer_dims needs >= 2 entries, got {list(layer_dims)}")
+        generator = derive_rng(rng)
+        self.layers: List[Linear] = []
+        last_index = len(layer_dims) - 2
+        for idx in range(len(layer_dims) - 1):
+            activation = "relu" if idx < last_index else final_activation
+            self.layers.append(
+                Linear(layer_dims[idx], layer_dims[idx + 1], activation, generator)
+            )
+
+    @property
+    def input_dim(self) -> int:
+        """Expected feature dimension of the input."""
+        return self.layers[0].in_features
+
+    @property
+    def output_dim(self) -> int:
+        """Feature dimension of the output."""
+        return self.layers[-1].out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply every layer in sequence."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+
+class EmbeddingTable:
+    """One embedding table supporting multi-hot lookups with sum pooling.
+
+    Production tables hold up to billions of rows; for executability the
+    table materialises at most ``materialized_rows`` rows and hashes indices
+    into that range.  The *analytic* storage cost (used by the performance
+    model) still reflects the nominal row count — the hashing only affects the
+    runnable weights.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        embedding_dim: int,
+        materialized_rows: int = 4096,
+        rng: SeedLike = None,
+    ) -> None:
+        check_positive("num_rows", num_rows)
+        check_positive("embedding_dim", embedding_dim)
+        check_positive("materialized_rows", materialized_rows)
+        generator = derive_rng(rng)
+        self.num_rows = int(num_rows)
+        self.embedding_dim = int(embedding_dim)
+        self.materialized_rows = int(min(num_rows, materialized_rows))
+        self.weight = generator.normal(
+            0.0, 0.1, size=(self.materialized_rows, self.embedding_dim)
+        )
+
+    def _map_indices(self, indices: np.ndarray) -> np.ndarray:
+        if np.any(indices < 0) or np.any(indices >= self.num_rows):
+            raise ValueError(
+                f"indices must be in [0, {self.num_rows}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return indices % self.materialized_rows
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Gather rows for ``(batch, lookups)`` indices → ``(batch, lookups, dim)``."""
+        indices = np.asarray(indices)
+        if indices.ndim != 2:
+            raise ValueError(f"indices must be 2-D (batch, lookups), got {indices.shape}")
+        return self.weight[self._map_indices(indices)]
+
+    def pooled_lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Gather and sum-pool rows → ``(batch, dim)``."""
+        return self.lookup(indices).sum(axis=1)
+
+
+class AttentionPooling:
+    """DIN-style local activation unit.
+
+    Scores each history embedding against the candidate embedding with a
+    small MLP over ``[candidate, history, candidate - history,
+    candidate * history]`` and returns the weighted sum of history embeddings.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        hidden_units: Sequence[int] = (36,),
+        rng: SeedLike = None,
+    ) -> None:
+        check_positive("embedding_dim", embedding_dim)
+        generator = derive_rng(rng)
+        self.embedding_dim = int(embedding_dim)
+        dims = [4 * embedding_dim, *hidden_units, 1]
+        self.scorer = MLP(dims, final_activation="none", rng=generator)
+
+    def forward(self, candidate: np.ndarray, history: np.ndarray) -> np.ndarray:
+        """Pool ``history`` ``(batch, seq, dim)`` against ``candidate`` ``(batch, dim)``."""
+        if candidate.ndim != 2 or history.ndim != 3:
+            raise ValueError(
+                "candidate must be (batch, dim) and history (batch, seq, dim), got "
+                f"{candidate.shape} and {history.shape}"
+            )
+        batch, seq_len, dim = history.shape
+        if candidate.shape != (batch, dim) or dim != self.embedding_dim:
+            raise ValueError(
+                f"candidate shape {candidate.shape} incompatible with history {history.shape}"
+            )
+        expanded = np.repeat(candidate[:, None, :], seq_len, axis=1)
+        features = np.concatenate(
+            [expanded, history, expanded - history, expanded * history], axis=2
+        )
+        scores = self.scorer.forward(features.reshape(batch * seq_len, -1))
+        weights = scores.reshape(batch, seq_len, 1)
+        weights = np.exp(weights - weights.max(axis=1, keepdims=True))
+        weights = weights / weights.sum(axis=1, keepdims=True)
+        return (weights * history).sum(axis=1)
+
+
+class GRU:
+    """Minimal gated-recurrent-unit layer unrolled over a sequence."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: SeedLike = None) -> None:
+        check_positive("input_dim", input_dim)
+        check_positive("hidden_dim", hidden_dim)
+        generator = derive_rng(rng)
+        scale = np.sqrt(1.0 / hidden_dim)
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.w_z = generator.normal(0.0, scale, size=(input_dim + hidden_dim, hidden_dim))
+        self.w_r = generator.normal(0.0, scale, size=(input_dim + hidden_dim, hidden_dim))
+        self.w_h = generator.normal(0.0, scale, size=(input_dim + hidden_dim, hidden_dim))
+        self.b_z = np.zeros(hidden_dim)
+        self.b_r = np.zeros(hidden_dim)
+        self.b_h = np.zeros(hidden_dim)
+
+    def step(self, x_t: np.ndarray, h_prev: np.ndarray) -> np.ndarray:
+        """One GRU timestep for ``(batch, input_dim)`` input and previous state."""
+        combined = np.concatenate([x_t, h_prev], axis=1)
+        z = sigmoid(combined @ self.w_z + self.b_z)
+        r = sigmoid(combined @ self.w_r + self.b_r)
+        combined_r = np.concatenate([x_t, r * h_prev], axis=1)
+        h_tilde = np.tanh(combined_r @ self.w_h + self.b_h)
+        return (1.0 - z) * h_prev + z * h_tilde
+
+    def forward(
+        self, sequence: np.ndarray, h0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Run over a ``(batch, seq, input_dim)`` sequence, return final hidden state."""
+        if sequence.ndim != 3 or sequence.shape[2] != self.input_dim:
+            raise ValueError(
+                f"sequence must be (batch, seq, {self.input_dim}), got {sequence.shape}"
+            )
+        batch, seq_len, _ = sequence.shape
+        hidden = h0 if h0 is not None else np.zeros((batch, self.hidden_dim))
+        if hidden.shape != (batch, self.hidden_dim):
+            raise ValueError(
+                f"h0 must be (batch, {self.hidden_dim}), got {hidden.shape}"
+            )
+        for t in range(seq_len):
+            hidden = self.step(sequence[:, t, :], hidden)
+        return hidden

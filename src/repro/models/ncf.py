@@ -1,0 +1,41 @@
+"""Neural Collaborative Filtering (NCF) configuration.
+
+NCF generalises matrix factorisation with MLPs: one-hot user and item
+features feed four embedding tables (two user-side, two item-side), a
+generalised-MF style pooling combines them, and a small predictor stack emits
+the CTR.  There is no dense-feature stack.  Table I lists a 256-256-128
+predictor stack, 4 tables, 1 lookup per table, concat pooling, and Table II a
+5 ms SLA (MLP-dominated).
+"""
+
+from __future__ import annotations
+
+from repro.models.config import (
+    BottleneckClass,
+    EmbeddingConfig,
+    InteractionType,
+    ModelConfig,
+    PoolingType,
+)
+
+
+def ncf_config() -> ModelConfig:
+    """Table I configuration of NCF."""
+    return ModelConfig(
+        name="ncf",
+        company="-",
+        domain="movies",
+        dense_input_dim=0,
+        dense_fc=(),
+        predict_fc=(256, 256, 128, 1),
+        embedding=EmbeddingConfig(
+            num_tables=4,
+            rows_per_table=500_000,
+            embedding_dim=64,
+            lookups_per_table=1,
+        ),
+        pooling=PoolingType.CONCAT,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.MLP,
+        sla_target_ms=5.0,
+    )

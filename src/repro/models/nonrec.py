@@ -1,0 +1,83 @@
+"""Non-recommendation reference workloads for the Fig. 1 roofline.
+
+The paper contrasts the eight recommendation models against a
+compute-intensive CNN (ResNet-50) and a recurrent speech model (DeepSpeech2)
+to show that recommendation sits in the memory-bound, low-operational-
+intensity region of the roofline.  We only need each reference workload's
+FLOPs and DRAM traffic per sample — not a runnable network — so they are
+modelled as :class:`ReferenceWorkload` profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, MB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ReferenceWorkload:
+    """Analytic profile of a non-recommendation DNN.
+
+    Attributes
+    ----------
+    name:
+        Workload name.
+    flops_per_sample:
+        FLOPs of one forward pass for a single input sample.
+    bytes_per_sample:
+        DRAM traffic of one forward pass for a single input sample.
+    """
+
+    name: str
+    flops_per_sample: float
+    bytes_per_sample: float
+
+    def __post_init__(self) -> None:
+        check_positive("flops_per_sample", self.flops_per_sample)
+        check_positive("bytes_per_sample", self.bytes_per_sample)
+
+    def flops(self, batch_size: int) -> float:
+        """Total FLOPs at ``batch_size``."""
+        check_positive("batch_size", batch_size)
+        return self.flops_per_sample * batch_size
+
+    def dram_bytes(self, batch_size: int) -> float:
+        """Total DRAM traffic at ``batch_size``.
+
+        Weight traffic amortises across the batch; activation traffic scales
+        with it.  We assume roughly half of the per-sample traffic is weights.
+        """
+        check_positive("batch_size", batch_size)
+        weight_fraction = 0.5
+        weights = self.bytes_per_sample * weight_fraction
+        activations = self.bytes_per_sample * (1.0 - weight_fraction) * batch_size
+        return weights + activations
+
+    def operational_intensity(self, batch_size: int = 1) -> float:
+        """FLOPs per byte at ``batch_size``."""
+        return self.flops(batch_size) / self.dram_bytes(batch_size)
+
+
+def resnet50() -> ReferenceWorkload:
+    """ResNet-50 image classification: ~4 GFLOPs and ~100 MB traffic per image."""
+    return ReferenceWorkload(
+        name="resnet50",
+        flops_per_sample=4.1e9,
+        bytes_per_sample=100.0 * MB,
+    )
+
+
+def deepspeech2() -> ReferenceWorkload:
+    """DeepSpeech2 speech recognition: recurrent, moderately compute intensive."""
+    return ReferenceWorkload(
+        name="deepspeech2",
+        flops_per_sample=2.4e9,
+        bytes_per_sample=180.0 * MB,
+    )
+
+
+def reference_workloads() -> list:
+    """Both reference workloads used in Fig. 1."""
+    return [resnet50(), deepspeech2()]

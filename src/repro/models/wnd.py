@@ -1,0 +1,64 @@
+"""Wide & Deep (WnD) and Multi-Task Wide & Deep (MT-WnD) configurations.
+
+Google's Play-Store Wide&Deep consumes ~1000-dimensional dense features that
+bypass any dense-FC stack and are concatenated directly with one-hot embedding
+lookups from tens of tables; a large 1024-512-256 predictor stack emits the
+CTR.  MT-WnD (YouTube) replicates the predictor stack N times, one per
+objective (CTR, comment rate, likes, ratings).  Both carry a tens-of-ms SLA
+and are MLP-dominated (Table II uses 25 ms).
+"""
+
+from __future__ import annotations
+
+from repro.models.config import (
+    BottleneckClass,
+    EmbeddingConfig,
+    InteractionType,
+    ModelConfig,
+    PoolingType,
+)
+
+_WND_EMBEDDING = EmbeddingConfig(
+    num_tables=20,
+    rows_per_table=100_000,
+    embedding_dim=32,
+    lookups_per_table=1,
+)
+
+
+def wnd_config() -> ModelConfig:
+    """Table I configuration of Wide&Deep (Google Play Store)."""
+    return ModelConfig(
+        name="wnd",
+        company="Google",
+        domain="play-store",
+        dense_input_dim=1000,
+        dense_fc=(),
+        predict_fc=(1024, 512, 256, 1),
+        embedding=_WND_EMBEDDING,
+        pooling=PoolingType.CONCAT,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.MLP,
+        sla_target_ms=25.0,
+    )
+
+
+def mt_wnd_config(num_tasks: int = 4) -> ModelConfig:
+    """Table I configuration of Multi-Task Wide&Deep (YouTube).
+
+    ``num_tasks`` parallel predictor stacks are evaluated, one per objective.
+    """
+    return ModelConfig(
+        name="mt-wnd",
+        company="YouTube",
+        domain="video",
+        dense_input_dim=1000,
+        dense_fc=(),
+        predict_fc=(1024, 512, 256, 1),
+        num_tasks=num_tasks,
+        embedding=_WND_EMBEDDING,
+        pooling=PoolingType.CONCAT,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.MLP,
+        sla_target_ms=25.0,
+    )

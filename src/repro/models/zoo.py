@@ -1,0 +1,95 @@
+"""Model zoo registry.
+
+Maps zoo keys (``"dlrm-rmc1"``, ``"din"``, …) to their Table I configurations
+and builds runnable :class:`~repro.models.base.RecommendationModel` instances.
+The registry is the single place experiment drivers look up models, so adding
+a new model only requires registering its config factory here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import RecommendationModel
+from repro.models.config import BottleneckClass, ModelConfig
+from repro.models.dien import dien_config
+from repro.models.din import din_config
+from repro.models.dlrm import dlrm_rmc1_config, dlrm_rmc2_config, dlrm_rmc3_config
+from repro.models.ncf import ncf_config
+from repro.models.wnd import mt_wnd_config, wnd_config
+from repro.utils.rng import SeedLike
+
+ConfigFactory = Callable[[], ModelConfig]
+
+_REGISTRY: Dict[str, ConfigFactory] = {
+    "ncf": ncf_config,
+    "wnd": wnd_config,
+    "mt-wnd": mt_wnd_config,
+    "dlrm-rmc1": dlrm_rmc1_config,
+    "dlrm-rmc2": dlrm_rmc2_config,
+    "dlrm-rmc3": dlrm_rmc3_config,
+    "din": din_config,
+    "dien": dien_config,
+}
+
+#: Zoo keys in the order the paper's figures list them.
+MODEL_NAMES: List[str] = [
+    "dlrm-rmc1",
+    "dlrm-rmc2",
+    "dlrm-rmc3",
+    "ncf",
+    "wnd",
+    "mt-wnd",
+    "din",
+    "dien",
+]
+
+
+def available_models() -> List[str]:
+    """All registered zoo keys (paper ordering)."""
+    return list(MODEL_NAMES)
+
+
+def register_model(name: str, factory: ConfigFactory, overwrite: bool = False) -> None:
+    """Register a new model configuration factory under ``name``.
+
+    Raises ``ValueError`` if the name is taken and ``overwrite`` is false.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"model {name!r} is already registered")
+    _REGISTRY[key] = factory
+    if key not in MODEL_NAMES:
+        MODEL_NAMES.append(key)
+
+
+def get_config(name: str) -> ModelConfig:
+    """Return the Table I configuration for ``name``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[key]()
+
+
+def get_model(
+    name: str,
+    rng: SeedLike = None,
+    build_executable: bool = True,
+    materialized_rows: int = 4096,
+) -> RecommendationModel:
+    """Build a runnable model for zoo key ``name``.
+
+    Pass ``build_executable=False`` for analytic-only use (scheduling,
+    latency modelling) to skip weight allocation.
+    """
+    return RecommendationModel(
+        get_config(name),
+        rng=rng,
+        build_executable=build_executable,
+        materialized_rows=materialized_rows,
+    )
+
+
+def models_by_bottleneck(bottleneck: BottleneckClass) -> List[str]:
+    """Zoo keys whose Table II bottleneck class matches ``bottleneck``."""
+    return [name for name in MODEL_NAMES if get_config(name).bottleneck is bottleneck]

@@ -1,0 +1,43 @@
+"""Real-time query serving: arrival processes, size distributions, load generation, traces."""
+
+from repro.queries.arrival import (
+    ArrivalProcess,
+    FixedArrival,
+    PoissonArrival,
+    UniformJitterArrival,
+    get_arrival_process,
+)
+from repro.queries.generator import LoadGenerator
+from repro.queries.query import Query
+from repro.queries.size_dist import (
+    MAX_QUERY_SIZE,
+    FixedQuerySizes,
+    LognormalQuerySizes,
+    NormalQuerySizes,
+    ProductionQuerySizes,
+    QuerySizeDistribution,
+    get_size_distribution,
+    work_share_above_percentile,
+)
+from repro.queries.trace import DiurnalPattern, QueryTrace, generate_diurnal_trace
+
+__all__ = [
+    "ArrivalProcess",
+    "FixedArrival",
+    "PoissonArrival",
+    "UniformJitterArrival",
+    "get_arrival_process",
+    "LoadGenerator",
+    "Query",
+    "MAX_QUERY_SIZE",
+    "FixedQuerySizes",
+    "LognormalQuerySizes",
+    "NormalQuerySizes",
+    "ProductionQuerySizes",
+    "QuerySizeDistribution",
+    "get_size_distribution",
+    "work_share_above_percentile",
+    "DiurnalPattern",
+    "QueryTrace",
+    "generate_diurnal_trace",
+]

@@ -1,0 +1,93 @@
+"""Query inter-arrival-time processes.
+
+The paper profiles production recommendation services and finds query arrival
+rates follow a Poisson process (Section III-C); the load generator therefore
+defaults to Poisson arrivals but also supports fixed-rate and uniform-jitter
+processes, which prior work on web-service load generation commonly assumes —
+the difference matters when sizing queueing headroom.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_positive
+
+
+class ArrivalProcess(ABC):
+    """Generates inter-arrival times for a target average arrival rate."""
+
+    def __init__(self, rate_qps: float) -> None:
+        check_positive("rate_qps", rate_qps)
+        self._rate_qps = float(rate_qps)
+
+    @property
+    def rate_qps(self) -> float:
+        """Average arrival rate in queries per second."""
+        return self._rate_qps
+
+    @property
+    def mean_inter_arrival_s(self) -> float:
+        """Mean gap between consecutive queries, seconds."""
+        return 1.0 / self._rate_qps
+
+    @abstractmethod
+    def inter_arrival_times(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Sample ``count`` inter-arrival gaps (seconds)."""
+
+    def arrival_times(self, count: int, rng: SeedLike = None, start: float = 0.0) -> np.ndarray:
+        """Absolute arrival timestamps of ``count`` queries starting at ``start``."""
+        check_positive("count", count)
+        gaps = self.inter_arrival_times(count, rng)
+        return start + np.cumsum(gaps)
+
+    def with_rate(self, rate_qps: float) -> "ArrivalProcess":
+        """Return a copy of this process at a different average rate."""
+        return type(self)(rate_qps)
+
+
+class PoissonArrival(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival gaps (production default)."""
+
+    def inter_arrival_times(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        check_positive("count", count)
+        generator = derive_rng(rng)
+        return generator.exponential(self.mean_inter_arrival_s, size=count)
+
+
+class FixedArrival(ArrivalProcess):
+    """Perfectly regular arrivals (closed-loop load-test style)."""
+
+    def inter_arrival_times(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        check_positive("count", count)
+        return np.full(count, self.mean_inter_arrival_s)
+
+
+class UniformJitterArrival(ArrivalProcess):
+    """Regular arrivals with +/-50 % uniform jitter around the mean gap."""
+
+    def inter_arrival_times(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        check_positive("count", count)
+        generator = derive_rng(rng)
+        mean = self.mean_inter_arrival_s
+        return generator.uniform(0.5 * mean, 1.5 * mean, size=count)
+
+
+_ARRIVAL_REGISTRY = {
+    "poisson": PoissonArrival,
+    "fixed": FixedArrival,
+    "uniform": UniformJitterArrival,
+}
+
+
+def get_arrival_process(name: str, rate_qps: float) -> ArrivalProcess:
+    """Build a named arrival process (``"poisson"``, ``"fixed"``, ``"uniform"``)."""
+    key = name.lower()
+    if key not in _ARRIVAL_REGISTRY:
+        raise KeyError(
+            f"unknown arrival process {name!r}; available: {sorted(_ARRIVAL_REGISTRY)}"
+        )
+    return _ARRIVAL_REGISTRY[key](rate_qps)

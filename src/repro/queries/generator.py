@@ -1,0 +1,76 @@
+"""Recommendation inference load generator.
+
+Combines an arrival process with a query-size distribution to produce a
+stream of :class:`~repro.queries.query.Query` records, mirroring the load
+generator inside DeepRecInfra (Fig. 8): arrival rate and working-set size are
+configured independently, and both default to the production-representative
+choices (Poisson arrivals, heavy-tail sizes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.queries.arrival import ArrivalProcess, PoissonArrival
+from repro.queries.query import Query
+from repro.queries.size_dist import ProductionQuerySizes, QuerySizeDistribution
+from repro.utils.rng import RngFactory
+from repro.utils.validation import check_positive
+
+
+class LoadGenerator:
+    """Generates reproducible query streams for the serving simulator."""
+
+    def __init__(
+        self,
+        arrival: Optional[ArrivalProcess] = None,
+        sizes: Optional[QuerySizeDistribution] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._arrival = arrival if arrival is not None else PoissonArrival(rate_qps=100.0)
+        self._sizes = sizes if sizes is not None else ProductionQuerySizes()
+        self._rng_factory = RngFactory(seed)
+
+    @property
+    def arrival(self) -> ArrivalProcess:
+        """The configured arrival process."""
+        return self._arrival
+
+    @property
+    def sizes(self) -> QuerySizeDistribution:
+        """The configured query-size distribution."""
+        return self._sizes
+
+    def with_rate(self, rate_qps: float) -> "LoadGenerator":
+        """Return a new generator identical to this one but at a different rate."""
+        check_positive("rate_qps", rate_qps)
+        return LoadGenerator(
+            arrival=self._arrival.with_rate(rate_qps),
+            sizes=self._sizes,
+            seed=self._rng_factory.seed,
+        )
+
+    def generate(self, num_queries: int, start_time: float = 0.0) -> List[Query]:
+        """Generate ``num_queries`` queries starting at ``start_time``."""
+        check_positive("num_queries", num_queries)
+        arrival_rng = self._rng_factory.child("arrivals")
+        size_rng = self._rng_factory.child("sizes")
+        arrival_times = self._arrival.arrival_times(num_queries, arrival_rng, start_time)
+        sizes = self._sizes.sample(num_queries, size_rng)
+        return [
+            Query(query_id=idx, arrival_time=float(t), size=int(size))
+            for idx, (t, size) in enumerate(zip(arrival_times, sizes))
+        ]
+
+    def generate_for_duration(
+        self, duration_s: float, start_time: float = 0.0, max_queries: int = 2_000_000
+    ) -> List[Query]:
+        """Generate queries until ``duration_s`` of simulated time has elapsed."""
+        check_positive("duration_s", duration_s)
+        expected = int(np.ceil(self._arrival.rate_qps * duration_s * 1.25)) + 16
+        expected = min(expected, max_queries)
+        queries = self.generate(expected, start_time)
+        cutoff = start_time + duration_s
+        return [q for q in queries if q.arrival_time <= cutoff]

@@ -1,0 +1,36 @@
+"""Query record produced by the load generator and consumed by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Query:
+    """One recommendation inference query.
+
+    A query asks for the click-through rates of ``size`` candidate items for
+    one user; the serving system may split it into multiple requests and/or
+    offload it to an accelerator, but its latency is measured end to end from
+    ``arrival_time`` until the last of its items has been scored.
+
+    Attributes
+    ----------
+    query_id:
+        Monotonically increasing identifier within a trace.
+    arrival_time:
+        Absolute arrival timestamp in seconds.
+    size:
+        Number of candidate items to score (the "working set size").
+    """
+
+    query_id: int
+    arrival_time: float
+    size: int
+
+    def __post_init__(self) -> None:
+        check_non_negative("query_id", self.query_id)
+        check_non_negative("arrival_time", self.arrival_time)
+        check_positive("size", self.size)

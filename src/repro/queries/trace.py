@@ -1,0 +1,175 @@
+"""Query traces: serialisation and diurnal traffic modulation.
+
+The production study of Fig. 13 runs over 24 hours of live traffic whose
+arrival rate follows the usual diurnal pattern.  :class:`DiurnalPattern`
+modulates a base arrival rate over the day, and :class:`QueryTrace` is a
+serialisable container so traces can be recorded once and replayed across
+experiments (or shared between the datacenter-cluster simulation and
+single-node runs).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.queries.arrival import PoissonArrival
+from repro.queries.query import Query
+from repro.queries.size_dist import ProductionQuerySizes, QuerySizeDistribution
+from repro.utils.rng import RngFactory
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """Sinusoidal day/night arrival-rate modulation.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi*(t/period - phase)))``
+
+    Attributes
+    ----------
+    amplitude:
+        Peak-to-mean swing (0.4 means peak traffic is 40 % above the mean).
+    period_s:
+        Length of one traffic cycle (24 h by default).
+    phase:
+        Fraction of the period by which the peak is shifted.
+    """
+
+    amplitude: float = 0.4
+    period_s: float = 24 * 3600.0
+    phase: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {self.amplitude}")
+        check_positive("period_s", self.period_s)
+
+    def rate_multiplier(self, time_s: float) -> float:
+        """Traffic multiplier (> 0) at absolute time ``time_s``."""
+        check_non_negative("time_s", time_s)
+        angle = 2.0 * math.pi * (time_s / self.period_s - self.phase)
+        return 1.0 + self.amplitude * math.sin(angle)
+
+
+class QueryTrace:
+    """An ordered list of queries with save/load helpers."""
+
+    def __init__(self, queries: Sequence[Query]) -> None:
+        self._queries = sorted(queries, key=lambda q: q.arrival_time)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self):
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self._queries[index]
+
+    @property
+    def queries(self) -> List[Query]:
+        """The queries in arrival order (a copy)."""
+        return list(self._queries)
+
+    @property
+    def duration_s(self) -> float:
+        """Time spanned by the trace."""
+        if not self._queries:
+            return 0.0
+        return self._queries[-1].arrival_time - self._queries[0].arrival_time
+
+    @property
+    def mean_rate_qps(self) -> float:
+        """Average arrival rate over the trace."""
+        if len(self._queries) < 2 or self.duration_s == 0:
+            return 0.0
+        return (len(self._queries) - 1) / self.duration_s
+
+    def total_items(self) -> int:
+        """Sum of query sizes (total inference work in candidate items)."""
+        return sum(q.size for q in self._queries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines (query_id, arrival_time, size)."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for query in self._queries:
+                record = {
+                    "query_id": query.query_id,
+                    "arrival_time": query.arrival_time,
+                    "size": query.size,
+                }
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "QueryTrace":
+        """Read a trace previously written by :meth:`save`."""
+        path = Path(path)
+        queries = []
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                queries.append(
+                    Query(
+                        query_id=int(record["query_id"]),
+                        arrival_time=float(record["arrival_time"]),
+                        size=int(record["size"]),
+                    )
+                )
+        return cls(queries)
+
+
+def generate_diurnal_trace(
+    base_rate_qps: float,
+    duration_s: float,
+    pattern: Optional[DiurnalPattern] = None,
+    sizes: Optional[QuerySizeDistribution] = None,
+    seed: Optional[int] = None,
+    time_step_s: float = 60.0,
+) -> QueryTrace:
+    """Generate a trace whose arrival rate follows a diurnal pattern.
+
+    The duration is split into ``time_step_s`` windows; each window draws
+    Poisson arrivals at the diurnally modulated rate.  Used by the Fig. 13
+    production-cluster experiment.
+    """
+    check_positive("base_rate_qps", base_rate_qps)
+    check_positive("duration_s", duration_s)
+    check_positive("time_step_s", time_step_s)
+    pattern = pattern if pattern is not None else DiurnalPattern()
+    sizes = sizes if sizes is not None else ProductionQuerySizes()
+    factory = RngFactory(seed)
+    arrival_rng = factory.child("diurnal-arrivals")
+    size_rng = factory.child("diurnal-sizes")
+
+    queries: List[Query] = []
+    query_id = 0
+    window_start = 0.0
+    while window_start < duration_s:
+        window = min(time_step_s, duration_s - window_start)
+        rate = base_rate_qps * pattern.rate_multiplier(window_start)
+        expected = rate * window
+        count = int(arrival_rng.poisson(expected))
+        if count > 0:
+            offsets = np.sort(arrival_rng.uniform(0.0, window, size=count))
+            window_sizes = sizes.sample(count, size_rng)
+            for offset, size in zip(offsets, window_sizes):
+                queries.append(
+                    Query(
+                        query_id=query_id,
+                        arrival_time=float(window_start + offset),
+                        size=int(size),
+                    )
+                )
+                query_id += 1
+        window_start += window
+    return QueryTrace(queries)

@@ -1,0 +1,23 @@
+"""At-scale serving: SLA targets, query splitting, event-driven simulation, capacity search."""
+
+from repro.serving.capacity import CapacityResult, estimate_upper_bound_qps, find_max_qps
+from repro.serving.request import Request, num_requests, split_query
+from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.serving.sla import SLATarget, SLATier, TIER_MULTIPLIERS, sla_target, sla_targets
+
+__all__ = [
+    "CapacityResult",
+    "estimate_upper_bound_qps",
+    "find_max_qps",
+    "Request",
+    "num_requests",
+    "split_query",
+    "ServingConfig",
+    "ServingSimulator",
+    "SimulationResult",
+    "SLATarget",
+    "SLATier",
+    "TIER_MULTIPLIERS",
+    "sla_target",
+    "sla_targets",
+]

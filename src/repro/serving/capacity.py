@@ -1,0 +1,165 @@
+"""Latency-bounded capacity search.
+
+The paper's throughput metric is the largest sustainable query arrival rate
+(QPS) whose measured p95 latency stays within the SLA target.
+:func:`find_max_qps` estimates an upper bound from the engines' raw
+throughput, then bisects over the offered load, running the serving simulator
+at each candidate rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.execution.engine import EnginePair
+from repro.queries.generator import LoadGenerator
+from repro.queries.size_dist import QuerySizeDistribution
+from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Outcome of one capacity search."""
+
+    max_qps: float
+    sla_latency_s: float
+    result: Optional[SimulationResult]
+
+    @property
+    def feasible(self) -> bool:
+        """False when even a near-zero load violates the SLA."""
+        return self.result is not None
+
+
+def estimate_upper_bound_qps(
+    engines: EnginePair,
+    config: ServingConfig,
+    mean_query_size: float,
+    large_query_fraction: float = 0.0,
+    mean_large_query_size: float = 0.0,
+) -> float:
+    """Optimistic throughput bound used to bracket the bisection search.
+
+    The CPU bound assumes all cores stay busy at the configured batch size;
+    the accelerator bound (when offloading is enabled) assumes it continuously
+    processes queries of the average offloaded size.
+    """
+    check_positive("mean_query_size", mean_query_size)
+    cores = config.num_cores if config.num_cores else engines.cpu.platform.num_cores
+    batch = config.batch_size
+    core_items_per_s = batch / engines.cpu.request_latency_s(batch, cores)
+    cpu_items_per_s = cores * core_items_per_s
+
+    gpu_items_per_s = 0.0
+    if (
+        config.offload_threshold is not None
+        and engines.has_accelerator
+        and large_query_fraction > 0.0
+        and mean_large_query_size > 0.0
+    ):
+        gpu_items_per_s = mean_large_query_size / engines.gpu.query_latency_s(
+            int(mean_large_query_size)
+        )
+
+    total_items_per_s = cpu_items_per_s + gpu_items_per_s
+    return total_items_per_s / mean_query_size
+
+
+def measurement_queries(
+    rate_qps: float,
+    sla_latency_s: float,
+    min_queries: int,
+    max_queries: int,
+    sla_window_factor: float = 5.0,
+) -> int:
+    """Number of queries needed for a trustworthy tail-latency measurement.
+
+    The arrival window must span several SLA periods, otherwise an overloaded
+    configuration's queue does not have time to grow past the target and the
+    run looks (wrongly) healthy.  The count is clamped so that the very high
+    QPS operating points of embedding-dominated models stay affordable to
+    simulate.
+    """
+    check_positive("rate_qps", rate_qps)
+    needed = int(rate_qps * sla_window_factor * sla_latency_s)
+    return max(min_queries, min(max_queries, needed))
+
+
+def find_max_qps(
+    engines: EnginePair,
+    config: ServingConfig,
+    sla_latency_s: float,
+    load_generator: LoadGenerator,
+    num_queries: int = 800,
+    iterations: int = 7,
+    headroom: float = 1.3,
+    max_queries: int = 8000,
+) -> CapacityResult:
+    """Bisection search for the maximum QPS meeting the p95 SLA.
+
+    ``load_generator`` provides the arrival process and query-size
+    distribution; its configured rate is ignored (the search sets the rate).
+    A rate only counts as sustainable when the run both meets the p95 target
+    and shows no sign of an unbounded backlog (``SimulationResult.acceptable``).
+    Returns max_qps=0 and result=None when the SLA cannot be met at any load
+    (e.g. a single large query already exceeds the target).
+    """
+    check_positive("sla_latency_s", sla_latency_s)
+    check_positive("num_queries", num_queries)
+    check_positive("iterations", iterations)
+
+    sizes: QuerySizeDistribution = load_generator.sizes
+    mean_size = sizes.mean()
+    threshold = config.offload_threshold
+    large_fraction = 0.0
+    mean_large = 0.0
+    if threshold is not None:
+        samples = sizes.sample(4000, rng=11)
+        above = samples[samples > threshold]
+        large_fraction = len(above) / len(samples)
+        mean_large = float(above.mean()) if len(above) else 0.0
+
+    upper = headroom * estimate_upper_bound_qps(
+        engines, config, mean_size, large_fraction, mean_large
+    )
+    simulator = ServingSimulator(engines, config)
+
+    def evaluate(rate_qps: float) -> SimulationResult:
+        generator = load_generator.with_rate(rate_qps)
+        count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
+        return simulator.run(generator.generate(count))
+
+    # Make sure the bracket actually contains the SLA boundary: if the upper
+    # bound still meets the SLA, raise it.
+    for _ in range(3):
+        at_upper = evaluate(upper)
+        if not at_upper.acceptable(sla_latency_s):
+            break
+        upper *= 1.6
+    else:
+        return CapacityResult(max_qps=upper, sla_latency_s=sla_latency_s, result=at_upper)
+
+    lower = upper / 64.0
+    at_lower = evaluate(lower)
+    if not at_lower.acceptable(sla_latency_s):
+        # Even a lightly loaded system misses the target: check near-zero load.
+        trickle = max(lower / 16.0, 1e-3)
+        at_trickle = evaluate(trickle)
+        if not at_trickle.acceptable(sla_latency_s):
+            return CapacityResult(max_qps=0.0, sla_latency_s=sla_latency_s, result=None)
+        lower, at_lower = trickle, at_trickle
+
+    best_rate, best_result = lower, at_lower
+    for _ in range(iterations):
+        middle = 0.5 * (lower + upper)
+        outcome = evaluate(middle)
+        if outcome.acceptable(sla_latency_s):
+            lower = middle
+            best_rate, best_result = middle, outcome
+        else:
+            upper = middle
+    return CapacityResult(
+        max_qps=best_rate, sla_latency_s=sla_latency_s, result=best_result
+    )

@@ -1,0 +1,65 @@
+"""Query-to-request splitting.
+
+DeepRecSched's first optimisation knob is the per-request batch size: a query
+of N candidate items is split into ``ceil(N / batch_size)`` requests that are
+processed by parallel cores, trading batch-level parallelism (SIMD and DRAM
+efficiency within a request) against request-level parallelism (more cores
+working on the same query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.queries.query import Query
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work dispatched to a single CPU core.
+
+    Attributes
+    ----------
+    query_id:
+        The query this request belongs to.
+    batch_size:
+        Number of candidate items this request scores.
+    index:
+        Position of this request within its query's request list.
+    """
+
+    query_id: int
+    batch_size: int
+    index: int
+
+    def __post_init__(self) -> None:
+        check_positive("batch_size", self.batch_size)
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+
+
+def split_query(query: Query, batch_size: int) -> List[Request]:
+    """Split ``query`` into requests of at most ``batch_size`` items.
+
+    The final request carries the remainder, so the sum of request batch
+    sizes always equals the query size.
+    """
+    check_positive("batch_size", batch_size)
+    requests: List[Request] = []
+    remaining = query.size
+    index = 0
+    while remaining > 0:
+        size = min(batch_size, remaining)
+        requests.append(Request(query_id=query.query_id, batch_size=size, index=index))
+        remaining -= size
+        index += 1
+    return requests
+
+
+def num_requests(query_size: int, batch_size: int) -> int:
+    """Number of requests a query of ``query_size`` items produces."""
+    check_positive("query_size", query_size)
+    check_positive("batch_size", batch_size)
+    return -(-query_size // batch_size)

@@ -1,0 +1,294 @@
+"""Discrete-event simulation of an at-scale recommendation inference server.
+
+One simulated server consists of ``num_cores`` CPU worker cores sharing a FIFO
+request queue, plus an optional accelerator with its own FIFO query queue.
+Incoming queries are handled exactly the way DeepRecSched schedules them
+(Fig. 8):
+
+* if an accelerator is attached and the query's size exceeds the configured
+  *query-size threshold*, the whole query is placed on the accelerator queue;
+* otherwise the query is split into requests of at most *batch_size* items,
+  which are executed by parallel CPU cores.
+
+A query completes when all of its requests (or its accelerator execution)
+finish; its latency is measured from arrival to last completion.  The
+simulator reports tail latency percentiles, achieved throughput, device
+utilisation, and the fraction of work processed by the accelerator — the
+quantities the paper's evaluation figures are built from.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.execution.engine import EnginePair
+from repro.queries.query import Query
+from repro.serving.request import split_query
+from repro.utils.stats import PercentileTracker
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Scheduling configuration of one simulated server.
+
+    Attributes
+    ----------
+    batch_size:
+        Maximum items per CPU request (DeepRecSched knob #1).
+    num_cores:
+        CPU worker cores; 0 means "all cores of the platform".
+    offload_threshold:
+        Query-size threshold above which whole queries are offloaded to the
+        accelerator (DeepRecSched knob #2).  ``None`` disables offloading even
+        if an accelerator engine is attached.
+    warmup_fraction:
+        Fraction of queries (by arrival order) excluded from latency
+        statistics to remove the queue ramp-up transient.
+    """
+
+    batch_size: int
+    num_cores: int = 0
+    offload_threshold: Optional[int] = None
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("batch_size", self.batch_size)
+        if self.num_cores < 0:
+            raise ValueError(f"num_cores must be >= 0, got {self.num_cores}")
+        if self.offload_threshold is not None:
+            check_positive("offload_threshold", self.offload_threshold)
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Measurements from one simulated serving run."""
+
+    config: ServingConfig
+    num_queries: int
+    measured_queries: int
+    duration_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    achieved_qps: float
+    offered_qps: float
+    cpu_utilization: float
+    gpu_utilization: float
+    gpu_work_fraction: float
+    p95_late_window_s: float = 0.0
+    drain_s: float = 0.0
+    arrival_span_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list, repr=False)
+
+    def meets_sla(self, sla_latency_s: float) -> bool:
+        """True when the measured p95 is within the target."""
+        return self.p95_latency_s <= sla_latency_s
+
+    def is_stable(self, sla_latency_s: float) -> bool:
+        """True when the run shows no sign of an unbounded backlog.
+
+        Two symptoms of an overloaded (unstable) configuration are checked:
+        the tail latency of the *late* half of the run (a growing queue makes
+        later queries strictly worse), and the time needed to drain the
+        backlog after the last arrival.
+        """
+        drain_budget = max(2.0 * sla_latency_s, 0.25 * self.arrival_span_s)
+        return (
+            self.p95_late_window_s <= sla_latency_s and self.drain_s <= drain_budget
+        )
+
+    def acceptable(self, sla_latency_s: float) -> bool:
+        """SLA met *and* the system is stable — the capacity-search criterion."""
+        return self.meets_sla(sla_latency_s) and self.is_stable(sla_latency_s)
+
+
+# Event kinds, ordered so that completions at time t are processed before
+# arrivals at the same instant (frees cores first).
+_EVT_CPU_DONE = 0
+_EVT_GPU_DONE = 1
+_EVT_ARRIVAL = 2
+
+
+@dataclass
+class _QueryState:
+    query: Query
+    outstanding_requests: int
+    on_gpu: bool
+
+
+class ServingSimulator:
+    """Event-driven simulator for one inference server."""
+
+    def __init__(self, engines: EnginePair, config: ServingConfig) -> None:
+        self._engines = engines
+        platform_cores = engines.cpu.platform.num_cores
+        cores = config.num_cores if config.num_cores else platform_cores
+        if cores > platform_cores:
+            raise ValueError(
+                f"num_cores={cores} exceeds platform core count {platform_cores}"
+            )
+        self._num_cores = cores
+        self._config = config
+        if config.offload_threshold is not None and not engines.has_accelerator:
+            raise ValueError(
+                "offload_threshold set but the engine pair has no accelerator"
+            )
+
+    @property
+    def config(self) -> ServingConfig:
+        """The scheduling configuration being simulated."""
+        return self._config
+
+    @property
+    def num_cores(self) -> int:
+        """Number of CPU worker cores simulated."""
+        return self._num_cores
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, queries: Sequence[Query]) -> SimulationResult:
+        """Simulate serving ``queries`` and return aggregate measurements."""
+        if not queries:
+            raise ValueError("cannot simulate an empty query stream")
+        config = self._config
+        cpu_engine = self._engines.cpu
+        gpu_engine = self._engines.gpu
+        threshold = config.offload_threshold
+
+        ordered = sorted(queries, key=lambda q: q.arrival_time)
+        warmup_count = int(len(ordered) * config.warmup_fraction)
+        warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+
+        counter = itertools.count()
+        events: List[tuple] = []
+        for query in ordered:
+            heapq.heappush(
+                events, (query.arrival_time, _EVT_ARRIVAL, next(counter), query)
+            )
+
+        cpu_queue: List = []  # FIFO of (query_id, request_batch)
+        gpu_queue: List[int] = []  # FIFO of query ids
+        states: Dict[int, _QueryState] = {}
+        busy_cores = 0
+        gpu_busy = False
+
+        cpu_busy_time = 0.0
+        gpu_busy_time = 0.0
+        total_items = 0
+        gpu_items = 0
+
+        tracker = PercentileTracker()
+        completion_times: Dict[int, float] = {}
+        first_arrival = ordered[0].arrival_time
+        last_completion = first_arrival
+        now = first_arrival
+
+        def dispatch_cpu(current_time: float) -> None:
+            nonlocal busy_cores, cpu_busy_time
+            while cpu_queue and busy_cores < self._num_cores:
+                query_id, request_batch = cpu_queue.pop(0)
+                busy_cores += 1
+                service = cpu_engine.request_latency_s(request_batch, busy_cores)
+                cpu_busy_time += service
+                heapq.heappush(
+                    events,
+                    (current_time + service, _EVT_CPU_DONE, next(counter), query_id),
+                )
+
+        def dispatch_gpu(current_time: float) -> None:
+            nonlocal gpu_busy, gpu_busy_time
+            if gpu_busy or not gpu_queue:
+                return
+            query_id = gpu_queue.pop(0)
+            gpu_busy = True
+            service = gpu_engine.query_latency_s(states[query_id].query.size)
+            gpu_busy_time += service
+            heapq.heappush(
+                events, (current_time + service, _EVT_GPU_DONE, next(counter), query_id)
+            )
+
+        def complete_query(query_id: int, current_time: float) -> None:
+            nonlocal last_completion
+            state = states[query_id]
+            latency = current_time - state.query.arrival_time
+            completion_times[query_id] = current_time
+            last_completion = max(last_completion, current_time)
+            if query_id not in warmup_ids:
+                tracker.add(latency)
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _EVT_ARRIVAL:
+                query: Query = payload
+                total_items += query.size
+                offload = (
+                    threshold is not None
+                    and gpu_engine is not None
+                    and query.size > threshold
+                )
+                if offload:
+                    states[query.query_id] = _QueryState(query, 0, True)
+                    gpu_items += query.size
+                    gpu_queue.append(query.query_id)
+                    dispatch_gpu(now)
+                else:
+                    requests = split_query(query, config.batch_size)
+                    states[query.query_id] = _QueryState(query, len(requests), False)
+                    for request in requests:
+                        cpu_queue.append((query.query_id, request.batch_size))
+                    dispatch_cpu(now)
+            elif kind == _EVT_CPU_DONE:
+                query_id = payload
+                busy_cores -= 1
+                state = states[query_id]
+                state.outstanding_requests -= 1
+                if state.outstanding_requests == 0:
+                    complete_query(query_id, now)
+                dispatch_cpu(now)
+            else:  # _EVT_GPU_DONE
+                query_id = payload
+                gpu_busy = False
+                complete_query(query_id, now)
+                dispatch_gpu(now)
+
+        duration = max(last_completion - first_arrival, 1e-9)
+        offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
+        measured = tracker.count
+        if measured == 0:
+            raise ValueError(
+                "no queries outside the warmup window; lower warmup_fraction or "
+                "send more queries"
+            )
+        samples = tracker.samples()
+        late_window = samples[len(samples) // 2 :]
+        late_p95 = float(np.percentile(late_window, 95)) if late_window else 0.0
+        return SimulationResult(
+            config=config,
+            num_queries=len(ordered),
+            measured_queries=measured,
+            duration_s=duration,
+            p50_latency_s=tracker.p50(),
+            p95_latency_s=tracker.p95(),
+            p99_latency_s=tracker.p99(),
+            mean_latency_s=tracker.mean(),
+            achieved_qps=len(ordered) / duration,
+            offered_qps=len(ordered) / offered_duration,
+            cpu_utilization=min(1.0, cpu_busy_time / (self._num_cores * duration)),
+            gpu_utilization=min(1.0, gpu_busy_time / duration),
+            gpu_work_fraction=(gpu_items / total_items) if total_items else 0.0,
+            p95_late_window_s=late_p95,
+            drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
+            arrival_span_s=offered_duration,
+            latencies_s=samples,
+        )

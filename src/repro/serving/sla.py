@@ -1,0 +1,72 @@
+"""Service-level-agreement (SLA) tail-latency targets (Table II).
+
+Each recommendation use case publishes a p95 tail-latency target; the paper
+evaluates every model at three targets — Low, Medium, High — where Low and
+High are 50 % below and above the published Medium target respectively
+(Section V).  Throughput (QPS) is always reported *under* the active target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Union
+
+from repro.models.config import ModelConfig
+from repro.models.zoo import get_config
+from repro.utils.validation import check_positive
+
+
+class SLATier(str, Enum):
+    """The three evaluation tiers derived from the published target."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+#: Multipliers applied to the published (medium) target for each tier.
+TIER_MULTIPLIERS: Dict[SLATier, float] = {
+    SLATier.LOW: 0.5,
+    SLATier.MEDIUM: 1.0,
+    SLATier.HIGH: 1.5,
+}
+
+
+@dataclass(frozen=True)
+class SLATarget:
+    """A concrete p95 latency target for one model at one tier."""
+
+    model_name: str
+    tier: SLATier
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        check_positive("latency_s", self.latency_s)
+
+    @property
+    def latency_ms(self) -> float:
+        """Target in milliseconds (the unit Table II uses)."""
+        return self.latency_s * 1e3
+
+
+def _resolve_config(model: Union[str, ModelConfig]) -> ModelConfig:
+    if isinstance(model, ModelConfig):
+        return model
+    return get_config(model)
+
+
+def sla_target(model: Union[str, ModelConfig], tier: SLATier = SLATier.MEDIUM) -> SLATarget:
+    """The p95 target for ``model`` at ``tier``."""
+    config = _resolve_config(model)
+    multiplier = TIER_MULTIPLIERS[SLATier(tier)]
+    return SLATarget(
+        model_name=config.name,
+        tier=SLATier(tier),
+        latency_s=config.sla_target_s * multiplier,
+    )
+
+
+def sla_targets(model: Union[str, ModelConfig]) -> Dict[SLATier, SLATarget]:
+    """All three tier targets for ``model``."""
+    return {tier: sla_target(model, tier) for tier in SLATier}

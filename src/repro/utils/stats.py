@@ -1,0 +1,201 @@
+"""Statistics helpers: percentiles, streaming moments, CDF comparison.
+
+The serving simulator measures p95/p99 tail latency over tens of thousands of
+queries; ``PercentileTracker`` keeps the raw samples (latencies are small
+floats, so this is cheap) and computes arbitrary percentiles on demand.
+``StreamingStats`` keeps constant-space running moments for counters that do
+not need percentiles (e.g. per-core busy time).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Return the ``pct``-th percentile (0-100) of ``samples``.
+
+    Uses linear interpolation, matching ``numpy.percentile`` defaults.  Raises
+    ``ValueError`` on an empty sample set because a tail-latency statistic over
+    zero queries is meaningless (silently returning 0 would hide load-generator
+    bugs).
+    """
+    if len(samples) == 0:
+        raise ValueError("cannot take a percentile of an empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    return float(np.percentile(np.asarray(samples, dtype=float), pct))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Return the geometric mean of strictly positive ``values``.
+
+    The paper reports speedups aggregated across the eight models as a
+    geometric mean (Fig. 11 "GeoMean" column).
+    """
+    if len(values) == 0:
+        raise ValueError("cannot take a geometric mean of an empty sequence")
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def cdf_points(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)`` for plotting a CDF."""
+    if len(samples) == 0:
+        raise ValueError("cannot build a CDF from an empty sample set")
+    values = np.sort(np.asarray(samples, dtype=float))
+    probs = np.arange(1, len(values) + 1) / len(values)
+    return values, probs
+
+
+def max_relative_cdf_gap(
+    reference: Sequence[float],
+    other: Sequence[float],
+    percentiles: Iterable[float] = (50, 75, 90, 95, 99),
+) -> float:
+    """Return the maximum relative gap between two latency distributions.
+
+    Used for the Fig. 7 claim that a handful of nodes track the datacenter-wide
+    latency distribution to within ~10 %: the gap is measured at a set of
+    percentiles and normalised by the reference value.
+    """
+    gaps = []
+    for pct in percentiles:
+        ref = percentile(reference, pct)
+        oth = percentile(other, pct)
+        if ref == 0:
+            continue
+        gaps.append(abs(oth - ref) / abs(ref))
+    if not gaps:
+        return 0.0
+    return max(gaps)
+
+
+class PercentileTracker:
+    """Collects latency samples and reports percentiles.
+
+    Parameters
+    ----------
+    warmup:
+        Number of initial samples to discard before statistics are computed.
+        The serving simulator uses this to exclude the queue ramp-up transient.
+    """
+
+    def __init__(self, warmup: int = 0) -> None:
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self._warmup = warmup
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded after the warmup window."""
+        return max(0, len(self._samples) - self._warmup)
+
+    @property
+    def raw_count(self) -> int:
+        """Total number of samples recorded, including warmup."""
+        return len(self._samples)
+
+    def samples(self) -> List[float]:
+        """Return post-warmup samples (a copy)."""
+        return list(self._samples[self._warmup :])
+
+    def percentile(self, pct: float) -> float:
+        """Return the ``pct``-th percentile of post-warmup samples."""
+        return percentile(self._samples[self._warmup :], pct)
+
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50)
+
+    def p95(self) -> float:
+        """95th-percentile latency (the paper's SLA metric)."""
+        return self.percentile(95)
+
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99)
+
+    def mean(self) -> float:
+        """Mean of post-warmup samples."""
+        post = self._samples[self._warmup :]
+        if not post:
+            raise ValueError("no samples recorded after warmup")
+        return float(np.mean(post))
+
+
+class StreamingStats:
+    """Constant-space running count/mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 with fewer than two samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen; raises if empty."""
+        if not self._count:
+            raise ValueError("no samples recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen; raises if empty."""
+        if not self._count:
+            raise ValueError("no samples recorded")
+        return self._max
+
+    @property
+    def total(self) -> float:
+        """Sum of samples."""
+        return self._mean * self._count

@@ -1,0 +1,54 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment drivers print the same rows/series the paper's tables and
+figures report; ``format_table`` renders them as aligned monospace tables so
+bench output is readable in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def _render_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_fmt: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    Raises ``ValueError`` if any row length differs from the header length.
+    """
+    header_cells = [str(h) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_render_cell(value, float_fmt) for value in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        rendered_rows.append(cells)
+
+    widths = [len(cell) for cell in header_cells]
+    for cells in rendered_rows:
+        for idx, cell in enumerate(cells):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(header_cells))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(cells) for cells in rendered_rows)
+    return "\n".join(lines)

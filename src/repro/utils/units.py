@@ -1,0 +1,52 @@
+"""Unit constants and conversion helpers.
+
+All internal quantities in the library use SI base units: seconds for time,
+bytes for storage, FLOPs for compute work.  These helpers exist so that
+experiment drivers and reports can speak in the units the paper uses
+(milliseconds, GB, GFLOP/s) without sprinkling magic constants.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+GIGA: float = 1e9
+MEGA: float = 1e6
+KILO: float = 1e3
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * 1e-3
+
+
+def us_to_s(microseconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return microseconds * 1e-6
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return num_bytes / MB
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert bytes to gibibytes."""
+    return num_bytes / GB
+
+
+def flops_to_gflops(flops: float) -> float:
+    """Convert FLOPs to GFLOPs."""
+    return flops / GIGA

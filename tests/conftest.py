@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.execution.engine import EnginePair, build_cpu_engine, build_engine_pair
+from repro.queries.generator import LoadGenerator
+from repro.queries.size_dist import FixedQuerySizes
+
+
+@pytest.fixture(scope="session")
+def rmc1_engines() -> EnginePair:
+    """CPU+GPU engine pair for DLRM-RMC1 on Skylake (analytic only)."""
+    return build_engine_pair("dlrm-rmc1", "skylake", "gtx1080ti")
+
+
+@pytest.fixture(scope="session")
+def rmc1_cpu_only() -> EnginePair:
+    """CPU-only engine pair for DLRM-RMC1 on Skylake."""
+    return build_engine_pair("dlrm-rmc1", "skylake", None)
+
+
+@pytest.fixture(scope="session")
+def ncf_engine():
+    """CPU engine for NCF on Broadwell (cheap, MLP-dominated)."""
+    return build_cpu_engine("ncf", "broadwell")
+
+
+@pytest.fixture()
+def small_load_generator() -> LoadGenerator:
+    """Deterministic load generator with the production size distribution."""
+    return LoadGenerator(seed=123)
+
+
+@pytest.fixture()
+def fixed_size_generator() -> LoadGenerator:
+    """Load generator producing fixed-size (64-item) queries."""
+    return LoadGenerator(sizes=FixedQuerySizes(64), seed=123)

@@ -1,0 +1,104 @@
+"""Tests for the hill-climbing optimiser and the static baseline."""
+
+import pytest
+
+from repro.core.hill_climber import hill_climb, power_of_two_candidates
+from repro.core.static_scheduler import StaticSchedulerPolicy, static_batch_size
+from repro.hardware.cpu import broadwell, skylake
+
+
+class TestHillClimb:
+    def test_finds_peak_of_unimodal_function(self):
+        candidates = [1, 2, 4, 8, 16, 32, 64]
+        result = hill_climb(candidates, lambda x: -(x - 16) ** 2, patience=2)
+        assert result.best_candidate == 16
+
+    def test_stops_after_patience_exceeded(self):
+        calls = []
+
+        def objective(x):
+            calls.append(x)
+            return 100.0 - x  # Strictly decreasing: best is the first candidate.
+
+        result = hill_climb([1, 2, 3, 4, 5, 6], objective, patience=2)
+        assert result.best_candidate == 1
+        assert calls == [1, 2, 3]
+
+    def test_patience_one_stops_at_first_degradation(self):
+        values = {1: 5.0, 2: 10.0, 4: 8.0, 8: 20.0}
+        result = hill_climb([1, 2, 4, 8], lambda x: values[x], patience=1)
+        assert result.best_candidate == 2
+        assert result.num_evaluations == 3
+
+    def test_does_not_stop_while_infeasible(self):
+        # Zero-valued (infeasible) prefix must not exhaust the patience budget.
+        values = {1: 0.0, 2: 0.0, 4: 0.0, 8: 0.0, 16: 5.0, 32: 7.0, 64: 6.0}
+        result = hill_climb(sorted(values), lambda x: values[x], patience=2)
+        assert result.best_candidate == 32
+
+    def test_monotonically_increasing_explores_everything(self):
+        candidates = [1, 2, 3, 4, 5]
+        result = hill_climb(candidates, lambda x: float(x), patience=1)
+        assert result.best_candidate == 5
+        assert result.num_evaluations == 5
+
+    def test_relative_tolerance_ignores_noise(self):
+        values = {1: 100.0, 2: 100.5, 4: 100.8, 8: 100.2}
+        result = hill_climb(
+            [1, 2, 4, 8], lambda x: values[x], patience=1, relative_tolerance=0.05
+        )
+        assert result.best_candidate == 1
+
+    def test_evaluations_recorded_in_order(self):
+        result = hill_climb([1, 2, 4], lambda x: float(x), patience=2)
+        assert [candidate for candidate, _ in result.evaluations] == [1, 2, 4]
+        assert result.as_dict()[4] == 4.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            hill_climb([], lambda x: x)
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            hill_climb([1], lambda x: x, patience=0)
+
+
+class TestPowerOfTwoCandidates:
+    def test_includes_bounds(self):
+        assert power_of_two_candidates(1, 1000) == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1000]
+
+    def test_exact_power_bounds(self):
+        assert power_of_two_candidates(4, 64) == [4, 8, 16, 32, 64]
+
+    def test_non_power_minimum(self):
+        candidates = power_of_two_candidates(3, 20)
+        assert candidates[0] == 3
+        assert candidates[-1] == 20
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            power_of_two_candidates(10, 5)
+
+
+class TestStaticScheduler:
+    def test_skylake_baseline_batch_is_25(self):
+        assert static_batch_size(skylake()) == 25
+
+    def test_broadwell_baseline_batch(self):
+        assert static_batch_size(broadwell()) == 36
+
+    def test_custom_max_query_size(self):
+        policy = StaticSchedulerPolicy(max_query_size=400)
+        assert policy.batch_size(skylake()) == 10
+
+    def test_serving_config_has_no_offload(self):
+        config = StaticSchedulerPolicy().serving_config(skylake())
+        assert config.offload_threshold is None
+        assert config.batch_size == 25
+
+    def test_explicit_core_count(self):
+        assert StaticSchedulerPolicy().batch_size(skylake(), num_cores=10) == 100
+
+    def test_invalid_max_query_size(self):
+        with pytest.raises(ValueError):
+            StaticSchedulerPolicy(max_query_size=0)

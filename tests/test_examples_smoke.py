@@ -1,0 +1,63 @@
+"""Smoke tests that the runnable examples execute end to end.
+
+The examples are part of the public deliverable; these tests import each one
+as a module and call its entry points with reduced workloads where possible,
+catching API drift between the library and the examples.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing __main__."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "sla_sweep.py",
+            "accelerator_offload.py",
+            "production_fleet.py",
+        ],
+    )
+    def test_example_imports_cleanly(self, name):
+        module = load_example(name)
+        assert module.__doc__
+
+
+class TestQuickstartFunctions:
+    def test_run_inference(self, capsys):
+        quickstart = load_example("quickstart.py")
+        quickstart.run_inference()
+        output = capsys.readouterr().out
+        assert "click-through-rate" in output
+
+    def test_inspect_performance(self, capsys):
+        quickstart = load_example("quickstart.py")
+        quickstart.inspect_performance()
+        output = capsys.readouterr().out
+        assert "embedding" in output
+        assert "memory-bound" in output
+
+
+class TestAcceleratorOffloadStudy:
+    def test_study_runs_for_small_model(self, capsys):
+        example = load_example("accelerator_offload.py")
+        example.study("ncf", batch_size=128)
+        output = capsys.readouterr().out
+        assert "cpu-only" in output
+        assert "qps-per-watt" in output

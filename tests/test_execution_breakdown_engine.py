@@ -1,0 +1,82 @@
+"""Tests for the operator breakdown helper and engine builders."""
+
+import pytest
+
+from repro.execution.breakdown import compute_breakdown
+from repro.execution.engine import (
+    build_cpu_engine,
+    build_engine_pair,
+    build_gpu_engine,
+)
+from repro.hardware.cpu import skylake
+from repro.models.ops import OperatorCategory
+from repro.models.zoo import get_model
+
+
+class TestComputeBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = compute_breakdown(build_cpu_engine("dlrm-rmc1", "broadwell"), 64)
+        assert sum(breakdown.fractions.values()) == pytest.approx(1.0)
+
+    def test_dominant_category_consistency(self):
+        breakdown = compute_breakdown(build_cpu_engine("dlrm-rmc2", "broadwell"), 64)
+        assert breakdown.dominant_category is OperatorCategory.EMBEDDING
+        assert breakdown.embedding_fraction == breakdown.fraction(OperatorCategory.EMBEDDING)
+
+    def test_table2_classification_embedding_models(self):
+        for name in ("dlrm-rmc1", "dlrm-rmc2"):
+            breakdown = compute_breakdown(build_cpu_engine(name, "broadwell"), 64)
+            assert breakdown.embedding_fraction > 0.5
+
+    def test_table2_classification_mlp_models(self):
+        for name in ("dlrm-rmc3", "ncf", "wnd", "mt-wnd"):
+            breakdown = compute_breakdown(build_cpu_engine(name, "broadwell"), 64)
+            assert breakdown.dnn_fraction > 0.5
+
+    def test_table2_classification_attention_models(self):
+        din = compute_breakdown(build_cpu_engine("din", "broadwell"), 64)
+        dien = compute_breakdown(build_cpu_engine("dien", "broadwell"), 64)
+        # DIN splits between embedding and attention; DIEN is GRU-dominated.
+        assert din.attention_fraction + din.embedding_fraction > 0.7
+        assert dien.attention_fraction > 0.4
+
+    def test_missing_category_fraction_zero(self):
+        breakdown = compute_breakdown(build_cpu_engine("ncf", "broadwell"), 64)
+        assert breakdown.fraction(OperatorCategory.RECURRENT) == 0.0
+
+    def test_metadata_fields(self):
+        breakdown = compute_breakdown(build_cpu_engine("ncf", "broadwell"), 32)
+        assert breakdown.model_name == "ncf"
+        assert breakdown.batch_size == 32
+        assert breakdown.total_latency_s > 0
+
+
+class TestEngineBuilders:
+    def test_build_cpu_engine_from_name(self):
+        engine = build_cpu_engine("ncf", "skylake")
+        assert engine.platform.name == "skylake"
+        assert engine.model.name == "ncf"
+
+    def test_build_cpu_engine_from_objects(self):
+        model = get_model("ncf", build_executable=False)
+        engine = build_cpu_engine(model, skylake())
+        assert engine.model is model
+
+    def test_build_gpu_engine(self):
+        engine = build_gpu_engine("wnd")
+        assert engine.platform.name == "gtx1080ti"
+
+    def test_engine_pair_shares_model(self):
+        pair = build_engine_pair("din", "broadwell", "gtx1080ti")
+        assert pair.cpu.model is pair.gpu.model
+        assert pair.has_accelerator
+        assert pair.model.name == "din"
+
+    def test_cpu_only_pair(self):
+        pair = build_engine_pair("din", "broadwell", None)
+        assert pair.gpu is None
+        assert not pair.has_accelerator
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            build_cpu_engine("ncf", "m1-max")

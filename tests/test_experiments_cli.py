@@ -1,0 +1,52 @@
+"""Tests for the experiment runner, report rendering, and the CLI entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import render_report, run_experiments
+
+
+class TestRenderReport:
+    def test_multiple_sections(self):
+        first = ExperimentResult("a", "first", headers=["x"])
+        first.add_row(1)
+        second = ExperimentResult("b", "second", headers=["y"])
+        second.add_row(2)
+        report = render_report([first, second])
+        assert "[a] first" in report
+        assert "[b] second" in report
+
+    def test_run_experiments_selected_subset(self):
+        results = run_experiments(["table-1"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "table-1"
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure-11" in output
+        assert "table-2" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table-1"]) == 0
+        output = capsys.readouterr().out
+        assert "[table-1]" in output
+        assert "dlrm-rmc1" in output
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["table-2", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert "[table-2]" in target.read_text()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert not args.list
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["figure-99"])

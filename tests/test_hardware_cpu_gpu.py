@@ -1,0 +1,98 @@
+"""Tests for the CPU and GPU platform definitions."""
+
+import pytest
+
+from repro.hardware.cache import CachePolicy
+from repro.hardware.cpu import available_cpus, broadwell, get_cpu, skylake
+from repro.hardware.gpu import available_gpus, get_gpu, gtx_1080ti
+from repro.utils.units import GB
+
+
+class TestCPUPlatforms:
+    def test_broadwell_parameters(self):
+        cpu = broadwell()
+        assert cpu.num_cores == 28
+        assert cpu.simd_width_bits == 256
+        assert cpu.cache.policy is CachePolicy.INCLUSIVE
+        assert cpu.tdp_watts == pytest.approx(120.0)
+
+    def test_skylake_parameters(self):
+        cpu = skylake()
+        assert cpu.num_cores == 40
+        assert cpu.simd_width_bits == 512
+        assert cpu.cache.policy is CachePolicy.EXCLUSIVE
+        assert cpu.tdp_watts == pytest.approx(125.0)
+
+    def test_skylake_wider_simd_than_broadwell(self):
+        assert skylake().simd_lanes_fp32 == 2 * broadwell().simd_lanes_fp32
+
+    def test_per_core_peak_flops_consistent(self):
+        cpu = skylake()
+        assert cpu.per_core_peak_flops == pytest.approx(
+            cpu.flops_per_cycle_per_core * cpu.frequency_hz
+        )
+        assert cpu.peak_flops == pytest.approx(cpu.per_core_peak_flops * cpu.num_cores)
+
+    def test_per_core_bandwidth_fraction(self):
+        cpu = broadwell()
+        assert cpu.per_core_bandwidth == pytest.approx(
+            cpu.memory_bandwidth * cpu.per_core_bandwidth_fraction
+        )
+        assert cpu.per_core_bandwidth < cpu.memory_bandwidth
+
+    def test_registry_lookup(self):
+        assert get_cpu("skylake").name == "skylake"
+        assert get_cpu("BROADWELL").name == "broadwell"
+        assert set(available_cpus()) == {"broadwell", "skylake"}
+
+    def test_registry_custom_core_count(self):
+        assert get_cpu("skylake", num_cores=8).num_cores == 8
+
+    def test_unknown_cpu_raises(self):
+        with pytest.raises(KeyError):
+            get_cpu("epyc")
+
+    def test_invalid_simd_width_rejected(self):
+        cpu = skylake()
+        with pytest.raises(ValueError):
+            type(cpu)(
+                name="bad",
+                peak_flops=cpu.peak_flops,
+                memory_bandwidth=cpu.memory_bandwidth,
+                tdp_watts=cpu.tdp_watts,
+                num_cores=4,
+                frequency_hz=2e9,
+                simd_width_bits=384,
+            )
+
+
+class TestGPUPlatform:
+    def test_gtx_1080ti_parameters(self):
+        gpu = gtx_1080ti()
+        assert gpu.peak_flops == pytest.approx(11.3e12)
+        assert gpu.num_sms == 28
+        assert gpu.tdp_watts == pytest.approx(250.0)
+
+    def test_gpu_bandwidth_far_exceeds_cpu(self):
+        assert gtx_1080ti().memory_bandwidth > 4 * skylake().memory_bandwidth
+
+    def test_transfer_time_scales_with_bytes(self):
+        gpu = gtx_1080ti()
+        small = gpu.transfer_time(1 * GB)
+        large = gpu.transfer_time(2 * GB)
+        assert large > small
+        assert large - small == pytest.approx(1 * GB / gpu.pcie_bandwidth)
+
+    def test_transfer_time_includes_fixed_overhead(self):
+        gpu = gtx_1080ti()
+        assert gpu.transfer_time(0) == pytest.approx(gpu.transfer_overhead_s)
+
+    def test_transfer_negative_bytes_raises(self):
+        with pytest.raises(ValueError):
+            gtx_1080ti().transfer_time(-1)
+
+    def test_registry(self):
+        assert get_gpu("gtx1080ti").name == "gtx1080ti"
+        assert available_gpus() == ["gtx1080ti"]
+        with pytest.raises(KeyError):
+            get_gpu("a100")

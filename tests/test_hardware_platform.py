@@ -1,0 +1,102 @@
+"""Tests for repro.hardware.platform and cache models."""
+
+import pytest
+
+from repro.hardware.cache import (
+    CacheHierarchy,
+    CachePolicy,
+    exclusive_hierarchy,
+    inclusive_hierarchy,
+)
+from repro.hardware.platform import HardwarePlatform
+
+
+def make_platform(**overrides) -> HardwarePlatform:
+    params = dict(
+        name="test",
+        peak_flops=1e12,
+        memory_bandwidth=1e11,
+        tdp_watts=100.0,
+        idle_power_fraction=0.3,
+    )
+    params.update(overrides)
+    return HardwarePlatform(**params)
+
+
+class TestHardwarePlatform:
+    def test_machine_balance(self):
+        platform = make_platform()
+        assert platform.machine_balance == pytest.approx(10.0)
+
+    def test_idle_power(self):
+        assert make_platform().idle_power() == pytest.approx(30.0)
+
+    def test_power_at_full_utilization_is_tdp(self):
+        assert make_platform().power_at_utilization(1.0) == pytest.approx(100.0)
+
+    def test_power_at_zero_utilization_is_idle(self):
+        assert make_platform().power_at_utilization(0.0) == pytest.approx(30.0)
+
+    def test_power_is_linear_in_utilization(self):
+        platform = make_platform()
+        half = platform.power_at_utilization(0.5)
+        assert half == pytest.approx((platform.idle_power() + platform.tdp_watts) / 2)
+
+    def test_invalid_utilization_raises(self):
+        with pytest.raises(ValueError):
+            make_platform().power_at_utilization(1.5)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            make_platform(peak_flops=0)
+        with pytest.raises(ValueError):
+            make_platform(memory_bandwidth=-1)
+        with pytest.raises(ValueError):
+            make_platform(idle_power_fraction=1.5)
+
+
+class TestCacheHierarchy:
+    def test_single_core_no_contention(self):
+        cache = inclusive_hierarchy(32 * 2**20)
+        assert cache.contention_factor(1, 28) == pytest.approx(1.0)
+
+    def test_all_cores_full_contention(self):
+        cache = CacheHierarchy(CachePolicy.INCLUSIVE, 32 * 2**20, contention_slope=0.5)
+        assert cache.contention_factor(28, 28) == pytest.approx(1.5)
+
+    def test_contention_monotonic_in_active_cores(self):
+        cache = inclusive_hierarchy(32 * 2**20)
+        factors = [cache.contention_factor(n, 40) for n in range(1, 41)]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+    def test_inclusive_worse_than_exclusive(self):
+        inclusive = inclusive_hierarchy(32 * 2**20)
+        exclusive = exclusive_hierarchy(32 * 2**20)
+        assert inclusive.contention_factor(20, 40) > exclusive.contention_factor(20, 40)
+
+    def test_active_cores_clamped_to_total(self):
+        cache = exclusive_hierarchy(32 * 2**20)
+        assert cache.contention_factor(100, 40) == cache.contention_factor(40, 40)
+
+    def test_single_core_platform(self):
+        cache = exclusive_hierarchy(32 * 2**20)
+        assert cache.contention_factor(1, 1) == 1.0
+
+    def test_invalid_arguments(self):
+        cache = exclusive_hierarchy(32 * 2**20)
+        with pytest.raises(ValueError):
+            cache.contention_factor(0, 40)
+        with pytest.raises(ValueError):
+            cache.contention_factor(1, 0)
+
+    def test_miss_rate_bounds(self):
+        cache = inclusive_hierarchy(32 * 2**20)
+        low = cache.miss_rate(1, 40)
+        high = cache.miss_rate(40, 40)
+        assert low == pytest.approx(0.30)
+        assert high == pytest.approx(0.60)
+        assert low < cache.miss_rate(20, 40) < high
+
+    def test_policy_enum_values(self):
+        assert inclusive_hierarchy(1.0).policy is CachePolicy.INCLUSIVE
+        assert exclusive_hierarchy(1.0).policy is CachePolicy.EXCLUSIVE

@@ -1,0 +1,82 @@
+"""Tests for the roofline and system power models."""
+
+import pytest
+
+from repro.hardware.cpu import skylake
+from repro.hardware.gpu import gtx_1080ti
+from repro.hardware.power import PowerReport, SystemPowerModel
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+
+
+class TestRoofline:
+    def test_ridge_point_equals_machine_balance(self):
+        cpu = skylake()
+        assert RooflineModel(cpu).ridge_point == pytest.approx(cpu.machine_balance)
+
+    def test_memory_bound_region(self):
+        roofline = RooflineModel(skylake())
+        low_intensity = roofline.ridge_point / 10
+        assert roofline.is_memory_bound(low_intensity)
+        assert roofline.attainable_flops(low_intensity) == pytest.approx(
+            low_intensity * skylake().memory_bandwidth
+        )
+
+    def test_compute_bound_region(self):
+        roofline = RooflineModel(skylake())
+        high_intensity = roofline.ridge_point * 10
+        assert not roofline.is_memory_bound(high_intensity)
+        assert roofline.attainable_flops(high_intensity) == pytest.approx(
+            skylake().peak_flops
+        )
+
+    def test_attainable_is_monotone(self):
+        roofline = RooflineModel(skylake())
+        curve = roofline.curve([0.1, 1.0, 10.0, 100.0, 1000.0])
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_efficiency_capped_at_one(self):
+        roofline = RooflineModel(skylake())
+        point = RooflinePoint("x", 1.0, 1e18)
+        assert roofline.efficiency(point) == 1.0
+
+    def test_efficiency_fraction(self):
+        roofline = RooflineModel(skylake())
+        attainable = roofline.attainable_flops(1.0)
+        point = RooflinePoint("x", 1.0, attainable / 2)
+        assert roofline.efficiency(point) == pytest.approx(0.5)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            RooflinePoint("x", -1.0, 1.0)
+
+
+class TestPowerModel:
+    def test_cpu_only_power(self):
+        model = SystemPowerModel(skylake())
+        report = model.power(cpu_utilization=1.0, qps=100.0)
+        assert report.gpu_watts == 0.0
+        assert report.total_watts == pytest.approx(skylake().tdp_watts)
+
+    def test_cpu_plus_gpu_power(self):
+        model = SystemPowerModel(skylake(), gtx_1080ti())
+        report = model.power(cpu_utilization=0.5, gpu_utilization=0.5, qps=100.0)
+        assert report.cpu_watts > 0
+        assert report.gpu_watts > 0
+        assert report.total_watts == pytest.approx(report.cpu_watts + report.gpu_watts)
+
+    def test_idle_gpu_still_draws_power(self):
+        model = SystemPowerModel(skylake(), gtx_1080ti())
+        report = model.power(cpu_utilization=0.5, gpu_utilization=0.0)
+        assert report.gpu_watts == pytest.approx(gtx_1080ti().idle_power())
+
+    def test_qps_per_watt(self):
+        report = PowerReport(cpu_watts=100.0, gpu_watts=100.0, qps=400.0)
+        assert report.qps_per_watt == pytest.approx(2.0)
+
+    def test_gpu_reduces_efficiency_when_underused(self):
+        cpu_only = SystemPowerModel(skylake())
+        with_gpu = SystemPowerModel(skylake(), gtx_1080ti())
+        qps = 1000.0
+        cpu_report = cpu_only.power(0.8, qps=qps)
+        gpu_report = with_gpu.power(0.8, 0.05, qps=qps)
+        assert gpu_report.qps_per_watt < cpu_report.qps_per_watt

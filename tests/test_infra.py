@@ -1,0 +1,161 @@
+"""Tests for the DeepRecInfra facade and the datacenter cluster simulation."""
+
+import pytest
+
+from repro.execution.engine import build_cpu_engine
+from repro.infra.datacenter import ClusterResult, DatacenterCluster, ScaledCPUEngine
+from repro.infra.deeprecinfra import DeepRecInfra, InfraConfig
+from repro.queries.generator import LoadGenerator
+from repro.queries.trace import DiurnalPattern
+from repro.serving.simulator import ServingConfig
+from repro.serving.sla import SLATier
+
+
+class TestInfraConfig:
+    def test_defaults(self):
+        config = InfraConfig()
+        assert config.model == "dlrm-rmc1"
+        assert config.cpu_platform == "skylake"
+        assert config.arrival_process == "poisson"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            InfraConfig(model="gpt-2")
+
+    def test_negative_cores_rejected(self):
+        with pytest.raises(ValueError):
+            InfraConfig(num_cores=-1)
+
+
+class TestDeepRecInfra:
+    @pytest.fixture(scope="class")
+    def infra(self):
+        return DeepRecInfra(InfraConfig(model="ncf", seed=5))
+
+    def test_engines_match_config(self, infra):
+        assert infra.engines.cpu.model.name == "ncf"
+        assert infra.engines.has_accelerator
+
+    def test_cpu_only_configuration(self):
+        infra = DeepRecInfra(InfraConfig(model="ncf", gpu_platform=None))
+        assert not infra.engines.has_accelerator
+
+    def test_sla_tiers(self, infra):
+        assert infra.sla(SLATier.MEDIUM).latency_ms == pytest.approx(5.0)
+        assert infra.sla(SLATier.LOW).latency_ms == pytest.approx(2.5)
+
+    def test_model_config_access(self, infra):
+        assert infra.model_config.name == "ncf"
+
+    def test_generate_queries(self, infra):
+        queries = infra.generate_queries(num_queries=50, rate_qps=500.0)
+        assert len(queries) == 50
+        assert all(q.size >= 1 for q in queries)
+
+    def test_simulate_and_capacity(self, infra):
+        queries = infra.generate_queries(num_queries=120, rate_qps=300.0)
+        result = infra.simulate(ServingConfig(batch_size=64), queries)
+        assert result.p95_latency_s > 0
+        capacity = infra.capacity(
+            ServingConfig(batch_size=64), SLATier.MEDIUM, num_queries=120, iterations=3
+        )
+        assert capacity.max_qps > 0
+
+    def test_distribution_choices_respected(self):
+        infra = DeepRecInfra(
+            InfraConfig(model="ncf", arrival_process="fixed", size_distribution="normal")
+        )
+        queries = infra.generate_queries(num_queries=20, rate_qps=100.0)
+        gaps = [
+            b.arrival_time - a.arrival_time for a, b in zip(queries, queries[1:])
+        ]
+        assert max(gaps) == pytest.approx(min(gaps))
+
+
+class TestScaledCPUEngine:
+    def test_scaling_applied(self):
+        base = build_cpu_engine("ncf", "skylake")
+        scaled = ScaledCPUEngine(base, speed_factor=1.5)
+        assert scaled.request_latency_s(64) == pytest.approx(
+            1.5 * base.request_latency_s(64)
+        )
+        assert scaled.platform is base.platform
+
+    def test_invalid_factor(self):
+        base = build_cpu_engine("ncf", "skylake")
+        with pytest.raises(ValueError):
+            ScaledCPUEngine(base, speed_factor=0.0)
+
+
+class TestDatacenterCluster:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return DatacenterCluster("dlrm-rmc1", num_nodes=6, seed=7)
+
+    @pytest.fixture(scope="class")
+    def cluster_result(self, cluster) -> ClusterResult:
+        generator = LoadGenerator(seed=7)
+        queries = generator.with_rate(240.0).generate(600)
+        return cluster.run(queries, batch_size=128)
+
+    def test_node_heterogeneity(self, cluster):
+        platforms = {node.platform_name for node in cluster.nodes}
+        speeds = {node.speed_factor for node in cluster.nodes}
+        assert cluster.num_nodes == 6
+        assert platforms <= {"skylake", "broadwell"}
+        assert len(speeds) > 1
+
+    def test_all_nodes_receive_traffic(self, cluster_result):
+        assert cluster_result.num_nodes == 6
+        assert all(
+            result.measured_queries > 0
+            for result in cluster_result.per_node_results.values()
+        )
+
+    def test_percentile_ordering(self, cluster_result):
+        assert (
+            cluster_result.p50_latency_s
+            <= cluster_result.p95_latency_s
+            <= cluster_result.p99_latency_s
+        )
+
+    def test_subsample_tracks_fleet(self, cluster_result):
+        # The Fig. 7 claim, with a generous bound for the small simulated fleet.
+        gap = cluster_result.subsample_gap([0, 1, 2])
+        assert gap < 0.35
+
+    def test_unknown_node_raises(self, cluster_result):
+        with pytest.raises(KeyError):
+            cluster_result.node_latencies([999])
+
+    def test_diurnal_run(self, cluster):
+        result = cluster.run_diurnal(
+            batch_size=128,
+            base_rate_qps=200.0,
+            duration_s=30.0,
+            pattern=DiurnalPattern(amplitude=0.3, period_s=30.0),
+            seed=1,
+        )
+        assert result.p95_latency_s > 0
+
+    def test_tuned_batch_reduces_tail_latency(self):
+        # The Fig. 13 protocol at miniature scale: near saturation, the fixed
+        # production batch size produces worse tails than a tuned batch size
+        # under the same traffic.
+        cluster = DatacenterCluster(
+            "dlrm-rmc1", num_nodes=1, num_cores=12,
+            platform_mix={"skylake": 1.0}, seed=3,
+        )
+        common = dict(base_rate_qps=2200.0, duration_s=4.0, seed=5)
+        fixed = cluster.run_diurnal(batch_size=84, **common)
+        tuned = cluster.run_diurnal(batch_size=512, **common)
+        assert fixed.p95_latency_s > tuned.p95_latency_s
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DatacenterCluster("dlrm-rmc1", num_nodes=0)
+        with pytest.raises(ValueError):
+            DatacenterCluster("dlrm-rmc1", num_nodes=2, speed_spread=0.9)
+        cluster = DatacenterCluster("dlrm-rmc1", num_nodes=2, seed=0)
+        with pytest.raises(ValueError):
+            cluster.run([], batch_size=64)

@@ -1,0 +1,139 @@
+"""Tests for the generalised RecommendationModel (analytic graph + forward pass)."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import RecommendationModel
+from repro.models.ops import OperatorCategory
+from repro.models.zoo import MODEL_NAMES, get_config, get_model
+
+
+@pytest.fixture(scope="module")
+def runnable_models():
+    """One runnable instance per zoo model (small materialised tables)."""
+    return {
+        name: get_model(name, rng=0, materialized_rows=512) for name in MODEL_NAMES
+    }
+
+
+class TestOperatorGraph:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_every_model_has_embedding_and_fc_ops(self, name):
+        model = get_model(name, build_executable=False)
+        categories = {op.category for op in model.operators()}
+        assert OperatorCategory.EMBEDDING in categories
+        assert OperatorCategory.FC in categories
+
+    def test_dense_stack_present_only_when_configured(self):
+        dlrm = get_model("dlrm-rmc1", build_executable=False)
+        ncf = get_model("ncf", build_executable=False)
+        dlrm_fc_names = [op.name for op in dlrm.operators() if op.name.startswith("dense")]
+        ncf_fc_names = [op.name for op in ncf.operators() if op.name.startswith("dense")]
+        assert dlrm_fc_names
+        assert not ncf_fc_names
+
+    def test_mtwnd_has_parallel_predictor_stacks(self):
+        wnd = get_model("wnd", build_executable=False)
+        mt = get_model("mt-wnd", build_executable=False)
+        wnd_predict = [op for op in wnd.operators() if op.name.startswith("predict")]
+        mt_predict = [op for op in mt.operators() if op.name.startswith("predict")]
+        assert len(mt_predict) == 4 * len(wnd_predict)
+
+    def test_dien_has_gru_and_attention(self):
+        dien = get_model("dien", build_executable=False)
+        categories = {op.category for op in dien.operators()}
+        assert OperatorCategory.RECURRENT in categories
+        assert OperatorCategory.ATTENTION in categories
+
+    def test_din_has_attention_but_no_gru(self):
+        din = get_model("din", build_executable=False)
+        categories = {op.category for op in din.operators()}
+        assert OperatorCategory.ATTENTION in categories
+        assert OperatorCategory.RECURRENT not in categories
+
+
+class TestAnalyticCosts:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_costs_scale_with_batch(self, name):
+        model = get_model(name, build_executable=False)
+        assert model.flops(64) > model.flops(8)
+        assert model.dram_bytes(64) > model.dram_bytes(8)
+
+    def test_cost_by_category_sums_to_total(self):
+        model = get_model("dlrm-rmc2", build_executable=False)
+        total = model.cost(32)
+        by_category = model.cost_by_category(32)
+        assert sum(c.flops for c in by_category.values()) == pytest.approx(total.flops)
+        assert sum(c.total_bytes for c in by_category.values()) == pytest.approx(
+            total.total_bytes
+        )
+
+    def test_embedding_storage_dominates_model_size(self):
+        model = get_model("dlrm-rmc2", build_executable=False)
+        emb_bytes = get_config("dlrm-rmc2").embedding.storage_bytes
+        assert model.model_storage_bytes() >= emb_bytes
+        assert emb_bytes / model.model_storage_bytes() > 0.95
+
+    def test_recommendation_models_have_low_operational_intensity(self):
+        # The Fig. 1 claim: recommendation models are memory bound on CPUs.
+        for name in MODEL_NAMES:
+            model = get_model(name, build_executable=False)
+            assert model.operational_intensity(64) < 45.0
+
+    def test_embedding_models_lower_intensity_than_mlp_models(self):
+        rmc1 = get_model("dlrm-rmc1", build_executable=False)
+        rmc3 = get_model("dlrm-rmc3", build_executable=False)
+        assert rmc1.operational_intensity(64) < rmc3.operational_intensity(64)
+
+    def test_input_bytes_scale_linearly(self):
+        model = get_model("wnd", build_executable=False)
+        assert model.input_bytes(128) == pytest.approx(2 * model.input_bytes(64))
+
+
+class TestForwardPass:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_ctr_predictions_are_probabilities(self, runnable_models, name):
+        model = runnable_models[name]
+        batch = model.sample_batch(6, rng=1)
+        ctr = model.predict_ctr(batch)
+        assert ctr.shape == (6,)
+        assert np.all((ctr > 0) & (ctr < 1))
+
+    def test_multitask_output_width(self, runnable_models):
+        model = runnable_models["mt-wnd"]
+        outputs = model.forward(model.sample_batch(3, rng=2))
+        assert outputs.shape == (3, 4)
+
+    def test_single_task_output_width(self, runnable_models):
+        model = runnable_models["dlrm-rmc1"]
+        outputs = model.forward(model.sample_batch(3, rng=2))
+        assert outputs.shape == (3, 1)
+
+    def test_forward_deterministic(self, runnable_models):
+        model = runnable_models["ncf"]
+        batch = model.sample_batch(4, rng=5)
+        assert np.allclose(model.forward(batch), model.forward(batch))
+
+    def test_different_inputs_different_outputs(self, runnable_models):
+        model = runnable_models["dlrm-rmc3"]
+        a = model.predict_ctr(model.sample_batch(8, rng=1))
+        b = model.predict_ctr(model.sample_batch(8, rng=2))
+        assert not np.allclose(a, b)
+
+    def test_wrong_table_count_raises(self, runnable_models):
+        model = runnable_models["ncf"]
+        other = runnable_models["dlrm-rmc1"]
+        with pytest.raises(ValueError):
+            model.forward(other.sample_batch(2, rng=0))
+
+    def test_analytic_only_model_rejects_forward(self):
+        model = get_model("ncf", build_executable=False)
+        batch = model.sample_batch(2, rng=0)
+        with pytest.raises(RuntimeError):
+            model.forward(batch)
+
+    def test_attention_models_runnable(self, runnable_models):
+        for name in ("din", "dien"):
+            model = runnable_models[name]
+            ctr = model.predict_ctr(model.sample_batch(2, rng=3))
+            assert np.all(np.isfinite(ctr))

@@ -1,0 +1,103 @@
+"""Tests for ModelConfig and EmbeddingConfig validation and derived widths."""
+
+import pytest
+
+from repro.models.config import (
+    BottleneckClass,
+    EmbeddingConfig,
+    InteractionType,
+    ModelConfig,
+    PoolingType,
+)
+
+
+def make_config(**overrides) -> ModelConfig:
+    params = dict(
+        name="test-model",
+        dense_input_dim=64,
+        dense_fc=(64, 32),
+        predict_fc=(32, 1),
+        embedding=EmbeddingConfig(4, 1000, 16, 2),
+        pooling=PoolingType.SUM,
+        interaction=InteractionType.CONCAT,
+        bottleneck=BottleneckClass.MLP,
+        sla_target_ms=50.0,
+    )
+    params.update(overrides)
+    return ModelConfig(**params)
+
+
+class TestEmbeddingConfig:
+    def test_storage_bytes(self):
+        emb = EmbeddingConfig(num_tables=4, rows_per_table=1000,
+                              embedding_dim=16, lookups_per_table=2)
+        assert emb.storage_bytes == 4 * 1000 * 16 * 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EmbeddingConfig(0, 1000, 16, 2)
+        with pytest.raises(ValueError):
+            EmbeddingConfig(4, 1000, 0, 2)
+
+
+class TestModelConfigValidation:
+    def test_valid_config_builds(self):
+        assert make_config().name == "test-model"
+
+    def test_dense_stack_requires_dense_inputs(self):
+        with pytest.raises(ValueError):
+            make_config(dense_input_dim=0, dense_fc=(64, 32))
+
+    def test_empty_predict_fc_rejected(self):
+        with pytest.raises(ValueError):
+            make_config(predict_fc=())
+
+    def test_attention_requires_sequence_length(self):
+        with pytest.raises(ValueError):
+            make_config(pooling=PoolingType.ATTENTION, sequence_length=0)
+
+    def test_attention_rnn_requires_gru_dim(self):
+        with pytest.raises(ValueError):
+            make_config(
+                pooling=PoolingType.ATTENTION_RNN, sequence_length=10, gru_hidden_dim=0
+            )
+
+    def test_invalid_sla(self):
+        with pytest.raises(ValueError):
+            make_config(sla_target_ms=0.0)
+
+
+class TestDerivedWidths:
+    def test_dense_output_with_stack(self):
+        assert make_config().dense_output_dim == 32
+
+    def test_dense_output_without_stack(self):
+        config = make_config(dense_fc=(), dense_input_dim=100)
+        assert config.dense_output_dim == 100
+
+    def test_sparse_output_sum_pooling(self):
+        assert make_config(pooling=PoolingType.SUM).sparse_output_dim == 16
+
+    def test_sparse_output_concat_pooling(self):
+        assert make_config(pooling=PoolingType.CONCAT).sparse_output_dim == 4 * 16
+
+    def test_sparse_output_attention_rnn(self):
+        config = make_config(
+            pooling=PoolingType.ATTENTION_RNN, sequence_length=10, gru_hidden_dim=8
+        )
+        assert config.sparse_output_dim == 8 + 3 * 16
+
+    def test_interaction_concat_width(self):
+        config = make_config()
+        assert config.interaction_output_dim == 32 + 16
+
+    def test_interaction_sum_width(self):
+        config = make_config(interaction=InteractionType.SUM)
+        assert config.interaction_output_dim == max(32, 16)
+
+    def test_sla_seconds(self):
+        assert make_config().sla_target_s == pytest.approx(0.05)
+
+    def test_has_dense_stack_flag(self):
+        assert make_config().has_dense_stack
+        assert not make_config(dense_fc=(), dense_input_dim=10).has_dense_stack

@@ -1,0 +1,115 @@
+"""Tests for synthetic input generation."""
+
+import numpy as np
+import pytest
+
+from repro.models.inputs import RecommendationBatch, generate_batch, query_input_bytes
+from repro.models.zoo import get_config
+
+
+class TestRecommendationBatch:
+    def test_batch_size_and_table_count(self):
+        batch = RecommendationBatch(
+            dense=np.zeros((4, 8)),
+            sparse=[np.zeros((4, 2), dtype=int), np.zeros((4, 3), dtype=int)],
+        )
+        assert batch.batch_size == 4
+        assert batch.num_tables == 2
+
+    def test_mismatched_sparse_batch_raises(self):
+        with pytest.raises(ValueError):
+            RecommendationBatch(
+                dense=np.zeros((4, 8)), sparse=[np.zeros((3, 2), dtype=int)]
+            )
+
+    def test_one_dimensional_dense_raises(self):
+        with pytest.raises(ValueError):
+            RecommendationBatch(dense=np.zeros(4), sparse=[])
+
+    def test_input_bytes(self):
+        batch = RecommendationBatch(
+            dense=np.zeros((2, 8)), sparse=[np.zeros((2, 3), dtype=int)]
+        )
+        assert batch.input_bytes() == 2 * 8 * 4 + 2 * 3 * 8
+
+    def test_slice(self):
+        batch = RecommendationBatch(
+            dense=np.arange(20).reshape(4, 5).astype(float),
+            sparse=[np.arange(8).reshape(4, 2)],
+        )
+        sliced = batch.slice(1, 3)
+        assert sliced.batch_size == 2
+        assert np.allclose(sliced.dense, batch.dense[1:3])
+        assert np.array_equal(sliced.sparse[0], batch.sparse[0][1:3])
+
+    def test_invalid_slice_raises(self):
+        batch = RecommendationBatch(dense=np.zeros((4, 2)), sparse=[])
+        with pytest.raises(ValueError):
+            batch.slice(2, 2)
+        with pytest.raises(ValueError):
+            batch.slice(0, 5)
+
+
+class TestGenerateBatch:
+    def test_shapes_match_config(self):
+        config = get_config("dlrm-rmc1")
+        batch = generate_batch(config, 16, rng=0)
+        assert batch.dense.shape == (16, config.dense_input_dim)
+        assert batch.num_tables == config.embedding.num_tables
+        for indices in batch.sparse:
+            assert indices.shape == (16, config.embedding.lookups_per_table)
+
+    def test_no_dense_features_for_ncf(self):
+        config = get_config("ncf")
+        batch = generate_batch(config, 8, rng=0)
+        assert batch.dense.shape == (8, 0)
+
+    def test_indices_within_table_bounds(self):
+        config = get_config("din")
+        batch = generate_batch(config, 8, rng=0)
+        for indices in batch.sparse:
+            assert indices.min() >= 0
+            assert indices.max() < config.embedding.rows_per_table
+
+    def test_reproducible_with_seed(self):
+        config = get_config("ncf")
+        a = generate_batch(config, 8, rng=3)
+        b = generate_batch(config, 8, rng=3)
+        assert np.array_equal(a.sparse[0], b.sparse[0])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            generate_batch(get_config("ncf"), 0)
+
+    def test_popularity_skew(self):
+        # Hot items should be far more common than cold ones.
+        config = get_config("dlrm-rmc1")
+        batch = generate_batch(config, 256, rng=0)
+        indices = np.concatenate([s.ravel() for s in batch.sparse])
+        median_index = np.median(indices)
+        assert median_index < config.embedding.rows_per_table * 0.05
+
+
+class TestQueryInputBytes:
+    def test_formula(self):
+        config = get_config("dlrm-rmc1")
+        expected_per_item = (
+            config.dense_input_dim * 4
+            + config.embedding.num_tables * config.embedding.lookups_per_table * 8
+        )
+        assert query_input_bytes(config, 10) == pytest.approx(10 * expected_per_item)
+
+    def test_scales_linearly(self):
+        config = get_config("wnd")
+        assert query_input_bytes(config, 20) == pytest.approx(
+            2 * query_input_bytes(config, 10)
+        )
+
+    def test_matches_materialised_batch(self):
+        config = get_config("ncf")
+        batch = generate_batch(config, 32, rng=0)
+        assert batch.input_bytes() == pytest.approx(query_input_bytes(config, 32))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            query_input_bytes(get_config("ncf"), 0)

@@ -1,0 +1,163 @@
+"""Tests for the executable NumPy layers."""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import GRU, AttentionPooling, EmbeddingTable, Linear, MLP, relu, sigmoid
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(relu(x), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-20, 20, 101)
+        y = sigmoid(x)
+        assert np.all((y > 0) & (y < 1))
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+    def test_sigmoid_extreme_values_stable(self):
+        y = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(y).all()
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(8, 4, rng=0)
+        out = layer.forward(np.zeros((3, 8)))
+        assert out.shape == (3, 4)
+
+    def test_relu_output_non_negative(self):
+        layer = Linear(8, 4, activation="relu", rng=0)
+        out = layer.forward(np.random.default_rng(1).normal(size=(16, 8)))
+        assert np.all(out >= 0)
+
+    def test_sigmoid_output_in_unit_interval(self):
+        layer = Linear(8, 4, activation="sigmoid", rng=0)
+        out = layer.forward(np.random.default_rng(1).normal(size=(16, 8)))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_wrong_input_shape_raises(self):
+        layer = Linear(8, 4, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((3, 7)))
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            Linear(8, 4, activation="gelu")
+
+    def test_deterministic_with_seed(self):
+        a = Linear(8, 4, rng=7).forward(np.ones((2, 8)))
+        b = Linear(8, 4, rng=7).forward(np.ones((2, 8)))
+        assert np.allclose(a, b)
+
+
+class TestMLP:
+    def test_shapes_through_stack(self):
+        mlp = MLP([16, 8, 4, 2], rng=0)
+        assert mlp.input_dim == 16
+        assert mlp.output_dim == 2
+        assert mlp.forward(np.zeros((5, 16))).shape == (5, 2)
+
+    def test_final_sigmoid(self):
+        mlp = MLP([4, 4, 1], final_activation="sigmoid", rng=0)
+        out = mlp.forward(np.random.default_rng(0).normal(size=(10, 4)))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_too_few_layers_raises(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+
+class TestEmbeddingTable:
+    def test_lookup_shape(self):
+        table = EmbeddingTable(num_rows=100, embedding_dim=8, rng=0)
+        out = table.lookup(np.zeros((4, 5), dtype=int))
+        assert out.shape == (4, 5, 8)
+
+    def test_pooled_lookup_is_sum(self):
+        table = EmbeddingTable(num_rows=100, embedding_dim=8, rng=0)
+        indices = np.array([[1, 2, 3]])
+        assert np.allclose(
+            table.pooled_lookup(indices), table.lookup(indices).sum(axis=1)
+        )
+
+    def test_hashing_caps_materialised_rows(self):
+        table = EmbeddingTable(num_rows=10_000_000, embedding_dim=4,
+                               materialized_rows=128, rng=0)
+        assert table.weight.shape == (128, 4)
+        out = table.lookup(np.array([[9_999_999]]))
+        assert out.shape == (1, 1, 4)
+
+    def test_same_index_same_vector(self):
+        table = EmbeddingTable(num_rows=1000, embedding_dim=4, rng=0)
+        a = table.lookup(np.array([[42]]))
+        b = table.lookup(np.array([[42]]))
+        assert np.allclose(a, b)
+
+    def test_out_of_range_indices_raise(self):
+        table = EmbeddingTable(num_rows=10, embedding_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            table.lookup(np.array([[10]]))
+        with pytest.raises(ValueError):
+            table.lookup(np.array([[-1]]))
+
+    def test_one_dimensional_indices_rejected(self):
+        table = EmbeddingTable(num_rows=10, embedding_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            table.lookup(np.array([1, 2, 3]))
+
+
+class TestAttentionPooling:
+    def test_output_shape(self):
+        attention = AttentionPooling(embedding_dim=8, rng=0)
+        candidate = np.random.default_rng(0).normal(size=(4, 8))
+        history = np.random.default_rng(1).normal(size=(4, 12, 8))
+        assert attention.forward(candidate, history).shape == (4, 8)
+
+    def test_weights_form_convex_combination(self):
+        attention = AttentionPooling(embedding_dim=4, rng=0)
+        candidate = np.zeros((2, 4))
+        history = np.ones((2, 6, 4))
+        # With identical history vectors, any convex combination is that vector.
+        assert np.allclose(attention.forward(candidate, history), 1.0)
+
+    def test_shape_mismatch_raises(self):
+        attention = AttentionPooling(embedding_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            attention.forward(np.zeros((2, 5)), np.zeros((2, 6, 4)))
+        with pytest.raises(ValueError):
+            attention.forward(np.zeros((2, 4)), np.zeros((3, 6, 4)))
+
+
+class TestGRU:
+    def test_forward_shape(self):
+        gru = GRU(input_dim=8, hidden_dim=16, rng=0)
+        sequence = np.random.default_rng(0).normal(size=(4, 10, 8))
+        assert gru.forward(sequence).shape == (4, 16)
+
+    def test_hidden_state_bounded(self):
+        gru = GRU(input_dim=8, hidden_dim=16, rng=0)
+        sequence = np.random.default_rng(0).normal(size=(4, 30, 8))
+        hidden = gru.forward(sequence)
+        assert np.all(np.abs(hidden) <= 1.0 + 1e-9)
+
+    def test_initial_state_respected(self):
+        gru = GRU(input_dim=4, hidden_dim=4, rng=0)
+        sequence = np.zeros((1, 1, 4))
+        h0 = np.full((1, 4), 0.5)
+        out_with_state = gru.forward(sequence, h0=h0)
+        out_default = gru.forward(sequence)
+        assert not np.allclose(out_with_state, out_default)
+
+    def test_wrong_sequence_shape_raises(self):
+        gru = GRU(input_dim=4, hidden_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            gru.forward(np.zeros((2, 5, 3)))
+
+    def test_wrong_h0_shape_raises(self):
+        gru = GRU(input_dim=4, hidden_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            gru.forward(np.zeros((2, 5, 4)), h0=np.zeros((2, 3)))

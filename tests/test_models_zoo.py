@@ -1,0 +1,129 @@
+"""Tests for the model zoo registry and the Table I configurations."""
+
+import pytest
+
+from repro.models.config import BottleneckClass, PoolingType
+from repro.models.nonrec import deepspeech2, reference_workloads, resnet50
+from repro.models.zoo import (
+    MODEL_NAMES,
+    available_models,
+    get_config,
+    get_model,
+    models_by_bottleneck,
+    register_model,
+)
+
+
+class TestRegistry:
+    def test_eight_models_registered(self):
+        assert len(available_models()) == 8
+        assert set(available_models()) == set(MODEL_NAMES)
+
+    def test_lookup_case_insensitive(self):
+        assert get_config("DLRM-RMC1").name == "dlrm-rmc1"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_config("bert")
+
+    def test_get_model_returns_fresh_instances(self):
+        a = get_model("ncf", rng=0)
+        b = get_model("ncf", rng=0)
+        assert a is not b
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("ncf", lambda: get_config("ncf"))
+
+    def test_models_by_bottleneck_partition(self):
+        grouped = [
+            name
+            for bottleneck in BottleneckClass
+            for name in models_by_bottleneck(bottleneck)
+        ]
+        assert sorted(grouped) == sorted(MODEL_NAMES)
+
+
+class TestTable1Configurations:
+    def test_ncf(self):
+        config = get_config("ncf")
+        assert config.embedding.num_tables == 4
+        assert config.embedding.lookups_per_table == 1
+        assert config.pooling is PoolingType.CONCAT
+        assert not config.has_dense_stack
+
+    def test_wnd_dense_features_bypass_stack(self):
+        config = get_config("wnd")
+        assert config.dense_input_dim == 1000
+        assert not config.has_dense_stack
+        assert config.predict_fc[0] == 1024
+
+    def test_mt_wnd_multiple_tasks(self):
+        assert get_config("mt-wnd").num_tasks == 4
+        assert get_config("wnd").num_tasks == 1
+
+    def test_dlrm_variants_lookups(self):
+        assert get_config("dlrm-rmc1").embedding.lookups_per_table == 80
+        assert get_config("dlrm-rmc2").embedding.lookups_per_table == 80
+        assert get_config("dlrm-rmc3").embedding.lookups_per_table == 20
+
+    def test_dlrm_rmc2_has_most_tables(self):
+        tables = {
+            name: get_config(name).embedding.num_tables
+            for name in ("dlrm-rmc1", "dlrm-rmc2", "dlrm-rmc3")
+        }
+        assert tables["dlrm-rmc2"] == max(tables.values())
+
+    def test_dlrm_rmc3_has_large_dense_stack(self):
+        config = get_config("dlrm-rmc3")
+        assert config.dense_fc[0] == 2560
+
+    def test_din_attention_with_many_lookups(self):
+        config = get_config("din")
+        assert config.pooling is PoolingType.ATTENTION
+        assert config.embedding.lookups_per_table >= 100
+
+    def test_dien_attention_rnn(self):
+        config = get_config("dien")
+        assert config.pooling is PoolingType.ATTENTION_RNN
+        assert config.gru_hidden_dim > 0
+
+    def test_sla_targets_match_table2(self):
+        expected_ms = {
+            "dlrm-rmc1": 100.0,
+            "dlrm-rmc2": 400.0,
+            "dlrm-rmc3": 100.0,
+            "ncf": 5.0,
+            "wnd": 25.0,
+            "mt-wnd": 25.0,
+            "din": 100.0,
+            "dien": 35.0,
+        }
+        for name, sla_ms in expected_ms.items():
+            assert get_config(name).sla_target_ms == sla_ms
+
+    def test_embedding_storage_order_of_gigabytes(self):
+        # The paper notes embedding tables require tens of GB of storage.
+        total_gb = get_config("dlrm-rmc2").embedding.storage_bytes / 2**30
+        assert total_gb > 10
+
+
+class TestReferenceWorkloads:
+    def test_resnet_more_compute_intense_than_recommendation(self):
+        rec_intensity = get_model("dlrm-rmc1", build_executable=False).operational_intensity(1)
+        assert resnet50().operational_intensity(1) > rec_intensity
+
+    def test_flops_scale_with_batch(self):
+        assert resnet50().flops(8) == pytest.approx(8 * resnet50().flops(1))
+
+    def test_intensity_grows_with_batch(self):
+        workload = deepspeech2()
+        assert workload.operational_intensity(64) > workload.operational_intensity(1)
+
+    def test_reference_workload_list(self):
+        names = {w.name for w in reference_workloads()}
+        assert names == {"resnet50", "deepspeech2"}
+
+    def test_invalid_batch_raises(self):
+        with pytest.raises(ValueError):
+            resnet50().flops(0)

@@ -1,0 +1,78 @@
+"""Tests for the query arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.queries.arrival import (
+    FixedArrival,
+    PoissonArrival,
+    UniformJitterArrival,
+    get_arrival_process,
+)
+
+
+class TestPoissonArrival:
+    def test_mean_rate_approximately_respected(self):
+        process = PoissonArrival(rate_qps=200.0)
+        gaps = process.inter_arrival_times(20000, rng=0)
+        assert 1.0 / gaps.mean() == pytest.approx(200.0, rel=0.05)
+
+    def test_gaps_positive(self):
+        gaps = PoissonArrival(50.0).inter_arrival_times(1000, rng=1)
+        assert np.all(gaps > 0)
+
+    def test_exponential_coefficient_of_variation(self):
+        gaps = PoissonArrival(100.0).inter_arrival_times(20000, rng=2)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, rel=0.05)
+
+    def test_arrival_times_sorted_and_offset(self):
+        times = PoissonArrival(100.0).arrival_times(100, rng=3, start=5.0)
+        assert np.all(np.diff(times) > 0)
+        assert times[0] >= 5.0
+
+    def test_reproducible_with_seed(self):
+        a = PoissonArrival(100.0).inter_arrival_times(10, rng=7)
+        b = PoissonArrival(100.0).inter_arrival_times(10, rng=7)
+        assert np.allclose(a, b)
+
+    def test_with_rate_returns_same_type(self):
+        faster = PoissonArrival(10.0).with_rate(100.0)
+        assert isinstance(faster, PoissonArrival)
+        assert faster.rate_qps == 100.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(0.0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(10.0).inter_arrival_times(0)
+
+
+class TestOtherArrivals:
+    def test_fixed_arrival_constant_gaps(self):
+        gaps = FixedArrival(20.0).inter_arrival_times(10)
+        assert np.allclose(gaps, 0.05)
+
+    def test_uniform_jitter_bounds(self):
+        process = UniformJitterArrival(100.0)
+        gaps = process.inter_arrival_times(5000, rng=0)
+        assert gaps.min() >= 0.5 * 0.01
+        assert gaps.max() <= 1.5 * 0.01
+        assert gaps.mean() == pytest.approx(0.01, rel=0.05)
+
+    def test_fixed_has_zero_variance(self):
+        gaps = FixedArrival(20.0).inter_arrival_times(100)
+        assert gaps.std() <= 1e-12
+
+
+class TestRegistry:
+    def test_lookup_each_kind(self):
+        assert isinstance(get_arrival_process("poisson", 10.0), PoissonArrival)
+        assert isinstance(get_arrival_process("fixed", 10.0), FixedArrival)
+        assert isinstance(get_arrival_process("uniform", 10.0), UniformJitterArrival)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_arrival_process("bursty", 10.0)

@@ -1,0 +1,151 @@
+"""Tests for the load generator and query traces."""
+
+import numpy as np
+import pytest
+
+from repro.queries.arrival import FixedArrival, PoissonArrival
+from repro.queries.generator import LoadGenerator
+from repro.queries.query import Query
+from repro.queries.size_dist import FixedQuerySizes
+from repro.queries.trace import DiurnalPattern, QueryTrace, generate_diurnal_trace
+
+
+class TestQuery:
+    def test_valid_query(self):
+        query = Query(query_id=3, arrival_time=1.5, size=100)
+        assert query.size == 100
+
+    def test_invalid_query(self):
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_time=0.0, size=0)
+        with pytest.raises(ValueError):
+            Query(query_id=-1, arrival_time=0.0, size=1)
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_time=-1.0, size=1)
+
+
+class TestLoadGenerator:
+    def test_generates_requested_count(self):
+        queries = LoadGenerator(seed=0).generate(50)
+        assert len(queries) == 50
+
+    def test_arrival_times_increasing_and_ids_sequential(self):
+        queries = LoadGenerator(seed=0).generate(100)
+        times = [q.arrival_time for q in queries]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert [q.query_id for q in queries] == list(range(100))
+
+    def test_reproducible_with_seed(self):
+        a = LoadGenerator(seed=9).generate(20)
+        b = LoadGenerator(seed=9).generate(20)
+        assert [(q.arrival_time, q.size) for q in a] == [
+            (q.arrival_time, q.size) for q in b
+        ]
+
+    def test_with_rate_changes_density_not_sizes(self):
+        slow = LoadGenerator(arrival=PoissonArrival(10.0), seed=4)
+        fast = slow.with_rate(1000.0)
+        slow_queries = slow.generate(200)
+        fast_queries = fast.generate(200)
+        assert fast_queries[-1].arrival_time < slow_queries[-1].arrival_time
+        assert [q.size for q in slow_queries] == [q.size for q in fast_queries]
+
+    def test_custom_distributions_respected(self):
+        generator = LoadGenerator(
+            arrival=FixedArrival(100.0), sizes=FixedQuerySizes(32), seed=0
+        )
+        queries = generator.generate(10)
+        assert all(q.size == 32 for q in queries)
+        gaps = np.diff([q.arrival_time for q in queries])
+        assert np.allclose(gaps, 0.01)
+
+    def test_generate_for_duration(self):
+        generator = LoadGenerator(arrival=FixedArrival(100.0), seed=0)
+        queries = generator.generate_for_duration(0.5)
+        assert queries
+        assert queries[-1].arrival_time <= 0.5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(seed=0).generate(0)
+        with pytest.raises(ValueError):
+            LoadGenerator(seed=0).with_rate(0.0)
+
+
+class TestDiurnalPattern:
+    def test_multiplier_oscillates_around_one(self):
+        pattern = DiurnalPattern(amplitude=0.4, period_s=100.0)
+        values = [pattern.rate_multiplier(t) for t in np.linspace(0, 100, 200)]
+        assert max(values) == pytest.approx(1.4, abs=0.02)
+        assert min(values) == pytest.approx(0.6, abs=0.02)
+        assert np.mean(values) == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_amplitude_constant(self):
+        pattern = DiurnalPattern(amplitude=0.0, period_s=10.0)
+        assert pattern.rate_multiplier(3.0) == pytest.approx(1.0)
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(amplitude=1.0)
+
+
+class TestQueryTrace:
+    def test_sorts_queries_by_arrival(self):
+        trace = QueryTrace(
+            [Query(0, 2.0, 10), Query(1, 1.0, 20), Query(2, 3.0, 30)]
+        )
+        assert [q.arrival_time for q in trace] == [1.0, 2.0, 3.0]
+
+    def test_duration_rate_and_items(self):
+        trace = QueryTrace([Query(i, float(i), 10) for i in range(11)])
+        assert trace.duration_s == pytest.approx(10.0)
+        assert trace.mean_rate_qps == pytest.approx(1.0)
+        assert trace.total_items() == 110
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = QueryTrace([Query(i, i * 0.5, 10 + i) for i in range(5)])
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = QueryTrace.load(path)
+        assert len(loaded) == 5
+        assert [(q.query_id, q.arrival_time, q.size) for q in loaded] == [
+            (q.query_id, q.arrival_time, q.size) for q in trace
+        ]
+
+    def test_empty_trace_properties(self):
+        trace = QueryTrace([])
+        assert len(trace) == 0
+        assert trace.duration_s == 0.0
+        assert trace.mean_rate_qps == 0.0
+
+
+class TestDiurnalTrace:
+    def test_trace_spans_duration(self):
+        trace = generate_diurnal_trace(base_rate_qps=100.0, duration_s=30.0, seed=0)
+        assert trace.duration_s <= 30.0
+        assert len(trace) > 0
+
+    def test_rate_roughly_matches_base(self):
+        flat = DiurnalPattern(amplitude=0.0, period_s=60.0)
+        trace = generate_diurnal_trace(
+            base_rate_qps=200.0, duration_s=60.0, pattern=flat, seed=1
+        )
+        assert trace.mean_rate_qps == pytest.approx(200.0, rel=0.2)
+
+    def test_traffic_denser_at_peak_than_trough(self):
+        pattern = DiurnalPattern(amplitude=0.8, period_s=100.0, phase=0.0)
+        trace = generate_diurnal_trace(
+            base_rate_qps=300.0, duration_s=100.0, pattern=pattern, seed=2,
+            time_step_s=5.0,
+        )
+        times = np.array([q.arrival_time for q in trace])
+        # Peak of sin(2*pi*t/100) is at t=25, trough at t=75.
+        peak_count = np.sum((times >= 15) & (times < 35))
+        trough_count = np.sum((times >= 65) & (times < 85))
+        assert peak_count > trough_count
+
+    def test_reproducible(self):
+        a = generate_diurnal_trace(50.0, 20.0, seed=3)
+        b = generate_diurnal_trace(50.0, 20.0, seed=3)
+        assert len(a) == len(b)
+        assert [q.size for q in a] == [q.size for q in b]

@@ -1,0 +1,80 @@
+"""Tests for query splitting and SLA targets."""
+
+import pytest
+
+from repro.models.zoo import MODEL_NAMES, get_config
+from repro.queries.query import Query
+from repro.serving.request import Request, num_requests, split_query
+from repro.serving.sla import SLATier, TIER_MULTIPLIERS, sla_target, sla_targets
+
+
+class TestSplitQuery:
+    def test_even_split(self):
+        query = Query(0, 0.0, 256)
+        requests = split_query(query, 64)
+        assert len(requests) == 4
+        assert all(r.batch_size == 64 for r in requests)
+
+    def test_remainder_in_last_request(self):
+        requests = split_query(Query(0, 0.0, 100), 64)
+        assert [r.batch_size for r in requests] == [64, 36]
+
+    def test_batch_larger_than_query(self):
+        requests = split_query(Query(0, 0.0, 10), 64)
+        assert len(requests) == 1
+        assert requests[0].batch_size == 10
+
+    def test_sizes_sum_to_query_size(self):
+        query = Query(3, 0.0, 777)
+        requests = split_query(query, 50)
+        assert sum(r.batch_size for r in requests) == 777
+        assert all(r.query_id == 3 for r in requests)
+
+    def test_indices_sequential(self):
+        requests = split_query(Query(0, 0.0, 200), 64)
+        assert [r.index for r in requests] == list(range(len(requests)))
+
+    def test_num_requests_matches_split(self):
+        for size, batch in [(1, 1), (100, 64), (1000, 25), (64, 64)]:
+            assert num_requests(size, batch) == len(split_query(Query(0, 0.0, size), batch))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            split_query(Query(0, 0.0, 10), 0)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(query_id=0, batch_size=0, index=0)
+        with pytest.raises(ValueError):
+            Request(query_id=0, batch_size=1, index=-1)
+
+
+class TestSLATargets:
+    def test_medium_matches_published_target(self):
+        for name in MODEL_NAMES:
+            target = sla_target(name, SLATier.MEDIUM)
+            assert target.latency_ms == pytest.approx(get_config(name).sla_target_ms)
+
+    def test_low_and_high_multipliers(self):
+        medium = sla_target("dlrm-rmc1", SLATier.MEDIUM).latency_s
+        assert sla_target("dlrm-rmc1", SLATier.LOW).latency_s == pytest.approx(0.5 * medium)
+        assert sla_target("dlrm-rmc1", SLATier.HIGH).latency_s == pytest.approx(1.5 * medium)
+
+    def test_all_tiers_returned(self):
+        targets = sla_targets("ncf")
+        assert set(targets) == set(SLATier)
+        assert targets[SLATier.LOW].latency_s < targets[SLATier.HIGH].latency_s
+
+    def test_accepts_config_object(self):
+        config = get_config("wnd")
+        assert sla_target(config).model_name == "wnd"
+
+    def test_tier_multipliers_cover_all_tiers(self):
+        assert set(TIER_MULTIPLIERS) == set(SLATier)
+
+    def test_tier_accepts_string_value(self):
+        assert sla_target("ncf", "low").tier is SLATier.LOW
+
+    def test_ncf_has_tightest_target(self):
+        targets = {name: sla_target(name).latency_s for name in MODEL_NAMES}
+        assert min(targets, key=targets.get) == "ncf"

@@ -1,0 +1,172 @@
+"""Tests for the discrete-event serving simulator."""
+
+import pytest
+
+from repro.execution.engine import build_engine_pair
+from repro.queries.generator import LoadGenerator
+from repro.queries.query import Query
+from repro.queries.size_dist import FixedQuerySizes
+from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return build_engine_pair("dlrm-rmc1", "skylake", "gtx1080ti")
+
+
+@pytest.fixture(scope="module")
+def cpu_only_engines():
+    return build_engine_pair("dlrm-rmc1", "skylake", None)
+
+
+def make_queries(count, size=64, gap=0.01):
+    return [Query(i, i * gap, size) for i in range(count)]
+
+
+class TestServingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ServingConfig(batch_size=1, num_cores=-1)
+        with pytest.raises(ValueError):
+            ServingConfig(batch_size=1, offload_threshold=0)
+        with pytest.raises(ValueError):
+            ServingConfig(batch_size=1, warmup_fraction=1.0)
+
+    def test_offload_without_gpu_rejected(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64, offload_threshold=100)
+        with pytest.raises(ValueError):
+            ServingSimulator(cpu_only_engines, config)
+
+    def test_num_cores_exceeding_platform_rejected(self, cpu_only_engines):
+        with pytest.raises(ValueError):
+            ServingSimulator(cpu_only_engines, ServingConfig(batch_size=64, num_cores=1000))
+
+    def test_default_cores_is_platform_count(self, cpu_only_engines):
+        simulator = ServingSimulator(cpu_only_engines, ServingConfig(batch_size=64))
+        assert simulator.num_cores == cpu_only_engines.cpu.platform.num_cores
+
+
+class TestSimulationBasics:
+    def test_all_queries_complete(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64, warmup_fraction=0.0)
+        result = ServingSimulator(cpu_only_engines, config).run(make_queries(50))
+        assert result.num_queries == 50
+        assert result.measured_queries == 50
+        assert len(result.latencies_s) == 50
+
+    def test_empty_stream_rejected(self, cpu_only_engines):
+        simulator = ServingSimulator(cpu_only_engines, ServingConfig(batch_size=64))
+        with pytest.raises(ValueError):
+            simulator.run([])
+
+    def test_latency_at_least_service_time(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64, warmup_fraction=0.0)
+        result = ServingSimulator(cpu_only_engines, config).run(make_queries(10, size=64, gap=1.0))
+        minimum_service = cpu_only_engines.cpu.request_latency_s(64, 1)
+        assert min(result.latencies_s) >= minimum_service * 0.99
+
+    def test_percentile_ordering(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64, warmup_fraction=0.0)
+        result = ServingSimulator(cpu_only_engines, config).run(make_queries(200, gap=0.002))
+        assert result.p50_latency_s <= result.p95_latency_s <= result.p99_latency_s
+
+    def test_warmup_excluded_from_measurement(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64, warmup_fraction=0.2)
+        result = ServingSimulator(cpu_only_engines, config).run(make_queries(100))
+        assert result.measured_queries == 80
+
+    def test_deterministic(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64)
+        queries = make_queries(100, gap=0.005)
+        a = ServingSimulator(cpu_only_engines, config).run(queries)
+        b = ServingSimulator(cpu_only_engines, config).run(queries)
+        assert a.p95_latency_s == b.p95_latency_s
+        assert a.cpu_utilization == b.cpu_utilization
+
+    def test_utilization_bounds(self, cpu_only_engines):
+        config = ServingConfig(batch_size=64)
+        result = ServingSimulator(cpu_only_engines, config).run(make_queries(100, gap=0.002))
+        assert 0.0 < result.cpu_utilization <= 1.0
+        assert result.gpu_utilization == 0.0
+        assert result.gpu_work_fraction == 0.0
+
+
+class TestLoadBehaviour:
+    def test_latency_grows_with_load(self, cpu_only_engines):
+        config = ServingConfig(batch_size=256, warmup_fraction=0.1)
+        generator = LoadGenerator(seed=1)
+        light = ServingSimulator(cpu_only_engines, config).run(
+            generator.with_rate(100).generate(300)
+        )
+        heavy = ServingSimulator(cpu_only_engines, config).run(
+            generator.with_rate(4000).generate(300)
+        )
+        assert heavy.p95_latency_s > light.p95_latency_s
+
+    def test_overload_detected_as_unstable(self, cpu_only_engines):
+        config = ServingConfig(batch_size=256, warmup_fraction=0.1)
+        generator = LoadGenerator(seed=1)
+        overloaded = ServingSimulator(cpu_only_engines, config).run(
+            generator.with_rate(50000).generate(1500)
+        )
+        assert not overloaded.is_stable(sla_latency_s=0.1)
+
+    def test_light_load_is_stable(self, cpu_only_engines):
+        config = ServingConfig(batch_size=256, warmup_fraction=0.1)
+        generator = LoadGenerator(seed=1)
+        light = ServingSimulator(cpu_only_engines, config).run(
+            generator.with_rate(200).generate(300)
+        )
+        assert light.is_stable(sla_latency_s=0.1)
+        assert light.acceptable(sla_latency_s=0.1)
+
+    def test_smaller_batches_use_more_cores_per_query(self, cpu_only_engines):
+        # With request-level parallelism a single query's latency shrinks.
+        queries = make_queries(5, size=1000, gap=5.0)
+        small_batch = ServingSimulator(
+            cpu_only_engines, ServingConfig(batch_size=50, warmup_fraction=0.0)
+        ).run(queries)
+        large_batch = ServingSimulator(
+            cpu_only_engines, ServingConfig(batch_size=1000, warmup_fraction=0.0)
+        ).run(queries)
+        assert small_batch.mean_latency_s < large_batch.mean_latency_s
+
+
+class TestGPUOffload:
+    def test_large_queries_go_to_gpu(self, engines):
+        config = ServingConfig(batch_size=64, offload_threshold=100, warmup_fraction=0.0)
+        queries = [Query(0, 0.0, 50), Query(1, 0.1, 500), Query(2, 0.2, 80)]
+        result = ServingSimulator(engines, config).run(queries)
+        expected_fraction = 500 / (50 + 500 + 80)
+        assert result.gpu_work_fraction == pytest.approx(expected_fraction)
+        assert result.gpu_utilization > 0
+
+    def test_no_offload_when_threshold_above_all_sizes(self, engines):
+        config = ServingConfig(batch_size=64, offload_threshold=1000, warmup_fraction=0.0)
+        result = ServingSimulator(engines, config).run(make_queries(20, size=64))
+        assert result.gpu_work_fraction == 0.0
+
+    def test_all_offload_when_threshold_below_all_sizes(self, engines):
+        sizes = FixedQuerySizes(256)
+        generator = LoadGenerator(sizes=sizes, seed=0)
+        config = ServingConfig(batch_size=64, offload_threshold=1, warmup_fraction=0.0)
+        result = ServingSimulator(engines, config).run(
+            generator.with_rate(50).generate(30)
+        )
+        assert result.gpu_work_fraction == pytest.approx(1.0)
+        assert result.cpu_utilization == 0.0
+
+    def test_offload_reduces_tail_latency_under_load(self, engines):
+        # With the heavy-tailed production distribution, sending the largest
+        # queries to the accelerator improves the p95 at the same load.
+        generator = LoadGenerator(seed=3)
+        queries = generator.with_rate(2000).generate(400)
+        cpu_only = ServingSimulator(
+            engines, ServingConfig(batch_size=256)
+        ).run(queries)
+        offloaded = ServingSimulator(
+            engines, ServingConfig(batch_size=256, offload_threshold=384)
+        ).run(queries)
+        assert offloaded.p95_latency_s < cpu_only.p95_latency_s

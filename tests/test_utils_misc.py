@@ -1,0 +1,135 @@
+"""Tests for repro.utils.rng, units, validation, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, derive_rng
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    bytes_to_gb,
+    bytes_to_mb,
+    flops_to_gflops,
+    ms_to_s,
+    s_to_ms,
+    s_to_us,
+    us_to_s,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_derive_from_int_is_reproducible(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_derive_passes_through_generator(self):
+        generator = np.random.default_rng(0)
+        assert derive_rng(generator) is generator
+
+    def test_factory_children_reproducible(self):
+        first = RngFactory(7).child("arrivals").random(4)
+        second = RngFactory(7).child("arrivals").random(4)
+        assert np.allclose(first, second)
+
+    def test_factory_children_independent(self):
+        factory = RngFactory(7)
+        a = factory.child("arrivals").random(4)
+        b = factory.child("sizes").random(4)
+        assert not np.allclose(a, b)
+
+    def test_factory_seed_property(self):
+        assert RngFactory(11).seed == 11
+        assert RngFactory().seed is None
+
+    def test_spawn_count(self):
+        children = RngFactory(3).spawn(4)
+        assert len(children) == 4
+
+    def test_spawn_invalid_count(self):
+        with pytest.raises(ValueError):
+            RngFactory(3).spawn(0)
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_time_conversions_roundtrip(self):
+        assert ms_to_s(s_to_ms(0.123)) == pytest.approx(0.123)
+        assert us_to_s(s_to_us(0.123)) == pytest.approx(0.123)
+
+    def test_byte_conversions(self):
+        assert bytes_to_mb(5 * MB) == pytest.approx(5.0)
+        assert bytes_to_gb(3 * GB) == pytest.approx(3.0)
+
+    def test_flops_conversion(self):
+        assert flops_to_gflops(2.5e9) == pytest.approx(2.5)
+
+
+class TestValidation:
+    def test_check_positive_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_check_positive_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            check_positive("batch_size", -2)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in text
+        assert "3.250" in text
+
+    def test_title_included(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[1.23456]], float_fmt=".1f")
+        assert "1.2" in text
+        assert "1.23" not in text
+
+    def test_alignment_width(self):
+        text = format_table(["name", "v"], [["a-very-long-name", 1]])
+        header, separator, row = text.splitlines()
+        assert len(header) == len(row)
+        assert len(separator) == len(header)

@@ -1,0 +1,154 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    PercentileTracker,
+    StreamingStats,
+    cdf_points,
+    geometric_mean,
+    max_relative_cdf_gap,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p0_and_p100_are_extremes(self):
+        samples = [5.0, 1.0, 9.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 9.0
+
+    def test_matches_numpy(self):
+        samples = list(np.random.default_rng(0).normal(size=200))
+        assert percentile(samples, 95) == pytest.approx(np.percentile(samples, 95))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestGeometricMean:
+    def test_constant_sequence(self):
+        assert geometric_mean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_two_values(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_less_than_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) < sum(values) / len(values)
+
+
+class TestCdfPoints:
+    def test_sorted_and_normalised(self):
+        values, probs = cdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probs[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(probs) > 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestMaxRelativeCdfGap:
+    def test_identical_distributions_zero_gap(self):
+        samples = list(np.random.default_rng(1).exponential(size=500))
+        assert max_relative_cdf_gap(samples, samples) == 0.0
+
+    def test_scaled_distribution_gap(self):
+        samples = list(np.random.default_rng(1).exponential(size=500))
+        scaled = [1.2 * s for s in samples]
+        gap = max_relative_cdf_gap(samples, scaled)
+        assert gap == pytest.approx(0.2, rel=1e-6)
+
+    def test_similar_samples_small_gap(self):
+        rng = np.random.default_rng(2)
+        reference = list(rng.gamma(2.0, 1.0, size=4000))
+        other = list(rng.gamma(2.0, 1.0, size=4000))
+        assert max_relative_cdf_gap(reference, other) < 0.15
+
+
+class TestPercentileTracker:
+    def test_basic_percentiles(self):
+        tracker = PercentileTracker()
+        tracker.extend(range(1, 101))
+        assert tracker.p50() == pytest.approx(50.5)
+        assert tracker.p95() == pytest.approx(95.05)
+        assert tracker.p99() == pytest.approx(99.01)
+
+    def test_warmup_excluded(self):
+        tracker = PercentileTracker(warmup=3)
+        tracker.extend([1000.0, 1000.0, 1000.0, 1.0, 2.0, 3.0])
+        assert tracker.count == 3
+        assert tracker.raw_count == 6
+        assert tracker.mean() == pytest.approx(2.0)
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(ValueError):
+            PercentileTracker(warmup=-1)
+
+    def test_empty_after_warmup_raises(self):
+        tracker = PercentileTracker(warmup=5)
+        tracker.add(1.0)
+        with pytest.raises(ValueError):
+            tracker.p95()
+
+    def test_samples_returns_copy(self):
+        tracker = PercentileTracker()
+        tracker.add(1.0)
+        samples = tracker.samples()
+        samples.append(99.0)
+        assert tracker.count == 1
+
+
+class TestStreamingStats:
+    def test_mean_and_variance(self):
+        stats = StreamingStats()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            stats.add(value)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+        assert stats.std == pytest.approx(math.sqrt(np.var(values, ddof=1)))
+
+    def test_min_max_total(self):
+        stats = StreamingStats()
+        for value in [3.0, -1.0, 10.0]:
+            stats.add(value)
+        assert stats.minimum == -1.0
+        assert stats.maximum == 10.0
+        assert stats.total == pytest.approx(12.0)
+
+    def test_empty_statistics(self):
+        stats = StreamingStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        with pytest.raises(ValueError):
+            _ = stats.minimum
+
+    def test_single_sample_variance_zero(self):
+        stats = StreamingStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
