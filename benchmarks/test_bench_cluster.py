@@ -1,0 +1,24 @@
+"""Fleet-scaling benchmark: cluster capacity vs fleet size and balancing policy."""
+
+
+def test_bench_cluster_scaling(run_and_report):
+    """QPS-at-SLA scales with fleet size; load-aware balancing beats round-robin."""
+    result = run_and_report("figure-15")
+    qps = result.metadata["qps_by_policy"]
+    efficiency = result.metadata["scaling_efficiency"]
+    hetero = result.metadata["hetero_qps"]
+
+    sizes = sorted(next(iter(qps.values())), key=int)
+    smallest, largest = sizes[0], sizes[-1]
+    for policy, by_size in qps.items():
+        # Capacity grows meaningfully with fleet size under every policy.
+        assert by_size[largest] > 2.5 * by_size[smallest], policy
+        # No policy loses more than a sliver of linear scaling at benchmark fidelity.
+        assert efficiency[policy][largest] >= 0.9, policy
+
+    for policy in ("least-outstanding", "power-of-two"):
+        # Load-aware balancing sustains at least round-robin's capacity everywhere.
+        for size in sizes:
+            assert qps[policy][size] >= qps["round-robin"][size], (policy, size)
+        # Attaching accelerators to half the fleet adds real capacity.
+        assert hetero[policy] > 1.2 * qps[policy][largest], policy

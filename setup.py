@@ -1,15 +1,16 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-offline environments whose setuptools lacks wheel support (legacy editable
-installs go through ``setup.py develop``).
+Project metadata canonically lives in ``pyproject.toml``; it is duplicated
+here (values must match) because the audience of this shim is offline
+machines with pre-61 setuptools, whose legacy ``setup.py develop`` editable
+install cannot read the ``[project]`` table at all.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of DeepRecSys: optimizing end-to-end at-scale neural "
         "recommendation inference (ISCA 2020)"

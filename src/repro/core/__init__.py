@@ -1,8 +1,20 @@
 """DeepRecSched: hill-climbing scheduler for latency-bounded recommendation inference."""
 
 from repro.core.batch_tuner import BatchSizeTuner, BatchTuningResult
-from repro.core.hill_climber import ClimbResult, hill_climb, power_of_two_candidates
-from repro.core.offload_tuner import OffloadThresholdTuner, OffloadTuningResult
+from repro.core.hill_climber import (
+    ClimbResult,
+    DescentResult,
+    coordinate_descent,
+    hill_climb,
+    power_of_two_candidates,
+)
+from repro.core.offload_tuner import (
+    FleetKnobTuner,
+    FleetTuningResult,
+    OffloadThresholdTuner,
+    OffloadTuningResult,
+    offload_threshold_candidates,
+)
 from repro.core.scheduler import DeepRecSched, OperatingPoint
 from repro.core.static_scheduler import StaticSchedulerPolicy, static_batch_size
 
@@ -10,10 +22,15 @@ __all__ = [
     "BatchSizeTuner",
     "BatchTuningResult",
     "ClimbResult",
+    "DescentResult",
+    "coordinate_descent",
     "hill_climb",
     "power_of_two_candidates",
+    "FleetKnobTuner",
+    "FleetTuningResult",
     "OffloadThresholdTuner",
     "OffloadTuningResult",
+    "offload_threshold_candidates",
     "DeepRecSched",
     "OperatingPoint",
     "StaticSchedulerPolicy",

@@ -10,7 +10,7 @@ times in a row.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, List, Sequence, TypeVar
+from typing import Any, Callable, Dict, Generic, List, Mapping, Sequence, Tuple, TypeVar
 
 from repro.utils.validation import check_positive
 
@@ -97,6 +97,89 @@ def hill_climb(
                 break
     return ClimbResult(
         best_candidate=best_candidate, best_value=best_value, evaluations=evaluations
+    )
+
+
+@dataclass
+class DescentResult:
+    """Outcome of one coordinate descent over several named knobs.
+
+    Attributes
+    ----------
+    best_knobs:
+        Knob assignment with the highest objective value found.
+    best_value:
+        Objective value at ``best_knobs``.
+    evaluations:
+        Every distinct knob assignment evaluated, in evaluation order.
+    """
+
+    best_knobs: Dict[str, Any]
+    best_value: float
+    evaluations: List[Tuple[Dict[str, Any], float]]
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of distinct objective evaluations performed."""
+        return len(self.evaluations)
+
+
+def coordinate_descent(
+    candidates_by_knob: Mapping[str, Sequence[Any]],
+    objective: Callable[[Dict[str, Any]], float],
+    sweeps: int = 2,
+    patience: int = 2,
+    relative_tolerance: float = 0.0,
+) -> DescentResult:
+    """Maximise ``objective`` over several knobs, one knob at a time.
+
+    Each sweep runs :func:`hill_climb` along every knob's candidate list in
+    turn, holding the other knobs at their current best values; sweeps stop
+    early once a full pass yields no improvement.  This is the multi-knob
+    generalisation of the DeepRecSched tuning loop and is what the fleet
+    tuner uses to co-tune the per-server batch size with the balancing
+    policy.  Assignments are memoised, so re-visiting a point costs nothing.
+
+    Knob candidate values must be hashable (ints, strings, enums, ...).
+    """
+    if not candidates_by_knob:
+        raise ValueError("candidates_by_knob must not be empty")
+    for knob, candidates in candidates_by_knob.items():
+        if not candidates:
+            raise ValueError(f"knob {knob!r} has no candidates")
+    check_positive("sweeps", sweeps)
+
+    cache: Dict[Tuple, float] = {}
+    evaluations: List[Tuple[Dict[str, Any], float]] = []
+
+    def evaluate(knobs: Dict[str, Any]) -> float:
+        key = tuple(sorted(knobs.items()))
+        if key not in cache:
+            value = objective(dict(knobs))
+            cache[key] = value
+            evaluations.append((dict(knobs), value))
+        return cache[key]
+
+    best_knobs = {knob: candidates[0] for knob, candidates in candidates_by_knob.items()}
+    best_value = evaluate(best_knobs)
+
+    for _ in range(sweeps):
+        improved = False
+        for knob, candidates in candidates_by_knob.items():
+            climb = hill_climb(
+                candidates,
+                lambda candidate: evaluate({**best_knobs, knob: candidate}),
+                patience=patience,
+                relative_tolerance=relative_tolerance,
+            )
+            if climb.best_value > best_value * (1.0 + relative_tolerance):
+                best_value = climb.best_value
+                best_knobs = {**best_knobs, knob: climb.best_candidate}
+                improved = True
+        if not improved:
+            break
+    return DescentResult(
+        best_knobs=best_knobs, best_value=best_value, evaluations=evaluations
     )
 
 

@@ -5,20 +5,46 @@ batch size fixed by :class:`~repro.core.batch_tuner.BatchSizeTuner`, start
 from a unit query-size threshold (every query offloaded to the accelerator)
 and hill-climb over increasing thresholds — shrinking the share of work on
 the accelerator — until the latency-bounded throughput stops improving.
+
+:class:`FleetKnobTuner` lifts the same tuning loop to a whole fleet: it
+co-tunes the fleet-wide batch size with the load-balancing policy (and,
+for accelerator-attached fleets, the offload threshold) against the
+cluster's QPS-at-SLA capacity via coordinate descent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.hill_climber import ClimbResult, hill_climb, power_of_two_candidates
+from repro.core.hill_climber import (
+    ClimbResult,
+    DescentResult,
+    coordinate_descent,
+    hill_climb,
+    power_of_two_candidates,
+)
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
 from repro.queries.size_dist import MAX_QUERY_SIZE
 from repro.serving.capacity import find_max_qps
+from repro.serving.cluster import ClusterServer, available_balancers, find_cluster_max_qps
 from repro.serving.simulator import ServingConfig, SimulationResult
 from repro.utils.validation import check_positive
+
+
+def offload_threshold_candidates(max_threshold: int = MAX_QUERY_SIZE) -> List[int]:
+    """The DeepRecSched threshold ladder: unit threshold, then powers of two.
+
+    Starts at 1 (every query offloaded, exactly as Section IV-C describes)
+    and climbs through power-of-two thresholds from 16 up; thresholds in
+    (1, 16) sit below the bulk of the query-size distribution and route
+    essentially everything to the accelerator, so the ladder skips them.
+    Shared by the single-server and fleet tuners so their search spaces
+    cannot diverge.
+    """
+    check_positive("max_threshold", max_threshold)
+    return [1] + power_of_two_candidates(16, max_threshold)
 
 
 @dataclass(frozen=True)
@@ -67,14 +93,9 @@ class OffloadThresholdTuner:
     def candidates(self) -> List[int]:
         """Threshold candidates explored by the hill climb.
 
-        Starts at the unit threshold (all queries on the accelerator, exactly
-        as Section IV-C describes) and then climbs through power-of-two
-        thresholds; very small thresholds below the bulk of the query-size
-        distribution route essentially everything to the accelerator, so the
-        climb skips straight from 1 to 16.
+        See :func:`offload_threshold_candidates` for the ladder's rationale.
         """
-        powers = [c for c in power_of_two_candidates(16, self._max_threshold) if c >= 16]
-        return [1] + powers
+        return offload_threshold_candidates(self._max_threshold)
 
     def _evaluate(
         self, threshold: int, batch_size: int, sla_latency_s: float
@@ -117,4 +138,122 @@ class OffloadThresholdTuner:
             sla_latency_s=sla_latency_s,
             qps_by_threshold=climb.as_dict(),
             gpu_work_fraction=gpu_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class FleetTuningResult:
+    """Outcome of one fleet-wide knob tuning run."""
+
+    best_batch_size: int
+    best_policy: str
+    best_threshold: Optional[int]
+    best_qps: float
+    sla_latency_s: float
+    evaluations: Tuple[Tuple[Dict[str, Any], float], ...]
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of distinct knob assignments evaluated."""
+        return len(self.evaluations)
+
+
+class FleetKnobTuner:
+    """Coordinate-descent tuner for fleet-wide serving knobs.
+
+    Tunes the per-server batch size together with the load-balancing policy
+    (and the offload threshold, when any server has an accelerator) to
+    maximise the fleet's latency-bounded throughput.  The objective of every
+    knob assignment is one :func:`~repro.serving.cluster.find_cluster_max_qps`
+    search, so tuned knobs account for balancing losses, not just per-server
+    throughput.
+    """
+
+    def __init__(
+        self,
+        engines_per_server: Sequence[EnginePair],
+        load_generator: LoadGenerator,
+        num_cores: int = 0,
+        num_queries: int = 400,
+        capacity_iterations: int = 4,
+        batch_candidates: Optional[Sequence[int]] = None,
+        policies: Optional[Sequence[str]] = None,
+        threshold_candidates: Optional[Sequence[int]] = None,
+        sweeps: int = 2,
+        patience: int = 2,
+    ) -> None:
+        if not engines_per_server:
+            raise ValueError("fleet tuning requires at least one server")
+        check_positive("num_queries", num_queries)
+        check_positive("capacity_iterations", capacity_iterations)
+        self._engines = list(engines_per_server)
+        self._load_generator = load_generator
+        self._num_cores = num_cores
+        self._num_queries = num_queries
+        self._capacity_iterations = capacity_iterations
+        self._batch_candidates = (
+            list(batch_candidates)
+            if batch_candidates is not None
+            else power_of_two_candidates(64, 1024)
+        )
+        self._policies = list(policies) if policies is not None else available_balancers()
+        self._has_accelerator = any(pair.has_accelerator for pair in self._engines)
+        if threshold_candidates is not None and not self._has_accelerator:
+            raise ValueError(
+                "threshold_candidates given but no server has an accelerator"
+            )
+        if threshold_candidates is not None:
+            self._threshold_candidates: Optional[List[int]] = list(threshold_candidates)
+        elif self._has_accelerator:
+            self._threshold_candidates = offload_threshold_candidates()
+        else:
+            self._threshold_candidates = None
+        self._sweeps = sweeps
+        self._patience = patience
+
+    def _fleet(self, batch_size: int, threshold: Optional[int]) -> List[ClusterServer]:
+        servers = []
+        for index, engines in enumerate(self._engines):
+            config = ServingConfig(
+                batch_size=batch_size,
+                num_cores=self._num_cores,
+                offload_threshold=threshold if engines.has_accelerator else None,
+            )
+            servers.append(
+                ClusterServer(engines=engines, config=config, name=f"server-{index}")
+            )
+        return servers
+
+    def tune(self, sla_latency_s: float) -> FleetTuningResult:
+        """Co-tune the fleet knobs and return the best assignment found."""
+        check_positive("sla_latency_s", sla_latency_s)
+        candidates: Dict[str, Sequence[Any]] = {
+            "batch_size": self._batch_candidates,
+            "policy": self._policies,
+        }
+        if self._threshold_candidates is not None:
+            candidates["offload_threshold"] = self._threshold_candidates
+
+        def objective(knobs: Dict[str, Any]) -> float:
+            servers = self._fleet(knobs["batch_size"], knobs.get("offload_threshold"))
+            outcome = find_cluster_max_qps(
+                servers,
+                knobs["policy"],
+                sla_latency_s,
+                self._load_generator,
+                num_queries=self._num_queries,
+                iterations=self._capacity_iterations,
+            )
+            return outcome.max_qps
+
+        descent: DescentResult = coordinate_descent(
+            candidates, objective, sweeps=self._sweeps, patience=self._patience
+        )
+        return FleetTuningResult(
+            best_batch_size=descent.best_knobs["batch_size"],
+            best_policy=descent.best_knobs["policy"],
+            best_threshold=descent.best_knobs.get("offload_threshold"),
+            best_qps=descent.best_value,
+            sla_latency_s=sla_latency_s,
+            evaluations=tuple(descent.evaluations),
         )

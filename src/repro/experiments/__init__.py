@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     fig12_parallelism,
     fig13_production,
     fig14_gpu_tradeoff,
+    fig15_cluster_scaling,
     table1_models,
     table2_sla,
 )
@@ -24,13 +25,23 @@ from repro.experiments.registry import (
     register_experiment,
 )
 from repro.experiments.result import ExperimentResult
-from repro.experiments.runner import render_report, run_experiment, run_experiments
+from repro.experiments.runner import (
+    SweepOutcome,
+    SweepRunner,
+    config_hash,
+    render_report,
+    run_experiment,
+    run_experiments,
+)
 
 __all__ = [
     "available_experiments",
     "get_experiment",
     "register_experiment",
     "ExperimentResult",
+    "SweepOutcome",
+    "SweepRunner",
+    "config_hash",
     "render_report",
     "run_experiment",
     "run_experiments",

@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -34,6 +35,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output", default="", help="Write the report to a file as well as stdout."
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="Worker processes for running experiments in parallel (0 = all cores).",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        help="Directory for the on-disk result cache (reruns become instant).",
+    )
     return parser
 
 
@@ -45,8 +57,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
 
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
     ids = args.experiments or None
-    results = run_experiments(ids)
+    results = run_experiments(
+        ids,
+        processes=args.jobs if args.jobs else (os.cpu_count() or 1),
+        cache_dir=args.cache_dir or None,
+    )
     report = render_report(results)
     print(report)
     if args.output:

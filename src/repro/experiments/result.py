@@ -67,6 +67,24 @@ class ExperimentResult:
             "metadata": dict(self.metadata),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a sweep cache entry).
+
+        Round-tripping through JSON turns tuples into lists and integer
+        metadata keys into strings; consumers of cached results should index
+        metadata accordingly (the drivers in this repo already use string
+        keys).
+        """
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload.get("title", ""),
+            headers=list(payload.get("headers", [])),
+            rows=[list(row) for row in payload.get("rows", [])],
+            notes=payload.get("notes", ""),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
     def column(self, name: str) -> List[Any]:
         """All values of one named column."""
         if name not in self.headers:

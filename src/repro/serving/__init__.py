@@ -1,17 +1,57 @@
 """At-scale serving: SLA targets, query splitting, event-driven simulation, capacity search."""
 
-from repro.serving.capacity import CapacityResult, estimate_upper_bound_qps, find_max_qps
+from repro.serving.capacity import (
+    CapacityResult,
+    bisect_max_qps,
+    estimate_upper_bound_qps,
+    find_max_qps,
+)
+from repro.serving.cluster import (
+    ClusterServer,
+    ClusterSimulationResult,
+    ClusterSimulator,
+    LeastOutstandingBalancer,
+    LoadBalancer,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    ServerLoadSummary,
+    available_balancers,
+    estimate_fleet_upper_bound_qps,
+    find_cluster_max_qps,
+    get_balancer,
+    homogeneous_fleet,
+)
 from repro.serving.request import Request, num_requests, split_query
-from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.serving.simulator import (
+    ServerKernel,
+    ServingConfig,
+    ServingSimulator,
+    SimulationResult,
+)
 from repro.serving.sla import SLATarget, SLATier, TIER_MULTIPLIERS, sla_target, sla_targets
 
 __all__ = [
     "CapacityResult",
+    "bisect_max_qps",
     "estimate_upper_bound_qps",
     "find_max_qps",
+    "ClusterServer",
+    "ClusterSimulationResult",
+    "ClusterSimulator",
+    "LeastOutstandingBalancer",
+    "LoadBalancer",
+    "PowerOfTwoBalancer",
+    "RoundRobinBalancer",
+    "ServerLoadSummary",
+    "available_balancers",
+    "estimate_fleet_upper_bound_qps",
+    "find_cluster_max_qps",
+    "get_balancer",
+    "homogeneous_fleet",
     "Request",
     "num_requests",
     "split_query",
+    "ServerKernel",
     "ServingConfig",
     "ServingSimulator",
     "SimulationResult",

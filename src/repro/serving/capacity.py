@@ -10,7 +10,7 @@ at each candidate rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
@@ -21,7 +21,13 @@ from repro.utils.validation import check_positive
 
 @dataclass(frozen=True)
 class CapacityResult:
-    """Outcome of one capacity search."""
+    """Outcome of one capacity search.
+
+    ``result`` is the simulation outcome at the best sustainable rate — a
+    :class:`SimulationResult` for single-server searches, or a
+    :class:`~repro.serving.cluster.ClusterSimulationResult` for fleet
+    searches (both expose the ``acceptable`` criterion the search uses).
+    """
 
     max_qps: float
     sla_latency_s: float
@@ -87,50 +93,42 @@ def measurement_queries(
     return max(min_queries, min(max_queries, needed))
 
 
-def find_max_qps(
-    engines: EnginePair,
-    config: ServingConfig,
-    sla_latency_s: float,
-    load_generator: LoadGenerator,
-    num_queries: int = 800,
-    iterations: int = 7,
-    headroom: float = 1.3,
-    max_queries: int = 8000,
-) -> CapacityResult:
-    """Bisection search for the maximum QPS meeting the p95 SLA.
+def offload_size_stats(
+    sizes: QuerySizeDistribution, threshold: Optional[int]
+) -> tuple:
+    """(fraction, mean size) of queries above an offload threshold.
 
-    ``load_generator`` provides the arrival process and query-size
-    distribution; its configured rate is ignored (the search sets the rate).
-    A rate only counts as sustainable when the run both meets the p95 target
-    and shows no sign of an unbounded backlog (``SimulationResult.acceptable``).
-    Returns max_qps=0 and result=None when the SLA cannot be met at any load
-    (e.g. a single large query already exceeds the target).
+    Returns ``(0.0, 0.0)`` when offloading is disabled.  Used to feed the
+    accelerator term of :func:`estimate_upper_bound_qps`.
+    """
+    if threshold is None:
+        return 0.0, 0.0
+    samples = sizes.sample(4000, rng=11)
+    above = samples[samples > threshold]
+    large_fraction = len(above) / len(samples)
+    mean_large = float(above.mean()) if len(above) else 0.0
+    return large_fraction, mean_large
+
+
+def bisect_max_qps(
+    evaluate: Callable[[float], SimulationResult],
+    upper_qps: float,
+    sla_latency_s: float,
+    iterations: int,
+) -> CapacityResult:
+    """Bisection search over offered load for the largest acceptable rate.
+
+    ``evaluate(rate_qps)`` must run the system at that offered load and
+    return a result exposing ``acceptable(sla_latency_s)`` (any of the
+    simulation result types qualifies).  ``upper_qps`` is an optimistic
+    starting bracket; if the system still meets the SLA there, the bracket is
+    raised before bisecting.
     """
     check_positive("sla_latency_s", sla_latency_s)
-    check_positive("num_queries", num_queries)
     check_positive("iterations", iterations)
+    check_positive("upper_qps", upper_qps)
 
-    sizes: QuerySizeDistribution = load_generator.sizes
-    mean_size = sizes.mean()
-    threshold = config.offload_threshold
-    large_fraction = 0.0
-    mean_large = 0.0
-    if threshold is not None:
-        samples = sizes.sample(4000, rng=11)
-        above = samples[samples > threshold]
-        large_fraction = len(above) / len(samples)
-        mean_large = float(above.mean()) if len(above) else 0.0
-
-    upper = headroom * estimate_upper_bound_qps(
-        engines, config, mean_size, large_fraction, mean_large
-    )
-    simulator = ServingSimulator(engines, config)
-
-    def evaluate(rate_qps: float) -> SimulationResult:
-        generator = load_generator.with_rate(rate_qps)
-        count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
-        return simulator.run(generator.generate(count))
-
+    upper = upper_qps
     # Make sure the bracket actually contains the SLA boundary: if the upper
     # bound still meets the SLA, raise it.
     for _ in range(3):
@@ -163,3 +161,42 @@ def find_max_qps(
     return CapacityResult(
         max_qps=best_rate, sla_latency_s=sla_latency_s, result=best_result
     )
+
+
+def find_max_qps(
+    engines: EnginePair,
+    config: ServingConfig,
+    sla_latency_s: float,
+    load_generator: LoadGenerator,
+    num_queries: int = 800,
+    iterations: int = 7,
+    headroom: float = 1.3,
+    max_queries: int = 8000,
+) -> CapacityResult:
+    """Bisection search for the maximum QPS meeting the p95 SLA.
+
+    ``load_generator`` provides the arrival process and query-size
+    distribution; its configured rate is ignored (the search sets the rate).
+    A rate only counts as sustainable when the run both meets the p95 target
+    and shows no sign of an unbounded backlog (``SimulationResult.acceptable``).
+    Returns max_qps=0 and result=None when the SLA cannot be met at any load
+    (e.g. a single large query already exceeds the target).
+    """
+    check_positive("sla_latency_s", sla_latency_s)
+    check_positive("num_queries", num_queries)
+
+    sizes: QuerySizeDistribution = load_generator.sizes
+    mean_size = sizes.mean()
+    large_fraction, mean_large = offload_size_stats(sizes, config.offload_threshold)
+
+    upper = headroom * estimate_upper_bound_qps(
+        engines, config, mean_size, large_fraction, mean_large
+    )
+    simulator = ServingSimulator(engines, config)
+
+    def evaluate(rate_qps: float) -> SimulationResult:
+        generator = load_generator.with_rate(rate_qps)
+        count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
+        return simulator.run(generator.generate(count))
+
+    return bisect_max_qps(evaluate, upper, sla_latency_s, iterations)

@@ -1,0 +1,478 @@
+"""Fleet-scale serving: a multi-server cluster simulator with pluggable balancing.
+
+The paper evaluates recommendation inference on production fleets of
+heterogeneous servers, not on one machine.  :class:`ClusterSimulator` fans a
+single query stream out across N simulated servers — each an independent
+:class:`~repro.serving.simulator.ServerKernel`, optionally heterogeneous
+(different platforms, core counts, batch sizes, with or without an attached
+accelerator) — behind a pluggable load balancer, and aggregates fleet-level
+tail latency, per-server utilisation, and QPS-at-SLA capacity.
+
+Balancing decisions are made *online*, at each query's arrival instant,
+against the servers' live outstanding-work counters; because every server
+runs the same event mechanics as :class:`ServingSimulator` from a shared
+event heap, a cluster of one server reproduces the single-server simulator's
+measurements exactly.
+
+Three balancing policies ship by default:
+
+* ``round-robin`` — cycle through servers regardless of load;
+* ``least-outstanding`` — send each query to the server with the least
+  outstanding work (items queued or in flight);
+* ``power-of-two`` — sample two distinct servers uniformly and pick the less
+  loaded one (the classic "power of two choices" scheme, which captures most
+  of least-outstanding's benefit with O(1) state probes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.execution.engine import EnginePair
+from repro.queries.generator import LoadGenerator
+from repro.queries.query import Query
+from repro.serving.capacity import (
+    CapacityResult,
+    bisect_max_qps,
+    estimate_upper_bound_qps,
+    measurement_queries,
+    offload_size_stats,
+)
+from repro.serving.simulator import (
+    EVT_ARRIVAL,
+    EVT_CPU_DONE,
+    SLACriteriaMixin,
+    ServerKernel,
+    ServingConfig,
+    late_window_p95,
+    resolve_num_cores,
+)
+from repro.utils.stats import PercentileTracker
+from repro.utils.validation import check_positive
+
+
+# --------------------------------------------------------------------------- #
+# Load-balancing policies
+# --------------------------------------------------------------------------- #
+
+
+class LoadBalancer(ABC):
+    """Chooses the destination server for each arriving query.
+
+    Balancers are stateful across one simulated run (``reset`` is called at
+    the start of every :meth:`ClusterSimulator.run`) and observe the fleet
+    through each kernel's live ``outstanding_items`` counter — the same
+    signal a production balancer gets from per-backend in-flight counters.
+    """
+
+    #: Registry name of the policy (e.g. ``"round-robin"``).
+    name: str = ""
+
+    def reset(self, num_servers: int) -> None:
+        """Prepare for a fresh run over ``num_servers`` servers."""
+
+    @abstractmethod
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        """Index of the server that should execute ``query``."""
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle through the fleet, ignoring load (the stateless baseline)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self, num_servers: int) -> None:
+        self._next = 0
+
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        index = self._next % len(servers)
+        self._next += 1
+        return index
+
+
+class LeastOutstandingBalancer(LoadBalancer):
+    """Send each query to the server with the least outstanding work.
+
+    Outstanding *items* (not query count) is the load signal, so a server
+    chewing on one huge query is correctly seen as busier than one holding
+    several small queries.  Ties break toward the lowest server index.
+    """
+
+    name = "least-outstanding"
+
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        return min(range(len(servers)), key=lambda i: (servers[i].outstanding_items, i))
+
+
+class PowerOfTwoBalancer(LoadBalancer):
+    """Probe two random servers, pick the less loaded (power-of-two-choices)."""
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, num_servers: int) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        count = len(servers)
+        if count == 1:
+            return 0
+        first = int(self._rng.integers(count))
+        second = int(self._rng.integers(count - 1))
+        if second >= first:
+            second += 1
+        if servers[second].outstanding_items < servers[first].outstanding_items:
+            return second
+        return first
+
+
+_BALANCER_REGISTRY = {
+    RoundRobinBalancer.name: RoundRobinBalancer,
+    LeastOutstandingBalancer.name: LeastOutstandingBalancer,
+    PowerOfTwoBalancer.name: PowerOfTwoBalancer,
+}
+
+
+def available_balancers() -> List[str]:
+    """Registered balancing-policy names, sorted."""
+    return sorted(_BALANCER_REGISTRY)
+
+
+def get_balancer(policy: Union[str, LoadBalancer], seed: int = 0) -> LoadBalancer:
+    """Resolve a policy name (or pass through an instance) to a balancer.
+
+    ``seed`` only affects randomised policies (power-of-two-choices).
+    """
+    if isinstance(policy, LoadBalancer):
+        return policy
+    key = str(policy).lower()
+    if key not in _BALANCER_REGISTRY:
+        raise KeyError(
+            f"unknown balancing policy {policy!r}; available: {available_balancers()}"
+        )
+    factory = _BALANCER_REGISTRY[key]
+    if factory is PowerOfTwoBalancer:
+        return PowerOfTwoBalancer(seed=seed)
+    return factory()
+
+
+# --------------------------------------------------------------------------- #
+# Fleet description and results
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ClusterServer:
+    """One server of the fleet: its engines plus its scheduling configuration."""
+
+    engines: EnginePair
+    config: ServingConfig
+    name: str = ""
+
+
+def homogeneous_fleet(
+    engines: EnginePair, config: ServingConfig, num_servers: int
+) -> List[ClusterServer]:
+    """A fleet of ``num_servers`` identical servers sharing one engine pair.
+
+    Engines are pure latency models, so sharing one instance across servers
+    is safe; all per-run state lives in each server's kernel.
+    """
+    check_positive("num_servers", num_servers)
+    return [
+        ClusterServer(engines=engines, config=config, name=f"server-{index}")
+        for index in range(num_servers)
+    ]
+
+
+@dataclass(frozen=True)
+class ServerLoadSummary:
+    """Per-server slice of one cluster run."""
+
+    name: str
+    num_queries: int
+    num_items: int
+    cpu_utilization: float
+    gpu_utilization: float
+    gpu_work_fraction: float
+    query_share: float
+
+
+@dataclass
+class ClusterSimulationResult(SLACriteriaMixin):
+    """Fleet-level measurements from one cluster run.
+
+    The SLA/stability acceptance criterion (``meets_sla`` / ``is_stable`` /
+    ``acceptable``) is inherited from :class:`SLACriteriaMixin`, so fleet
+    capacity searches judge runs by exactly the single-server rule.
+    """
+
+    policy: str
+    num_servers: int
+    num_queries: int
+    measured_queries: int
+    duration_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    achieved_qps: float
+    offered_qps: float
+    fleet_cpu_utilization: float
+    per_server: List[ServerLoadSummary]
+    p95_late_window_s: float = 0.0
+    drain_s: float = 0.0
+    arrival_span_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list, repr=False)
+
+    def max_query_share(self) -> float:
+        """Largest fraction of the stream any one server absorbed."""
+        return max(summary.query_share for summary in self.per_server)
+
+
+# --------------------------------------------------------------------------- #
+# The cluster simulator
+# --------------------------------------------------------------------------- #
+
+
+class ClusterSimulator:
+    """Event-driven simulator for a fleet of inference servers.
+
+    All servers share one event heap and one clock; the balancer routes each
+    query at its arrival instant using the kernels' live outstanding-work
+    counters, so balancing decisions see exactly the state a real balancer
+    would.  With a single server every policy degenerates to pass-through and
+    the run is event-for-event identical to :class:`ServingSimulator`.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[ClusterServer],
+        balancer: Union[str, LoadBalancer] = "least-outstanding",
+        warmup_fraction: Optional[float] = None,
+        balancer_seed: int = 0,
+    ) -> None:
+        if not servers:
+            raise ValueError("a cluster needs at least one server")
+        self._servers = [
+            ClusterServer(
+                engines=server.engines,
+                config=server.config,
+                name=server.name or f"server-{index}",
+            )
+            for index, server in enumerate(servers)
+        ]
+        # Validate every server's configuration up front (core counts,
+        # offload thresholds) so a bad fleet fails fast, not mid-run.
+        self._cores = [
+            resolve_num_cores(server.engines, server.config) for server in self._servers
+        ]
+        self._balancer = get_balancer(balancer, seed=balancer_seed)
+        if warmup_fraction is not None and not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        self._warmup_fraction = warmup_fraction
+
+    @property
+    def servers(self) -> List[ClusterServer]:
+        """The fleet's server descriptions."""
+        return list(self._servers)
+
+    @property
+    def num_servers(self) -> int:
+        """Fleet size."""
+        return len(self._servers)
+
+    @property
+    def policy(self) -> str:
+        """Name of the active balancing policy."""
+        return self._balancer.name or type(self._balancer).__name__
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, queries: Sequence[Query]) -> ClusterSimulationResult:
+        """Serve ``queries`` across the fleet and return fleet measurements."""
+        if not queries:
+            raise ValueError("cannot simulate an empty query stream")
+
+        ordered = sorted(queries, key=lambda q: q.arrival_time)
+        warmup_fraction = (
+            self._warmup_fraction
+            if self._warmup_fraction is not None
+            else self._servers[0].config.warmup_fraction
+        )
+        warmup_count = int(len(ordered) * warmup_fraction)
+        warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+
+        counter = itertools.count()
+        # Events carry (time, kind, seq, server_index, payload); arrivals use
+        # server_index -1 because the balancer assigns them at pop time.
+        events: List[tuple] = []
+        for query in ordered:
+            heapq.heappush(
+                events, (query.arrival_time, EVT_ARRIVAL, next(counter), -1, query)
+            )
+
+        def make_schedule(server_index: int) -> Callable[[float, int, int], None]:
+            def schedule(time: float, kind: int, query_id: int) -> None:
+                heapq.heappush(events, (time, kind, next(counter), server_index, query_id))
+
+            return schedule
+
+        kernels = [
+            ServerKernel(server.engines, server.config, cores, make_schedule(index))
+            for index, (server, cores) in enumerate(zip(self._servers, self._cores))
+        ]
+        self._balancer.reset(len(kernels))
+
+        tracker = PercentileTracker()
+        first_arrival = ordered[0].arrival_time
+        last_completion = first_arrival
+
+        while events:
+            now, kind, _, server_index, payload = heapq.heappop(events)
+            if kind == EVT_ARRIVAL:
+                chosen = self._balancer.choose(payload, kernels)
+                if not 0 <= chosen < len(kernels):
+                    raise ValueError(
+                        f"balancer {self.policy!r} chose server {chosen} of "
+                        f"{len(kernels)}"
+                    )
+                kernels[chosen].submit(payload, now)
+                continue
+            if kind == EVT_CPU_DONE:
+                completed = kernels[server_index].on_cpu_done(payload, now)
+            else:  # EVT_GPU_DONE
+                completed = kernels[server_index].on_gpu_done(payload, now)
+            if completed is not None:
+                last_completion = max(last_completion, now)
+                if completed.query_id not in warmup_ids:
+                    tracker.add(now - completed.arrival_time)
+
+        duration = max(last_completion - first_arrival, 1e-9)
+        offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
+        measured = tracker.count
+        if measured == 0:
+            raise ValueError(
+                "no queries outside the warmup window; lower warmup_fraction or "
+                "send more queries"
+            )
+        samples = tracker.samples()
+
+        total_queries = len(ordered)
+        per_server: List[ServerLoadSummary] = []
+        total_core_busy = 0.0
+        total_cores = 0
+        for server, kernel in zip(self._servers, kernels):
+            total_core_busy += kernel.cpu_busy_time
+            total_cores += kernel.num_cores
+            per_server.append(
+                ServerLoadSummary(
+                    name=server.name,
+                    num_queries=kernel.num_submitted,
+                    num_items=kernel.total_items,
+                    cpu_utilization=min(
+                        1.0, kernel.cpu_busy_time / (kernel.num_cores * duration)
+                    ),
+                    gpu_utilization=min(1.0, kernel.gpu_busy_time / duration),
+                    gpu_work_fraction=(
+                        kernel.gpu_items / kernel.total_items
+                        if kernel.total_items
+                        else 0.0
+                    ),
+                    query_share=kernel.num_submitted / total_queries,
+                )
+            )
+
+        return ClusterSimulationResult(
+            policy=self.policy,
+            num_servers=len(kernels),
+            num_queries=total_queries,
+            measured_queries=measured,
+            duration_s=duration,
+            p50_latency_s=tracker.p50(),
+            p95_latency_s=tracker.p95(),
+            p99_latency_s=tracker.p99(),
+            mean_latency_s=tracker.mean(),
+            achieved_qps=total_queries / duration,
+            offered_qps=total_queries / offered_duration,
+            fleet_cpu_utilization=min(1.0, total_core_busy / (total_cores * duration)),
+            per_server=per_server,
+            p95_late_window_s=late_window_p95(samples),
+            drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
+            arrival_span_s=offered_duration,
+            latencies_s=samples,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Fleet capacity
+# --------------------------------------------------------------------------- #
+
+
+def estimate_fleet_upper_bound_qps(
+    servers: Sequence[ClusterServer], load_generator: LoadGenerator
+) -> float:
+    """Optimistic fleet throughput bound: the sum of per-server bounds."""
+    if not servers:
+        raise ValueError("a cluster needs at least one server")
+    sizes = load_generator.sizes
+    mean_size = sizes.mean()
+    total = 0.0
+    for server in servers:
+        large_fraction, mean_large = offload_size_stats(
+            sizes, server.config.offload_threshold
+        )
+        total += estimate_upper_bound_qps(
+            server.engines, server.config, mean_size, large_fraction, mean_large
+        )
+    return total
+
+
+def find_cluster_max_qps(
+    servers: Sequence[ClusterServer],
+    balancer: Union[str, LoadBalancer],
+    sla_latency_s: float,
+    load_generator: LoadGenerator,
+    num_queries: int = 600,
+    iterations: int = 6,
+    headroom: float = 1.3,
+    max_queries: int = 8000,
+    warmup_fraction: Optional[float] = None,
+    balancer_seed: int = 0,
+) -> CapacityResult:
+    """Bisection search for the fleet's maximum QPS under the p95 SLA.
+
+    The fleet analogue of :func:`repro.serving.capacity.find_max_qps`: the
+    offered stream is generated once per candidate rate and routed by the
+    balancer, so the measured capacity includes balancing losses (a skewed
+    policy saturates one server before the fleet is nominally full).
+    """
+    check_positive("num_queries", num_queries)
+    simulator = ClusterSimulator(
+        servers,
+        balancer=balancer,
+        warmup_fraction=warmup_fraction,
+        balancer_seed=balancer_seed,
+    )
+    upper = headroom * estimate_fleet_upper_bound_qps(servers, load_generator)
+
+    def evaluate(rate_qps: float) -> ClusterSimulationResult:
+        generator = load_generator.with_rate(rate_qps)
+        count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
+        return simulator.run(generator.generate(count))
+
+    return bisect_max_qps(evaluate, upper, sla_latency_s, iterations)

@@ -15,6 +15,13 @@ finish; its latency is measured from arrival to last completion.  The
 simulator reports tail latency percentiles, achieved throughput, device
 utilisation, and the fraction of work processed by the accelerator — the
 quantities the paper's evaluation figures are built from.
+
+The event mechanics of a single server live in :class:`ServerKernel`, a
+steppable object that owns the server's queues and accounting but not the
+event heap or the clock.  :class:`ServingSimulator` drives one kernel;
+:class:`~repro.serving.cluster.ClusterSimulator` drives a fleet of them from
+a shared heap, which is what makes a cluster with one server bit-identical to
+the single-server simulator.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -69,27 +76,34 @@ class ServingConfig:
             )
 
 
-@dataclass
-class SimulationResult:
-    """Measurements from one simulated serving run."""
+def resolve_num_cores(engines: EnginePair, config: ServingConfig) -> int:
+    """Worker-core count for ``config`` on ``engines``, validated against the platform."""
+    platform_cores = engines.cpu.platform.num_cores
+    cores = config.num_cores if config.num_cores else platform_cores
+    if cores > platform_cores:
+        raise ValueError(
+            f"num_cores={cores} exceeds platform core count {platform_cores}"
+        )
+    if config.offload_threshold is not None and not engines.has_accelerator:
+        raise ValueError(
+            "offload_threshold set but the engine pair has no accelerator"
+        )
+    return cores
 
-    config: ServingConfig
-    num_queries: int
-    measured_queries: int
-    duration_s: float
-    p50_latency_s: float
+
+class SLACriteriaMixin:
+    """SLA and stability checks shared by single-server and fleet results.
+
+    Both result types expose ``p95_latency_s``, ``p95_late_window_s``,
+    ``drain_s``, and ``arrival_span_s``; keeping the acceptance criterion in
+    one place guarantees the single-server and cluster capacity searches
+    judge runs by exactly the same rule.
+    """
+
     p95_latency_s: float
-    p99_latency_s: float
-    mean_latency_s: float
-    achieved_qps: float
-    offered_qps: float
-    cpu_utilization: float
-    gpu_utilization: float
-    gpu_work_fraction: float
-    p95_late_window_s: float = 0.0
-    drain_s: float = 0.0
-    arrival_span_s: float = 0.0
-    latencies_s: List[float] = field(default_factory=list, repr=False)
+    p95_late_window_s: float
+    drain_s: float
+    arrival_span_s: float
 
     def meets_sla(self, sla_latency_s: float) -> bool:
         """True when the measured p95 is within the target."""
@@ -113,11 +127,34 @@ class SimulationResult:
         return self.meets_sla(sla_latency_s) and self.is_stable(sla_latency_s)
 
 
+@dataclass
+class SimulationResult(SLACriteriaMixin):
+    """Measurements from one simulated serving run."""
+
+    config: ServingConfig
+    num_queries: int
+    measured_queries: int
+    duration_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    achieved_qps: float
+    offered_qps: float
+    cpu_utilization: float
+    gpu_utilization: float
+    gpu_work_fraction: float
+    p95_late_window_s: float = 0.0
+    drain_s: float = 0.0
+    arrival_span_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list, repr=False)
+
+
 # Event kinds, ordered so that completions at time t are processed before
 # arrivals at the same instant (frees cores first).
-_EVT_CPU_DONE = 0
-_EVT_GPU_DONE = 1
-_EVT_ARRIVAL = 2
+EVT_CPU_DONE = 0
+EVT_GPU_DONE = 1
+EVT_ARRIVAL = 2
 
 
 @dataclass
@@ -127,23 +164,137 @@ class _QueryState:
     on_gpu: bool
 
 
+class ServerKernel:
+    """Steppable event mechanics of one simulated server.
+
+    The kernel owns the server-local state — CPU/accelerator FIFO queues,
+    busy-core count, busy-time and work accounting — while the *owner* owns
+    the event heap and the simulated clock.  Completion events are emitted
+    through the ``schedule`` callback (``schedule(time, kind, query_id)``),
+    which lets a cluster tag each event with the kernel it belongs to.
+
+    The live ``outstanding_queries`` / ``outstanding_items`` counters are the
+    signals cluster load balancers key on.
+    """
+
+    def __init__(
+        self,
+        engines: EnginePair,
+        config: ServingConfig,
+        num_cores: int,
+        schedule: Callable[[float, int, int], None],
+    ) -> None:
+        self._cpu = engines.cpu
+        self._gpu = engines.gpu
+        self._config = config
+        self._num_cores = num_cores
+        self._schedule = schedule
+
+        self._cpu_queue: List = []  # FIFO of (query_id, request_batch)
+        self._gpu_queue: List[int] = []  # FIFO of query ids
+        self._states: Dict[int, _QueryState] = {}
+        self._busy_cores = 0
+        self._gpu_busy = False
+
+        self.cpu_busy_time = 0.0
+        self.gpu_busy_time = 0.0
+        self.total_items = 0
+        self.gpu_items = 0
+        self.num_submitted = 0
+        self.num_completed = 0
+        self.outstanding_queries = 0
+        self.outstanding_items = 0
+
+    @property
+    def config(self) -> ServingConfig:
+        """The scheduling configuration this kernel runs."""
+        return self._config
+
+    @property
+    def num_cores(self) -> int:
+        """Number of CPU worker cores simulated."""
+        return self._num_cores
+
+    def submit(self, query: Query, now: float) -> None:
+        """Accept an arriving query: offload it whole or split it for the CPU."""
+        self.num_submitted += 1
+        self.total_items += query.size
+        self.outstanding_queries += 1
+        self.outstanding_items += query.size
+        threshold = self._config.offload_threshold
+        offload = (
+            threshold is not None and self._gpu is not None and query.size > threshold
+        )
+        if offload:
+            self._states[query.query_id] = _QueryState(query, 0, True)
+            self.gpu_items += query.size
+            self._gpu_queue.append(query.query_id)
+            self._dispatch_gpu(now)
+        else:
+            requests = split_query(query, self._config.batch_size)
+            self._states[query.query_id] = _QueryState(query, len(requests), False)
+            for request in requests:
+                self._cpu_queue.append((query.query_id, request.batch_size))
+            self._dispatch_cpu(now)
+
+    def on_cpu_done(self, query_id: int, now: float) -> Optional[Query]:
+        """Handle one CPU request completion; return the query if it finished."""
+        self._busy_cores -= 1
+        state = self._states[query_id]
+        state.outstanding_requests -= 1
+        completed = None
+        if state.outstanding_requests == 0:
+            completed = self._finish(query_id)
+        self._dispatch_cpu(now)
+        return completed
+
+    def on_gpu_done(self, query_id: int, now: float) -> Query:
+        """Handle an accelerator query completion; always finishes the query."""
+        self._gpu_busy = False
+        completed = self._finish(query_id)
+        self._dispatch_gpu(now)
+        return completed
+
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_cpu(self, now: float) -> None:
+        while self._cpu_queue and self._busy_cores < self._num_cores:
+            query_id, request_batch = self._cpu_queue.pop(0)
+            self._busy_cores += 1
+            service = self._cpu.request_latency_s(request_batch, self._busy_cores)
+            self.cpu_busy_time += service
+            self._schedule(now + service, EVT_CPU_DONE, query_id)
+
+    def _dispatch_gpu(self, now: float) -> None:
+        if self._gpu_busy or not self._gpu_queue:
+            return
+        query_id = self._gpu_queue.pop(0)
+        self._gpu_busy = True
+        service = self._gpu.query_latency_s(self._states[query_id].query.size)
+        self.gpu_busy_time += service
+        self._schedule(now + service, EVT_GPU_DONE, query_id)
+
+    def _finish(self, query_id: int) -> Query:
+        state = self._states.pop(query_id)
+        self.outstanding_queries -= 1
+        self.outstanding_items -= state.query.size
+        self.num_completed += 1
+        return state.query
+
+
+def late_window_p95(samples: Sequence[float]) -> float:
+    """p95 of the second (completion-ordered) half of the measured latencies."""
+    late_window = samples[len(samples) // 2 :]
+    return float(np.percentile(late_window, 95)) if len(late_window) else 0.0
+
+
 class ServingSimulator:
     """Event-driven simulator for one inference server."""
 
     def __init__(self, engines: EnginePair, config: ServingConfig) -> None:
         self._engines = engines
-        platform_cores = engines.cpu.platform.num_cores
-        cores = config.num_cores if config.num_cores else platform_cores
-        if cores > platform_cores:
-            raise ValueError(
-                f"num_cores={cores} exceeds platform core count {platform_cores}"
-            )
-        self._num_cores = cores
+        self._num_cores = resolve_num_cores(engines, config)
         self._config = config
-        if config.offload_threshold is not None and not engines.has_accelerator:
-            raise ValueError(
-                "offload_threshold set but the engine pair has no accelerator"
-            )
 
     @property
     def config(self) -> ServingConfig:
@@ -162,9 +313,6 @@ class ServingSimulator:
         if not queries:
             raise ValueError("cannot simulate an empty query stream")
         config = self._config
-        cpu_engine = self._engines.cpu
-        gpu_engine = self._engines.gpu
-        threshold = config.offload_threshold
 
         ordered = sorted(queries, key=lambda q: q.arrival_time)
         warmup_count = int(len(ordered) * config.warmup_fraction)
@@ -174,93 +322,31 @@ class ServingSimulator:
         events: List[tuple] = []
         for query in ordered:
             heapq.heappush(
-                events, (query.arrival_time, _EVT_ARRIVAL, next(counter), query)
+                events, (query.arrival_time, EVT_ARRIVAL, next(counter), query)
             )
 
-        cpu_queue: List = []  # FIFO of (query_id, request_batch)
-        gpu_queue: List[int] = []  # FIFO of query ids
-        states: Dict[int, _QueryState] = {}
-        busy_cores = 0
-        gpu_busy = False
+        def schedule(time: float, kind: int, query_id: int) -> None:
+            heapq.heappush(events, (time, kind, next(counter), query_id))
 
-        cpu_busy_time = 0.0
-        gpu_busy_time = 0.0
-        total_items = 0
-        gpu_items = 0
+        kernel = ServerKernel(self._engines, config, self._num_cores, schedule)
 
         tracker = PercentileTracker()
-        completion_times: Dict[int, float] = {}
         first_arrival = ordered[0].arrival_time
         last_completion = first_arrival
-        now = first_arrival
-
-        def dispatch_cpu(current_time: float) -> None:
-            nonlocal busy_cores, cpu_busy_time
-            while cpu_queue and busy_cores < self._num_cores:
-                query_id, request_batch = cpu_queue.pop(0)
-                busy_cores += 1
-                service = cpu_engine.request_latency_s(request_batch, busy_cores)
-                cpu_busy_time += service
-                heapq.heappush(
-                    events,
-                    (current_time + service, _EVT_CPU_DONE, next(counter), query_id),
-                )
-
-        def dispatch_gpu(current_time: float) -> None:
-            nonlocal gpu_busy, gpu_busy_time
-            if gpu_busy or not gpu_queue:
-                return
-            query_id = gpu_queue.pop(0)
-            gpu_busy = True
-            service = gpu_engine.query_latency_s(states[query_id].query.size)
-            gpu_busy_time += service
-            heapq.heappush(
-                events, (current_time + service, _EVT_GPU_DONE, next(counter), query_id)
-            )
-
-        def complete_query(query_id: int, current_time: float) -> None:
-            nonlocal last_completion
-            state = states[query_id]
-            latency = current_time - state.query.arrival_time
-            completion_times[query_id] = current_time
-            last_completion = max(last_completion, current_time)
-            if query_id not in warmup_ids:
-                tracker.add(latency)
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
-            if kind == _EVT_ARRIVAL:
-                query: Query = payload
-                total_items += query.size
-                offload = (
-                    threshold is not None
-                    and gpu_engine is not None
-                    and query.size > threshold
-                )
-                if offload:
-                    states[query.query_id] = _QueryState(query, 0, True)
-                    gpu_items += query.size
-                    gpu_queue.append(query.query_id)
-                    dispatch_gpu(now)
-                else:
-                    requests = split_query(query, config.batch_size)
-                    states[query.query_id] = _QueryState(query, len(requests), False)
-                    for request in requests:
-                        cpu_queue.append((query.query_id, request.batch_size))
-                    dispatch_cpu(now)
-            elif kind == _EVT_CPU_DONE:
-                query_id = payload
-                busy_cores -= 1
-                state = states[query_id]
-                state.outstanding_requests -= 1
-                if state.outstanding_requests == 0:
-                    complete_query(query_id, now)
-                dispatch_cpu(now)
-            else:  # _EVT_GPU_DONE
-                query_id = payload
-                gpu_busy = False
-                complete_query(query_id, now)
-                dispatch_gpu(now)
+            if kind == EVT_ARRIVAL:
+                kernel.submit(payload, now)
+                continue
+            if kind == EVT_CPU_DONE:
+                completed = kernel.on_cpu_done(payload, now)
+            else:  # EVT_GPU_DONE
+                completed = kernel.on_gpu_done(payload, now)
+            if completed is not None:
+                last_completion = max(last_completion, now)
+                if completed.query_id not in warmup_ids:
+                    tracker.add(now - completed.arrival_time)
 
         duration = max(last_completion - first_arrival, 1e-9)
         offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
@@ -271,8 +357,6 @@ class ServingSimulator:
                 "send more queries"
             )
         samples = tracker.samples()
-        late_window = samples[len(samples) // 2 :]
-        late_p95 = float(np.percentile(late_window, 95)) if late_window else 0.0
         return SimulationResult(
             config=config,
             num_queries=len(ordered),
@@ -284,10 +368,12 @@ class ServingSimulator:
             mean_latency_s=tracker.mean(),
             achieved_qps=len(ordered) / duration,
             offered_qps=len(ordered) / offered_duration,
-            cpu_utilization=min(1.0, cpu_busy_time / (self._num_cores * duration)),
-            gpu_utilization=min(1.0, gpu_busy_time / duration),
-            gpu_work_fraction=(gpu_items / total_items) if total_items else 0.0,
-            p95_late_window_s=late_p95,
+            cpu_utilization=min(1.0, kernel.cpu_busy_time / (self._num_cores * duration)),
+            gpu_utilization=min(1.0, kernel.gpu_busy_time / duration),
+            gpu_work_fraction=(
+                (kernel.gpu_items / kernel.total_items) if kernel.total_items else 0.0
+            ),
+            p95_late_window_s=late_window_p95(samples),
             drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
             arrival_span_s=offered_duration,
             latencies_s=samples,

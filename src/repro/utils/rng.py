@@ -9,6 +9,7 @@ independent of each other.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Union
 
 import numpy as np
@@ -51,8 +52,14 @@ class RngFactory:
         return self._root_seed
 
     def child(self, name: str) -> np.random.Generator:
-        """Return a generator derived deterministically from the root and ``name``."""
-        digest = abs(hash(("repro-rng", name))) % (2**32)
+        """Return a generator derived deterministically from the root and ``name``.
+
+        The name is folded into the spawn key with a process-independent
+        digest (CRC-32).  Python's built-in ``hash`` must not be used here:
+        string hashing is salted per interpreter process (PYTHONHASHSEED), so
+        it would make "seeded" streams differ from run to run.
+        """
+        digest = zlib.crc32(f"repro-rng/{name}".encode("utf-8"))
         child_seq = np.random.SeedSequence(
             entropy=self._seed_seq.entropy, spawn_key=(digest,)
         )

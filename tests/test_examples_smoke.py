@@ -32,6 +32,7 @@ class TestExamplesImportable:
             "sla_sweep.py",
             "accelerator_offload.py",
             "production_fleet.py",
+            "cluster_fleet.py",
         ],
     )
     def test_example_imports_cleanly(self, name):
@@ -61,3 +62,18 @@ class TestAcceleratorOffloadStudy:
         output = capsys.readouterr().out
         assert "cpu-only" in output
         assert "qps-per-watt" in output
+
+
+class TestClusterFleetExample:
+    def test_compare_policies_reduced_load(self, capsys):
+        example = load_example("cluster_fleet.py")
+        example.compare_policies(rate_qps=2000.0, num_queries=400)
+        output = capsys.readouterr().out
+        assert "least-outstanding" in output
+        assert "per-server share" in output
+
+    def test_parallel_sweep_demo_reports_cache_hits(self, capsys):
+        example = load_example("cluster_fleet.py")
+        example.parallel_sweep_demo(batch_sizes=(256,), processes=1)
+        output = capsys.readouterr().out
+        assert "1/1 cache hits" in output

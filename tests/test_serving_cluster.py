@@ -1,0 +1,319 @@
+"""Tests for the fleet-scale cluster simulator, fleet tuning, and the sweep runner."""
+
+import pytest
+
+from repro.core.hill_climber import coordinate_descent
+from repro.core.offload_tuner import FleetKnobTuner
+from repro.execution.engine import build_engine_pair
+from repro.experiments.runner import SweepRunner, canonicalize, config_hash
+from repro.queries.generator import LoadGenerator
+from repro.serving.cluster import (
+    ClusterServer,
+    ClusterSimulator,
+    LeastOutstandingBalancer,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    available_balancers,
+    estimate_fleet_upper_bound_qps,
+    find_cluster_max_qps,
+    get_balancer,
+    homogeneous_fleet,
+)
+from repro.serving.simulator import ServingConfig, ServingSimulator
+from repro.serving.sla import SLATier, sla_target
+
+ALL_POLICIES = ("round-robin", "least-outstanding", "power-of-two")
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return build_engine_pair("dlrm-rmc1", "skylake", None)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServingConfig(batch_size=256, num_cores=8)
+
+
+@pytest.fixture(scope="module")
+def query_stream():
+    return LoadGenerator(seed=11).with_rate(900.0).generate(800)
+
+
+class TestBalancerRegistry:
+    def test_three_policies_registered(self):
+        assert available_balancers() == sorted(ALL_POLICIES)
+
+    def test_get_balancer_by_name(self):
+        assert isinstance(get_balancer("round-robin"), RoundRobinBalancer)
+        assert isinstance(get_balancer("least-outstanding"), LeastOutstandingBalancer)
+        assert isinstance(get_balancer("POWER-OF-TWO"), PowerOfTwoBalancer)
+
+    def test_get_balancer_passthrough_instance(self):
+        balancer = LeastOutstandingBalancer()
+        assert get_balancer(balancer) is balancer
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="unknown balancing policy"):
+            get_balancer("random-drop")
+
+
+class TestClusterPolicies:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_policy_serves_whole_stream(self, engines, config, query_stream, policy):
+        fleet = homogeneous_fleet(engines, config, 4)
+        result = ClusterSimulator(fleet, policy).run(query_stream)
+        assert result.policy == policy
+        assert result.num_servers == 4
+        assert result.num_queries == len(query_stream)
+        assert sum(s.num_queries for s in result.per_server) == len(query_stream)
+        assert sum(s.num_items for s in result.per_server) == sum(
+            q.size for q in query_stream
+        )
+        assert 0.0 < result.p50_latency_s <= result.p95_latency_s <= result.p99_latency_s
+        assert 0.0 < result.fleet_cpu_utilization <= 1.0
+        assert all(s.num_queries > 0 for s in result.per_server)
+
+    def test_round_robin_is_exactly_balanced(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 4)
+        result = ClusterSimulator(fleet, "round-robin").run(query_stream)
+        counts = [s.num_queries for s in result.per_server]
+        assert max(counts) - min(counts) <= 1
+
+    def test_least_outstanding_drains_to_faster_servers(self, engines):
+        # One server has a quarter of the cores.  Near saturation, queues form
+        # on it first, so load-aware balancing routes it a below-proportional
+        # share of the stream; round-robin keeps feeding it regardless.
+        slow = ClusterServer(engines, ServingConfig(batch_size=256, num_cores=2), "slow")
+        fast = [
+            ClusterServer(engines, ServingConfig(batch_size=256, num_cores=8), f"fast-{i}")
+            for i in range(3)
+        ]
+        loaded = LoadGenerator(seed=11).with_rate(6000.0).generate(2000)
+        least = ClusterSimulator([slow] + fast, "least-outstanding").run(loaded)
+        rr = ClusterSimulator([slow] + fast, "round-robin").run(loaded)
+        assert least.per_server[0].query_share < rr.per_server[0].query_share
+        assert least.p95_latency_s < rr.p95_latency_s
+
+    def test_power_of_two_is_seed_reproducible(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 4)
+        first = ClusterSimulator(fleet, "power-of-two", balancer_seed=3).run(query_stream)
+        second = ClusterSimulator(fleet, "power-of-two", balancer_seed=3).run(query_stream)
+        assert [s.num_queries for s in first.per_server] == [
+            s.num_queries for s in second.per_server
+        ]
+        assert first.p95_latency_s == second.p95_latency_s
+
+
+class TestHeterogeneousFleet:
+    def test_mixed_cpu_gpu_fleet_offloads_large_queries(self, rmc1_engines, engines):
+        gpu_config = ServingConfig(batch_size=256, num_cores=8, offload_threshold=256)
+        cpu_config = ServingConfig(batch_size=256, num_cores=8)
+        fleet = [
+            ClusterServer(rmc1_engines, gpu_config, "gpu-0"),
+            ClusterServer(engines, cpu_config, "cpu-0"),
+        ]
+        queries = LoadGenerator(seed=23).with_rate(600.0).generate(600)
+        result = ClusterSimulator(fleet, "least-outstanding").run(queries)
+        gpu_summary = result.per_server[0]
+        cpu_summary = result.per_server[1]
+        assert gpu_summary.gpu_work_fraction > 0.0
+        assert gpu_summary.gpu_utilization > 0.0
+        assert cpu_summary.gpu_work_fraction == 0.0
+        assert result.num_queries == len(queries)
+
+    def test_mixed_platform_fleet_runs(self, engines, query_stream):
+        broadwell = build_engine_pair("dlrm-rmc1", "broadwell", None)
+        fleet = [
+            ClusterServer(engines, ServingConfig(batch_size=256, num_cores=8), "sky"),
+            ClusterServer(broadwell, ServingConfig(batch_size=128, num_cores=8), "bdw"),
+        ]
+        result = ClusterSimulator(fleet, "power-of-two").run(query_stream)
+        assert result.num_servers == 2
+        assert all(s.num_queries > 0 for s in result.per_server)
+
+    def test_invalid_fleet_rejected(self, engines):
+        with pytest.raises(ValueError, match="at least one server"):
+            ClusterSimulator([], "round-robin")
+        bad = ClusterServer(engines, ServingConfig(batch_size=64, offload_threshold=32))
+        with pytest.raises(ValueError, match="no accelerator"):
+            ClusterSimulator([bad], "round-robin")
+
+
+class TestSingleServerEquivalence:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_cluster_of_one_matches_serving_simulator(
+        self, engines, config, query_stream, policy
+    ):
+        single = ServingSimulator(engines, config).run(query_stream)
+        cluster = ClusterSimulator(homogeneous_fleet(engines, config, 1), policy).run(
+            query_stream
+        )
+        assert cluster.p50_latency_s == single.p50_latency_s
+        assert cluster.p95_latency_s == single.p95_latency_s
+        assert cluster.p99_latency_s == single.p99_latency_s
+        assert cluster.mean_latency_s == single.mean_latency_s
+        assert cluster.achieved_qps == single.achieved_qps
+        assert cluster.offered_qps == single.offered_qps
+        assert cluster.duration_s == single.duration_s
+        assert cluster.drain_s == single.drain_s
+        assert cluster.measured_queries == single.measured_queries
+        assert cluster.per_server[0].cpu_utilization == single.cpu_utilization
+        assert cluster.latencies_s == single.latencies_s
+
+
+class TestFleetCapacity:
+    def test_upper_bound_scales_with_fleet(self, engines, config):
+        generator = LoadGenerator(seed=7)
+        one = estimate_fleet_upper_bound_qps(homogeneous_fleet(engines, config, 1), generator)
+        four = estimate_fleet_upper_bound_qps(homogeneous_fleet(engines, config, 4), generator)
+        assert four == pytest.approx(4 * one)
+
+    def test_fleet_capacity_grows_with_servers(self, engines, config):
+        target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+        generator = LoadGenerator(seed=7)
+        outcomes = {
+            n: find_cluster_max_qps(
+                homogeneous_fleet(engines, config, n),
+                "least-outstanding",
+                target.latency_s,
+                generator,
+                num_queries=150,
+                iterations=3,
+                max_queries=1500,
+            )
+            for n in (1, 2)
+        }
+        assert outcomes[1].feasible and outcomes[2].feasible
+        assert outcomes[2].max_qps > 1.5 * outcomes[1].max_qps
+        assert outcomes[2].result.acceptable(target.latency_s)
+
+
+class TestCoordinateDescent:
+    def test_finds_separable_optimum(self):
+        def objective(knobs):
+            return -((knobs["x"] - 3) ** 2) - ((knobs["y"] - 20) ** 2)
+
+        outcome = coordinate_descent(
+            {"x": [1, 2, 3, 4, 5], "y": [10, 20, 30]}, objective, patience=2
+        )
+        assert outcome.best_knobs == {"x": 3, "y": 20}
+        assert outcome.best_value == 0
+        # Memoisation: no assignment is evaluated twice.
+        seen = [tuple(sorted(k.items())) for k, _ in outcome.evaluations]
+        assert len(seen) == len(set(seen))
+
+    def test_rejects_empty_knobs(self):
+        with pytest.raises(ValueError):
+            coordinate_descent({}, lambda knobs: 0.0)
+        with pytest.raises(ValueError):
+            coordinate_descent({"x": []}, lambda knobs: 0.0)
+
+
+class TestFleetKnobTuner:
+    def test_tunes_batch_and_policy(self, engines):
+        tuner = FleetKnobTuner(
+            [engines, engines],
+            LoadGenerator(seed=7),
+            num_cores=8,
+            num_queries=100,
+            capacity_iterations=2,
+            batch_candidates=[64, 256],
+            policies=["round-robin", "least-outstanding"],
+            sweeps=1,
+        )
+        target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+        outcome = tuner.tune(target.latency_s)
+        assert outcome.best_batch_size in (64, 256)
+        assert outcome.best_policy in ("round-robin", "least-outstanding")
+        assert outcome.best_threshold is None
+        assert outcome.best_qps > 0
+        assert outcome.num_evaluations >= 2
+
+    def test_threshold_candidates_require_accelerator(self, engines):
+        with pytest.raises(ValueError, match="no server has an accelerator"):
+            FleetKnobTuner(
+                [engines], LoadGenerator(seed=7), threshold_candidates=[128]
+            )
+
+    def test_accelerator_fleet_tunes_threshold_by_default(self, rmc1_engines):
+        tuner = FleetKnobTuner(
+            [rmc1_engines, rmc1_engines],
+            LoadGenerator(seed=7),
+            num_cores=8,
+            num_queries=80,
+            capacity_iterations=2,
+            batch_candidates=[256],
+            policies=["round-robin"],
+            sweeps=1,
+        )
+        target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+        outcome = tuner.tune(target.latency_s)
+        # With an accelerator attached, the offload threshold is a tuned knob
+        # even when no explicit candidates are given.
+        assert outcome.best_threshold is not None
+        assert outcome.best_qps > 0
+        assert any("offload_threshold" in knobs for knobs, _ in outcome.evaluations)
+
+
+class TestSweepRunnerCache:
+    POINTS = [{"models": ("dlrm-rmc1",)}, {"models": ("ncf",)}]
+
+    def test_cache_hits_on_rerun(self, tmp_path):
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        cold = runner.run("table-1", self.POINTS)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        warm = runner.run("table-1", self.POINTS)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [r.rows for r in warm.results] == [r.rows for r in cold.results]
+        assert [r.experiment_id for r in warm.results] == ["table-1", "table-1"]
+
+    def test_partial_cache_reuse(self, tmp_path):
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        runner.run("table-1", self.POINTS[:1])
+        mixed = runner.run("table-1", self.POINTS)
+        assert (mixed.cache_hits, mixed.cache_misses) == (1, 1)
+
+    def test_parallel_workers_match_serial_results(self, tmp_path):
+        serial = SweepRunner(processes=1).run("table-1", self.POINTS)
+        parallel = SweepRunner(processes=2, cache_dir=tmp_path).run(
+            "table-1", self.POINTS
+        )
+        assert [r.rows for r in parallel.results] == [r.rows for r in serial.results]
+        assert parallel.processes == 2
+
+    def test_without_cache_dir_everything_recomputes(self):
+        runner = SweepRunner(processes=1)
+        assert runner.run("table-1", self.POINTS[:1]).cache_misses == 1
+        assert runner.run("table-1", self.POINTS[:1]).cache_misses == 1
+
+    def test_duplicate_points_computed_once_per_run(self, tmp_path):
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        outcome = runner.run("table-1", [self.POINTS[0]] * 3)
+        assert (outcome.cache_hits, outcome.cache_misses) == (2, 1)
+        assert len(outcome.results) == 3
+        assert outcome.results[0].rows == outcome.results[2].rows
+
+    def test_uncacheable_kwargs_allowed_without_cache_dir(self):
+        # Hashing only happens when a cache directory is configured, so
+        # kwargs that cannot be canonicalised (here: a set) still sweep.
+        point = {"models": {"ncf"}}
+        outcome = SweepRunner(processes=1).run("table-1", [point])
+        assert outcome.results[0].experiment_id == "table-1"
+        with pytest.raises(TypeError, match="cannot canonicalise"):
+            config_hash("table-1", point)
+
+    def test_config_hash_is_stable_and_order_insensitive(self):
+        first = config_hash("figure-9", {"a": 1, "b": (1, 2)})
+        second = config_hash("FIGURE-9", {"b": [1, 2], "a": 1})
+        assert first == second
+        assert config_hash("figure-9", {"a": 2}) != first
+
+    def test_canonicalize_handles_enums_and_rejects_objects(self):
+        assert canonicalize({"tier": SLATier.LOW}) == {"tier": "low"}
+        with pytest.raises(TypeError, match="cannot canonicalise"):
+            canonicalize(object())
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            SweepRunner(processes=1).run("table-1", [])
