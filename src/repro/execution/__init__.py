@@ -16,6 +16,11 @@ from repro.execution.engine import (
     build_gpu_engine,
 )
 from repro.execution.gpu_engine import GPUEngine, GPUQueryLatency
+from repro.execution.latency_table import (
+    CPULatencyTable,
+    GPULatencyTable,
+    operator_cost_columns,
+)
 
 __all__ = [
     "OperatorBreakdown",
@@ -33,4 +38,7 @@ __all__ = [
     "build_gpu_engine",
     "GPUEngine",
     "GPUQueryLatency",
+    "CPULatencyTable",
+    "GPULatencyTable",
+    "operator_cost_columns",
 ]

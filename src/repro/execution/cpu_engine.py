@@ -27,7 +27,7 @@ for Fig. 3 and Fig. 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.execution.efficiency import (
     irregular_access_curve,
@@ -83,7 +83,13 @@ class CPUEngine:
         self._regular_curve = regular_access_curve()
         self._irregular_curve = irregular_access_curve()
         self._weights_llc_resident = self._fits_in_llc(model, platform)
-        self._cache: Dict[tuple, RequestLatency] = {}
+        self._cache: Dict[Tuple[int, int], RequestLatency] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        # Dense lookup table for the serving hot loop; filled lazily.
+        from repro.execution.latency_table import CPULatencyTable
+
+        self._table = CPULatencyTable(self)
 
     @staticmethod
     def _fits_in_llc(model: RecommendationModel, platform: CPUPlatform) -> bool:
@@ -109,6 +115,24 @@ class CPUEngine:
     def weights_llc_resident(self) -> bool:
         """True when dense-layer weights are served from the LLC, not DRAM."""
         return self._weights_llc_resident
+
+    @property
+    def latency_table(self):
+        """The engine's dense :class:`~repro.execution.latency_table.CPULatencyTable`.
+
+        Lookups are bit-identical to :meth:`request_latency_s`; the serving
+        simulators index it directly instead of re-entering this model.
+        """
+        return self._table
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the scalar memo cache plus table fill stats."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "table_entries": self._table.entries_built,
+        }
 
     # ------------------------------------------------------------------ #
 
@@ -186,8 +210,11 @@ class CPUEngine:
         check_positive("active_cores", active_cores)
         active_cores = min(active_cores, self._platform.num_cores)
         key = (batch_size, active_cores)
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
 
         compute = memory = overhead = 0.0
         for op in self._model.operators():

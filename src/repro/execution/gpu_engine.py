@@ -17,6 +17,7 @@ at large batch sizes, plus per-model kernel-launch overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.execution.efficiency import gpu_occupancy_curve
 from repro.hardware.gpu import GPUPlatform
@@ -63,7 +64,13 @@ class GPUEngine:
         self._staging_overhead_s = staging_overhead_s
         self._occupancy = gpu_occupancy_curve()
         self._num_operators = len(model.operators())
-        self._cache: dict = {}
+        self._cache: Dict[int, GPUQueryLatency] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        # Dense lookup table for the serving hot loop; filled lazily.
+        from repro.execution.latency_table import GPULatencyTable
+
+        self._table = GPULatencyTable(self)
 
     @property
     def model(self) -> RecommendationModel:
@@ -74,6 +81,24 @@ class GPUEngine:
     def platform(self) -> GPUPlatform:
         """The accelerator platform."""
         return self._platform
+
+    @property
+    def latency_table(self):
+        """The engine's dense :class:`~repro.execution.latency_table.GPULatencyTable`.
+
+        Lookups are bit-identical to :meth:`query_latency_s`; the serving
+        simulators index it directly instead of re-entering this model.
+        """
+        return self._table
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the scalar memo cache plus table fill stats."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "table_entries": self._table.entries_built,
+        }
 
     # ------------------------------------------------------------------ #
 
@@ -111,8 +136,11 @@ class GPUEngine:
     def query_latency(self, query_size: int) -> GPUQueryLatency:
         """End-to-end latency of one query of ``query_size`` candidate items."""
         check_positive("query_size", query_size)
-        if query_size in self._cache:
-            return self._cache[query_size]
+        cached = self._cache.get(query_size)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
         latency = GPUQueryLatency(
             data_loading_s=self.data_loading_time(query_size),
             compute_s=self.kernel_time(query_size),

@@ -19,12 +19,13 @@ servers that are momentarily behind, which inflates the fleet tail.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.execution.engine import build_engine_pair
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.queries.generator import LoadGenerator
+from repro.serving.capacity import CapacityCache
 from repro.serving.cluster import ClusterServer, find_cluster_max_qps, homogeneous_fleet
 from repro.serving.simulator import ServingConfig
 from repro.serving.sla import SLATier, sla_target
@@ -49,12 +50,19 @@ def run(
     capacity_iterations: int = 4,
     max_queries: int = 3000,
     seed: int = 5,
+    jobs: int = 1,
+    capacity_cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Sweep fleet size x balancing policy; add one heterogeneous fleet per policy.
 
     ``hetero_fleet_size`` of 0 reuses the largest homogeneous fleet size; the
     heterogeneous fleet attaches an accelerator (with DeepRecSched query-size
     offloading at ``offload_threshold``) to every other server.
+
+    ``jobs > 1`` evaluates each capacity search's speculative QPS candidates
+    across a process pool (identical results, less wall clock);
+    ``capacity_cache_dir`` warm-starts bisection brackets from previous runs
+    sharing that directory.
     """
     sizes = sorted(set(int(n) for n in fleet_sizes))
     if not sizes or sizes[0] < 1:
@@ -92,6 +100,8 @@ def run(
         headers=["policy", "servers", "fleet", "max-qps", "scaling-x", "efficiency"],
     )
 
+    warm_start = CapacityCache(capacity_cache_dir) if capacity_cache_dir else None
+
     def search(servers, policy):
         return find_cluster_max_qps(
             servers,
@@ -101,6 +111,8 @@ def run(
             num_queries=num_queries,
             iterations=capacity_iterations,
             max_queries=max_queries,
+            jobs=jobs,
+            warm_start_cache=warm_start,
         ).max_qps
 
     qps_by_policy: Dict[str, Dict[str, float]] = {}

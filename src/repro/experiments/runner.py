@@ -14,6 +14,7 @@ ones.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import multiprocessing
 import os
@@ -33,10 +34,42 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
     return driver(**kwargs)
 
 
+def _parallelism_overrides(
+    experiment_id: str,
+    existing: Dict[str, Any],
+    processes: Optional[int],
+    cache_dir: Union[str, Path, None],
+) -> Dict[str, Any]:
+    """Route worker/cache settings into a driver that understands them.
+
+    Cross-experiment parallelism is useless when only one experiment runs, so
+    for a single-experiment invocation the requested ``processes`` are handed
+    to the driver as ``jobs`` (drivers like figure-15 distribute their
+    capacity bisections over a pool) and ``cache_dir`` doubles as the
+    capacity warm-start directory.  Explicit overrides always win.
+    """
+    parameters = inspect.signature(get_experiment(experiment_id)).parameters
+    extra = dict(existing)
+    workers = processes if processes is not None else (os.cpu_count() or 1)
+    if workers > 1 and "jobs" in parameters and "jobs" not in extra:
+        extra["jobs"] = workers
+    if (
+        cache_dir is not None
+        and "capacity_cache_dir" in parameters
+        and "capacity_cache_dir" not in extra
+    ):
+        # Resolve so the same directory hashes identically regardless of the
+        # working directory the sweep is launched from.  (Unlike `jobs`, the
+        # warm-start directory stays in the memo key: a warm-started search
+        # may bisect a different bracket than a cold one.)
+        extra["capacity_cache_dir"] = str(Path(cache_dir).resolve())
+    return extra
+
+
 def run_experiments(
     experiment_ids: Optional[Sequence[str]] = None,
     overrides: Optional[Dict[str, Dict[str, Any]]] = None,
-    processes: int = 1,
+    processes: Optional[int] = 1,
     cache_dir: Union[str, Path, None] = None,
 ) -> List[ExperimentResult]:
     """Run several experiments (all registered ones by default).
@@ -44,13 +77,23 @@ def run_experiments(
     ``overrides`` maps experiment ids to keyword arguments for their drivers,
     so callers can lower fidelity for quick runs.  With ``processes > 1`` the
     experiments execute concurrently in worker processes; ``cache_dir``
-    additionally memoises each (experiment, kwargs) pair on disk.
+    additionally memoises each (experiment, kwargs) pair on disk.  When a
+    *single* experiment is requested, the worker budget is instead passed to
+    the driver itself (as ``jobs``) if it accepts one, so e.g. figure-15's
+    capacity searches scale with ``--jobs`` rather than wasting the pool on
+    a one-point sweep.
     """
     ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
-    overrides = overrides or {}
-    if processes == 1 and cache_dir is None:
+    overrides = dict(overrides) if overrides else {}
+    if len(ids) == 1:
+        overrides[ids[0]] = _parallelism_overrides(
+            ids[0], overrides.get(ids[0], {}), processes, cache_dir
+        )
+    if (processes == 1 or len(ids) == 1) and cache_dir is None:
         return [run_experiment(eid, **overrides.get(eid, {})) for eid in ids]
-    runner = SweepRunner(processes=processes, cache_dir=cache_dir)
+    runner = SweepRunner(
+        processes=1 if len(ids) == 1 else processes, cache_dir=cache_dir
+    )
     outcome = runner.run_points([(eid, overrides.get(eid, {})) for eid in ids])
     return outcome.results
 
@@ -86,10 +129,24 @@ def canonicalize(value: Any) -> Any:
     )
 
 
+#: Driver kwargs that, by convention, cannot change an experiment's results —
+#: only how fast they are computed.  Excluded from the memo key so cached
+#: sweep points hit regardless of the worker budget of the run that wrote them.
+RESULT_NEUTRAL_KEYS = frozenset({"jobs"})
+
+
 def config_hash(experiment_id: str, kwargs: Dict[str, Any]) -> str:
-    """Stable hex digest identifying one (experiment, kwargs) sweep point."""
+    """Stable hex digest identifying one (experiment, kwargs) sweep point.
+
+    Worker-count knobs (:data:`RESULT_NEUTRAL_KEYS`) are dropped before
+    hashing: a point computed with ``jobs=8`` is the same result as one
+    computed serially.
+    """
+    meaningful = {
+        key: value for key, value in kwargs.items() if key not in RESULT_NEUTRAL_KEYS
+    }
     payload = json.dumps(
-        {"experiment_id": experiment_id.lower(), "kwargs": canonicalize(kwargs)},
+        {"experiment_id": experiment_id.lower(), "kwargs": canonicalize(meaningful)},
         sort_keys=True,
         separators=(",", ":"),
     )

@@ -43,6 +43,11 @@ class LoadGenerator:
         """The configured query-size distribution."""
         return self._sizes
 
+    @property
+    def seed(self) -> Optional[int]:
+        """The seed this generator's reproducible streams derive from."""
+        return self._rng_factory.seed
+
     def with_rate(self, rate_qps: float) -> "LoadGenerator":
         """Return a new generator identical to this one but at a different rate."""
         check_positive("rate_qps", rate_qps)
@@ -59,9 +64,11 @@ class LoadGenerator:
         size_rng = self._rng_factory.child("sizes")
         arrival_times = self._arrival.arrival_times(num_queries, arrival_rng, start_time)
         sizes = self._sizes.sample(num_queries, size_rng)
+        # tolist() yields native Python floats/ints in one C pass, which is
+        # much cheaper than casting numpy scalars one by one.
         return [
-            Query(query_id=idx, arrival_time=float(t), size=int(size))
-            for idx, (t, size) in enumerate(zip(arrival_times, sizes))
+            Query(idx, t, size)
+            for idx, (t, size) in enumerate(zip(arrival_times.tolist(), sizes.tolist()))
         ]
 
     def generate_for_duration(

@@ -1,8 +1,10 @@
 """At-scale serving: SLA targets, query splitting, event-driven simulation, capacity search."""
 
 from repro.serving.capacity import (
+    CapacityCache,
     CapacityResult,
     bisect_max_qps,
+    bisect_max_qps_batched,
     estimate_upper_bound_qps,
     find_max_qps,
 )
@@ -20,6 +22,7 @@ from repro.serving.cluster import (
     find_cluster_max_qps,
     get_balancer,
     homogeneous_fleet,
+    warm_latency_tables,
 )
 from repro.serving.request import Request, num_requests, split_query
 from repro.serving.simulator import (
@@ -31,8 +34,10 @@ from repro.serving.simulator import (
 from repro.serving.sla import SLATarget, SLATier, TIER_MULTIPLIERS, sla_target, sla_targets
 
 __all__ = [
+    "CapacityCache",
     "CapacityResult",
     "bisect_max_qps",
+    "bisect_max_qps_batched",
     "estimate_upper_bound_qps",
     "find_max_qps",
     "ClusterServer",
@@ -48,6 +53,7 @@ __all__ = [
     "find_cluster_max_qps",
     "get_balancer",
     "homogeneous_fleet",
+    "warm_latency_tables",
     "Request",
     "num_requests",
     "split_query",

@@ -9,13 +9,22 @@ at each candidate rate.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
 from repro.queries.size_dist import QuerySizeDistribution
-from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.serving.simulator import (
+    ServingConfig,
+    ServingSimulator,
+    SimulationResult,
+    pause_gc,
+)
 from repro.utils.validation import check_positive
 
 
@@ -163,6 +172,139 @@ def bisect_max_qps(
     )
 
 
+def bisect_max_qps_batched(
+    evaluate_batch: Callable[[Sequence[float]], List[SimulationResult]],
+    upper_qps: float,
+    sla_latency_s: float,
+    iterations: int,
+    lookahead: int = 2,
+) -> CapacityResult:
+    """Speculatively parallel bisection, decision-identical to :func:`bisect_max_qps`.
+
+    ``evaluate_batch(rates)`` evaluates several offered loads at once (e.g.
+    over a process pool) and returns their results in order.  The search
+    walks exactly the decision tree of the serial bisection: each batch
+    contains every rate the next ``lookahead`` serial rounds *could* evaluate
+    (``2**lookahead - 1`` midpoints), the bracket-raise phase evaluates its
+    up-to-three candidates in one batch, and the lower-bound probe evaluates
+    the trickle fallback speculatively.  Because evaluations are
+    deterministic functions of the rate, the returned ``CapacityResult`` is
+    identical to the serial search's — speculation only buys wall-clock time,
+    at the cost of some discarded evaluations.
+    """
+    check_positive("sla_latency_s", sla_latency_s)
+    check_positive("iterations", iterations)
+    check_positive("upper_qps", upper_qps)
+    if lookahead < 1:
+        raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+
+    # Phase 1 — bracket raise: serial evaluates at most three uppers.
+    upper_candidates = []
+    value = upper_qps
+    for _ in range(3):
+        upper_candidates.append(value)
+        value *= 1.6
+    upper_results = evaluate_batch(upper_candidates)
+    upper = upper_qps
+    at_upper = upper_results[-1]
+    bracketed = False
+    for candidate, at_upper in zip(upper_candidates, upper_results):
+        if not at_upper.acceptable(sla_latency_s):
+            upper = candidate
+            bracketed = True
+            break
+        upper = candidate * 1.6
+    if not bracketed:
+        return CapacityResult(max_qps=upper, sla_latency_s=sla_latency_s, result=at_upper)
+
+    # Phase 2 — lower bound, with the near-zero trickle probe speculated.
+    lower = upper / 64.0
+    trickle = max(lower / 16.0, 1e-3)
+    at_lower, at_trickle = evaluate_batch([lower, trickle])
+    if not at_lower.acceptable(sla_latency_s):
+        if not at_trickle.acceptable(sla_latency_s):
+            return CapacityResult(max_qps=0.0, sla_latency_s=sla_latency_s, result=None)
+        lower, at_lower = trickle, at_trickle
+
+    # Phase 3 — bisection, `lookahead` serial rounds per batch.
+    best_rate, best_result = lower, at_lower
+    remaining = iterations
+    while remaining > 0:
+        depth = min(lookahead, remaining)
+        candidates: List[float] = []
+
+        def collect(low: float, high: float, levels: int) -> None:
+            if not levels:
+                return
+            middle = 0.5 * (low + high)
+            candidates.append(middle)
+            collect(middle, high, levels - 1)
+            collect(low, middle, levels - 1)
+
+        collect(lower, upper, depth)
+        outcomes = dict(zip(candidates, evaluate_batch(candidates)))
+        for _ in range(depth):
+            middle = 0.5 * (lower + upper)
+            outcome = outcomes[middle]
+            if outcome.acceptable(sla_latency_s):
+                lower = middle
+                best_rate, best_result = middle, outcome
+            else:
+                upper = middle
+        remaining -= depth
+    return CapacityResult(
+        max_qps=best_rate, sla_latency_s=sla_latency_s, result=best_result
+    )
+
+
+class CapacityCache:
+    """On-disk warm-start store for capacity searches.
+
+    Maps a canonical search signature to the ``max_qps`` a previous search
+    found, so reruns (and sweeps sharing a cache directory) can start the
+    bisection from a bracket that is already close to the answer instead of
+    the optimistic analytic upper bound.  Entries are one JSON file per
+    signature, named by its SHA-256 digest — shareable and prunable with
+    ordinary file tools, like the sweep runner's result cache.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self._dir = Path(cache_dir)
+
+    @property
+    def cache_dir(self) -> Path:
+        """Directory holding the warm-start entries."""
+        return self._dir
+
+    @staticmethod
+    def digest(signature: Dict[str, Any]) -> str:
+        """Stable hex digest of a canonical (JSON-serialisable) signature."""
+        payload = json.dumps(signature, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, signature: Dict[str, Any]) -> Path:
+        return self._dir / f"capacity-{self.digest(signature)}.json"
+
+    def load(self, signature: Dict[str, Any]) -> Optional[float]:
+        """Return the cached max QPS for ``signature``, or None."""
+        path = self._path(signature)
+        try:
+            payload = json.loads(path.read_text())
+            max_qps = float(payload["max_qps"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None  # missing/corrupt/foreign-shaped entries are misses
+        return max_qps if max_qps > 0 else None
+
+    def store(self, signature: Dict[str, Any], max_qps: float) -> None:
+        """Record ``max_qps`` for ``signature`` (atomic write-then-rename)."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(signature)
+        entry = {"signature": signature, "max_qps": max_qps}
+        scratch = path.with_suffix(f".tmp-{os.getpid()}")
+        scratch.write_text(json.dumps(entry, sort_keys=True))
+        scratch.replace(path)
+
+
 def find_max_qps(
     engines: EnginePair,
     config: ServingConfig,
@@ -197,6 +339,7 @@ def find_max_qps(
     def evaluate(rate_qps: float) -> SimulationResult:
         generator = load_generator.with_rate(rate_qps)
         count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
-        return simulator.run(generator.generate(count))
+        with pause_gc():  # query generation is allocation-heavy, cycle-free
+            return simulator.run(generator.generate(count))
 
     return bisect_max_qps(evaluate, upper, sla_latency_s, iterations)

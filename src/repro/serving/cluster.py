@@ -28,29 +28,35 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import json
+import multiprocessing
+import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
-
-import numpy as np
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
 from repro.queries.query import Query
 from repro.serving.capacity import (
+    CapacityCache,
     CapacityResult,
     bisect_max_qps,
+    bisect_max_qps_batched,
     estimate_upper_bound_qps,
     measurement_queries,
     offload_size_stats,
 )
 from repro.serving.simulator import (
-    EVT_ARRIVAL,
     EVT_CPU_DONE,
     SLACriteriaMixin,
     ServerKernel,
     ServingConfig,
+    _INFINITY,
+    _arrival_key,
     late_window_p95,
+    pause_gc,
     resolve_num_cores,
 )
 from repro.utils.stats import PercentileTracker
@@ -110,27 +116,45 @@ class LeastOutstandingBalancer(LoadBalancer):
     name = "least-outstanding"
 
     def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
-        return min(range(len(servers)), key=lambda i: (servers[i].outstanding_items, i))
+        # Equivalent to min(range(n), key=lambda i: (items, i)) but without
+        # the per-query lambda/tuple allocations (this runs once per arrival).
+        best_index = 0
+        best_load = servers[0].outstanding_items
+        for index in range(1, len(servers)):
+            load = servers[index].outstanding_items
+            if load < best_load:
+                best_index = index
+                best_load = load
+        return best_index
 
 
 class PowerOfTwoBalancer(LoadBalancer):
-    """Probe two random servers, pick the less loaded (power-of-two-choices)."""
+    """Probe two random servers, pick the less loaded (power-of-two-choices).
+
+    Uses the stdlib Mersenne-Twister generator rather than a numpy
+    ``Generator``: the balancer draws two bounded scalars per arriving query
+    on the simulator's hot path, and ``random.Random.randrange`` is roughly
+    an order of magnitude cheaper per scalar draw.  Streams are seed-stable
+    across platforms and Python versions.
+    """
 
     name = "power-of-two"
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._random = random.Random(seed)
+        self._randrange = self._random.randrange
 
     def reset(self, num_servers: int) -> None:
-        self._rng = np.random.default_rng(self._seed)
+        self._random.seed(self._seed)
 
     def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
         count = len(servers)
         if count == 1:
             return 0
-        first = int(self._rng.integers(count))
-        second = int(self._rng.integers(count - 1))
+        randrange = self._randrange
+        first = randrange(count)
+        second = randrange(count - 1)
         if second >= first:
             second += 1
         if servers[second].outstanding_items < servers[first].outstanding_items:
@@ -308,7 +332,7 @@ class ClusterSimulator:
         if not queries:
             raise ValueError("cannot simulate an empty query stream")
 
-        ordered = sorted(queries, key=lambda q: q.arrival_time)
+        ordered = sorted(queries, key=_arrival_key)
         warmup_fraction = (
             self._warmup_fraction
             if self._warmup_fraction is not None
@@ -317,50 +341,69 @@ class ClusterSimulator:
         warmup_count = int(len(ordered) * warmup_fraction)
         warmup_ids = {q.query_id for q in ordered[:warmup_count]}
 
+        # Arrivals are consumed straight from the sorted list with a cursor
+        # (the balancer assigns their server at that point); only completions
+        # go through the event heap, as (time, kind, seq, server, query_id).
+        # A completion at time t is processed before an arrival at the same
+        # instant, matching the EVT_* ordering of the all-in-one-heap form.
         counter = itertools.count()
-        # Events carry (time, kind, seq, server_index, payload); arrivals use
-        # server_index -1 because the balancer assigns them at pop time.
         events: List[tuple] = []
-        for query in ordered:
-            heapq.heappush(
-                events, (query.arrival_time, EVT_ARRIVAL, next(counter), -1, query)
-            )
-
-        def make_schedule(server_index: int) -> Callable[[float, int, int], None]:
-            def schedule(time: float, kind: int, query_id: int) -> None:
-                heapq.heappush(events, (time, kind, next(counter), server_index, query_id))
-
-            return schedule
-
         kernels = [
-            ServerKernel(server.engines, server.config, cores, make_schedule(index))
+            ServerKernel(server.engines, server.config, cores, events, counter, index)
             for index, (server, cores) in enumerate(zip(self._servers, self._cores))
         ]
         self._balancer.reset(len(kernels))
 
-        tracker = PercentileTracker()
         first_arrival = ordered[0].arrival_time
         last_completion = first_arrival
 
-        while events:
-            now, kind, _, server_index, payload = heapq.heappop(events)
-            if kind == EVT_ARRIVAL:
-                chosen = self._balancer.choose(payload, kernels)
-                if not 0 <= chosen < len(kernels):
+        # Hot loop: bind everything to locals; the branch order matches the
+        # event frequency (CPU completions > arrivals > GPU completions).
+        # Measured latencies collect into a plain list and feed the tracker
+        # in one vectorized pass after the run.
+        heappop = heapq.heappop
+        choose = self._balancer.choose
+        measured_latencies: List[float] = []
+        record = measured_latencies.append
+        num_kernels = len(kernels)
+        num_arrivals = len(ordered)
+        cursor = 0
+        next_arrival = first_arrival
+        with pause_gc():
+            while True:
+                if events:
+                    head = events[0]
+                    now = head[0]
+                    if now <= next_arrival:
+                        _, kind, _, server_index, query_id = heappop(events)
+                        if kind == EVT_CPU_DONE:
+                            completed = kernels[server_index].on_cpu_done(query_id, now)
+                            if completed is None:
+                                continue
+                        else:  # EVT_GPU_DONE
+                            completed = kernels[server_index].on_gpu_done(query_id, now)
+                        if now > last_completion:
+                            last_completion = now
+                        if completed.query_id not in warmup_ids:
+                            record(now - completed.arrival_time)
+                        continue
+                if cursor >= num_arrivals:
+                    break
+                query = ordered[cursor]
+                cursor += 1
+                next_arrival = (
+                    ordered[cursor].arrival_time if cursor < num_arrivals else _INFINITY
+                )
+                chosen = choose(query, kernels)
+                if not 0 <= chosen < num_kernels:
                     raise ValueError(
                         f"balancer {self.policy!r} chose server {chosen} of "
-                        f"{len(kernels)}"
+                        f"{num_kernels}"
                     )
-                kernels[chosen].submit(payload, now)
-                continue
-            if kind == EVT_CPU_DONE:
-                completed = kernels[server_index].on_cpu_done(payload, now)
-            else:  # EVT_GPU_DONE
-                completed = kernels[server_index].on_gpu_done(payload, now)
-            if completed is not None:
-                last_completion = max(last_completion, now)
-                if completed.query_id not in warmup_ids:
-                    tracker.add(now - completed.arrival_time)
+                kernels[chosen].submit(query, query.arrival_time)
+
+        tracker = PercentileTracker()
+        tracker.extend(measured_latencies)
 
         duration = max(last_completion - first_arrival, 1e-9)
         offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
@@ -442,6 +485,142 @@ def estimate_fleet_upper_bound_qps(
     return total
 
 
+def warm_latency_tables(
+    servers: Sequence[ClusterServer], max_query_size: Optional[int] = None
+) -> None:
+    """Pre-fill the engines' latency-table columns every kernel will index.
+
+    Called before forking capacity-search workers so the (possibly shared)
+    engines carry fully built tables into the child processes instead of
+    each worker rebuilding them lazily.  ``max_query_size`` (e.g. the size
+    distribution's ``max_size``) additionally warms the GPU query-size
+    column of accelerator-attached servers that offload.
+    """
+    for server in servers:
+        cores = resolve_num_cores(server.engines, server.config)
+        cpu_table = getattr(server.engines.cpu, "latency_table", None)
+        if cpu_table is not None:
+            for active_cores in range(1, cores + 1):
+                cpu_table.column(server.config.batch_size, active_cores)
+        if (
+            max_query_size
+            and server.engines.gpu is not None
+            and server.config.offload_threshold is not None
+        ):
+            gpu_table = getattr(server.engines.gpu, "latency_table", None)
+            if gpu_table is not None:
+                gpu_table.totals(max_query_size)
+
+
+def _component_signature(component: Any) -> Dict[str, Any]:
+    """Type name plus instance parameters of a workload component.
+
+    Two distributions (or arrival processes) of the same class but different
+    parameters must not collide in the warm-start cache — a stale hint from
+    a different workload would cap the bisection bracket and silently return
+    a wrong capacity.  Raises for components whose state is not plain data;
+    the caller treats that as "cannot sign, skip caching".
+    """
+    return {
+        "type": type(component).__name__,
+        "params": dict(sorted(vars(component).items())),
+    }
+
+
+def _capacity_search_signature(
+    servers: Sequence[ClusterServer],
+    policy: str,
+    sla_latency_s: float,
+    load_generator: LoadGenerator,
+    num_queries: int,
+    iterations: int,
+    headroom: float,
+    max_queries: int,
+    warmup_fraction: Optional[float],
+    balancer_seed: int,
+) -> Optional[Dict[str, Any]]:
+    """Canonical description of one fleet capacity search, or None.
+
+    Returns None when any component cannot be described canonically (e.g. a
+    custom balancer instance or size distribution with unserialisable state),
+    in which case warm-start caching is silently skipped.
+    """
+    try:
+        signature: Dict[str, Any] = {
+            "kind": "find_cluster_max_qps",
+            "servers": [
+                {
+                    "model": server.engines.cpu.model.name,
+                    "cpu": server.engines.cpu.platform.name,
+                    "gpu": (
+                        server.engines.gpu.platform.name
+                        if server.engines.gpu is not None
+                        else None
+                    ),
+                    "batch_size": server.config.batch_size,
+                    "num_cores": server.config.num_cores,
+                    "offload_threshold": server.config.offload_threshold,
+                    "warmup_fraction": server.config.warmup_fraction,
+                }
+                for server in servers
+            ],
+            "policy": policy,
+            "sla_latency_s": sla_latency_s,
+            "arrival": _component_signature(load_generator.arrival),
+            "sizes": _component_signature(load_generator.sizes),
+            "seed": load_generator.seed,
+            "num_queries": num_queries,
+            "iterations": iterations,
+            "headroom": headroom,
+            "max_queries": max_queries,
+            "warmup_fraction": warmup_fraction,
+            "balancer_seed": balancer_seed,
+        }
+        json.dumps(signature, sort_keys=True)  # probe serialisability
+    except (TypeError, ValueError, AttributeError):
+        return None
+    return signature
+
+
+# Worker-process state for the parallel capacity search: one simulator and
+# stream parameters per worker, installed by the pool initializer so each
+# speculative evaluation only ships a float rate over the pipe.
+_CAPACITY_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _capacity_worker_init(payload: tuple) -> None:
+    (
+        servers,
+        balancer,
+        warmup_fraction,
+        balancer_seed,
+        sla_latency_s,
+        num_queries,
+        max_queries,
+        load_generator,
+    ) = payload
+    _CAPACITY_WORKER_STATE["simulator"] = ClusterSimulator(
+        servers,
+        balancer=balancer,
+        warmup_fraction=warmup_fraction,
+        balancer_seed=balancer_seed,
+    )
+    _CAPACITY_WORKER_STATE["sla_latency_s"] = sla_latency_s
+    _CAPACITY_WORKER_STATE["num_queries"] = num_queries
+    _CAPACITY_WORKER_STATE["max_queries"] = max_queries
+    _CAPACITY_WORKER_STATE["load_generator"] = load_generator
+
+
+def _capacity_worker_evaluate(rate_qps: float) -> ClusterSimulationResult:
+    state = _CAPACITY_WORKER_STATE
+    generator = state["load_generator"].with_rate(rate_qps)
+    count = measurement_queries(
+        rate_qps, state["sla_latency_s"], state["num_queries"], state["max_queries"]
+    )
+    with pause_gc():
+        return state["simulator"].run(generator.generate(count))
+
+
 def find_cluster_max_qps(
     servers: Sequence[ClusterServer],
     balancer: Union[str, LoadBalancer],
@@ -453,6 +632,8 @@ def find_cluster_max_qps(
     max_queries: int = 8000,
     warmup_fraction: Optional[float] = None,
     balancer_seed: int = 0,
+    jobs: int = 1,
+    warm_start_cache: Union[CapacityCache, str, Path, None] = None,
 ) -> CapacityResult:
     """Bisection search for the fleet's maximum QPS under the p95 SLA.
 
@@ -460,19 +641,102 @@ def find_cluster_max_qps(
     offered stream is generated once per candidate rate and routed by the
     balancer, so the measured capacity includes balancing losses (a skewed
     policy saturates one server before the fleet is nominally full).
+
+    With ``jobs > 1`` the candidate rates of each bisection round are
+    evaluated speculatively across a process pool
+    (:func:`~repro.serving.capacity.bisect_max_qps_batched`), returning a
+    result identical to the serial search in a fraction of the wall-clock
+    time; servers and balancer must then be picklable.  Inside a daemonic
+    worker (e.g. a sweep-runner process) the search silently falls back to
+    serial, since nested pools are not allowed.
+
+    ``warm_start_cache`` (a :class:`~repro.serving.capacity.CapacityCache`
+    or a directory path, typically the sweep runner's cache directory)
+    tightens the initial upper bracket from the QPS a previous identical
+    search found and records this search's outcome for future runs.  A
+    warm-started search may bisect a different bracket than a cold one, so
+    enable it where throughput matters more than run-to-run bit equality.
     """
     check_positive("num_queries", num_queries)
-    simulator = ClusterSimulator(
-        servers,
-        balancer=balancer,
-        warmup_fraction=warmup_fraction,
-        balancer_seed=balancer_seed,
-    )
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     upper = headroom * estimate_fleet_upper_bound_qps(servers, load_generator)
 
-    def evaluate(rate_qps: float) -> ClusterSimulationResult:
-        generator = load_generator.with_rate(rate_qps)
-        count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
-        return simulator.run(generator.generate(count))
+    cache: Optional[CapacityCache] = None
+    signature: Optional[Dict[str, Any]] = None
+    if warm_start_cache is not None:
+        cache = (
+            warm_start_cache
+            if isinstance(warm_start_cache, CapacityCache)
+            else CapacityCache(warm_start_cache)
+        )
+        policy_name = (
+            balancer if isinstance(balancer, str) else (balancer.name or type(balancer).__name__)
+        )
+        signature = _capacity_search_signature(
+            servers, str(policy_name), sla_latency_s, load_generator, num_queries,
+            iterations, headroom, max_queries, warmup_fraction, balancer_seed,
+        )
+        if signature is not None:
+            hint = cache.load(signature)
+            if hint is not None:
+                # A previous identical search peaked at `hint`; bracketing
+                # just above it skips the optimistic analytic bound.
+                upper = min(upper, headroom * hint)
 
-    return bisect_max_qps(evaluate, upper, sla_latency_s, iterations)
+    if jobs > 1 and multiprocessing.current_process().daemon:
+        jobs = 1  # daemonic pool workers cannot fork their own pools
+
+    if jobs <= 1:
+        simulator = ClusterSimulator(
+            servers,
+            balancer=balancer,
+            warmup_fraction=warmup_fraction,
+            balancer_seed=balancer_seed,
+        )
+
+        def evaluate(rate_qps: float) -> ClusterSimulationResult:
+            generator = load_generator.with_rate(rate_qps)
+            count = measurement_queries(
+                rate_qps, sla_latency_s, num_queries, max_queries
+            )
+            with pause_gc():  # query generation is allocation-heavy, cycle-free
+                return simulator.run(generator.generate(count))
+
+        result = bisect_max_qps(evaluate, upper, sla_latency_s, iterations)
+    else:
+        # Validate the fleet in the parent (fail fast) and pre-fill the
+        # latency tables so forked workers inherit warm engines.
+        ClusterSimulator(
+            servers,
+            balancer=balancer,
+            warmup_fraction=warmup_fraction,
+            balancer_seed=balancer_seed,
+        )
+        warm_latency_tables(
+            servers, getattr(load_generator.sizes, "max_size", None)
+        )
+        lookahead = max(1, (jobs + 1).bit_length() - 1)
+        payload = (
+            list(servers),
+            balancer,
+            warmup_fraction,
+            balancer_seed,
+            sla_latency_s,
+            num_queries,
+            max_queries,
+            load_generator,
+        )
+        with multiprocessing.Pool(
+            processes=jobs, initializer=_capacity_worker_init, initargs=(payload,)
+        ) as pool:
+            def evaluate_batch(rates: Sequence[float]) -> List[ClusterSimulationResult]:
+                return pool.map(_capacity_worker_evaluate, list(rates))
+
+            result = bisect_max_qps_batched(
+                evaluate_batch, upper, sla_latency_s, iterations, lookahead
+            )
+
+    if cache is not None and signature is not None and result.max_qps > 0:
+        cache.store(signature, result.max_qps)
+    return result

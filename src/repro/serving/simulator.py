@@ -26,16 +26,19 @@ the single-server simulator.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
+import operator
+from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.execution.engine import EnginePair
 from repro.queries.query import Query
-from repro.serving.request import split_query
 from repro.utils.stats import PercentileTracker
 from repro.utils.validation import check_positive
 
@@ -156,12 +159,68 @@ EVT_CPU_DONE = 0
 EVT_GPU_DONE = 1
 EVT_ARRIVAL = 2
 
+#: Sort key for arrival ordering (C-level attribute getter, not a lambda).
+_arrival_key = operator.attrgetter("arrival_time")
 
-@dataclass
+_INFINITY = float("inf")
+
+
+@contextmanager
+def pause_gc() -> Iterator[None]:
+    """Disable generational GC for the duration of an event loop.
+
+    The loops allocate hundreds of thousands of short-lived event tuples and
+    create no reference cycles, so generation-0 collections triggered mid-run
+    are pure overhead.  The collector is restored (and never force-run) on
+    exit, including on exceptions.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+class _LazyServiceRow:
+    """List-like service-time row backed by a scalar latency callable.
+
+    Fallback for duck-typed engines (e.g. ``ScaledCPUEngine``) that expose
+    ``request_latency_s`` but no precomputed latency table: entries are
+    computed through the scalar call on first access and memoised, so the
+    kernel's ``row[batch]`` lookup works identically either way.
+    """
+
+    __slots__ = ("_latency_s", "_active_cores", "_values")
+
+    def __init__(self, latency_s, active_cores: int, max_batch: int) -> None:
+        self._latency_s = latency_s
+        self._active_cores = active_cores
+        self._values: List[Optional[float]] = [None] * (max_batch + 1)
+
+    def __getitem__(self, batch_size: int) -> float:
+        value = self._values[batch_size]
+        if value is None:
+            value = self._latency_s(batch_size, self._active_cores)
+            self._values[batch_size] = value
+        return value
+
+
 class _QueryState:
-    query: Query
-    outstanding_requests: int
-    on_gpu: bool
+    """Bookkeeping for a query split into several CPU requests (hot-path object).
+
+    Queries that produce a single unit of work (one CPU request, or a whole
+    query offloaded to the accelerator) skip this object entirely — the
+    kernel stores the bare :class:`Query` in its state map instead.
+    """
+
+    __slots__ = ("query", "outstanding_requests")
+
+    def __init__(self, query: Query, outstanding_requests: int) -> None:
+        self.query = query
+        self.outstanding_requests = outstanding_requests
 
 
 class ServerKernel:
@@ -169,29 +228,91 @@ class ServerKernel:
 
     The kernel owns the server-local state — CPU/accelerator FIFO queues,
     busy-core count, busy-time and work accounting — while the *owner* owns
-    the event heap and the simulated clock.  Completion events are emitted
-    through the ``schedule`` callback (``schedule(time, kind, query_id)``),
-    which lets a cluster tag each event with the kernel it belongs to.
+    the event heap and the simulated clock.  Completion events are pushed
+    straight onto the owner's heap as ``(time, kind, seq, server_index,
+    query_id)`` tuples; ``server_index`` tags each event with the kernel it
+    belongs to (a cluster routes on it, a single-server owner ignores it) and
+    the shared ``seq`` counter keeps equal-time events deterministically
+    ordered.
 
     The live ``outstanding_queries`` / ``outstanding_items`` counters are the
     signals cluster load balancers key on.
+
+    Service times come from the engines' dense latency tables (bit-identical
+    to the scalar engine calls), so the per-event cost is a list index rather
+    than a trip through the Python latency model.
     """
+
+    __slots__ = (
+        "_cpu",
+        "_gpu",
+        "_config",
+        "_num_cores",
+        "_events",
+        "_counter",
+        "_server_index",
+        "_batch_size",
+        "_threshold",
+        "_cpu_service",
+        "_gpu_service",
+        "_cpu_queue",
+        "_gpu_queue",
+        "_states",
+        "_busy_cores",
+        "_gpu_busy",
+        "cpu_busy_time",
+        "gpu_busy_time",
+        "total_items",
+        "gpu_items",
+        "num_submitted",
+        "outstanding_items",
+    )
 
     def __init__(
         self,
         engines: EnginePair,
         config: ServingConfig,
         num_cores: int,
-        schedule: Callable[[float, int, int], None],
+        events: List[tuple],
+        counter: Iterator[int],
+        server_index: int = 0,
     ) -> None:
         self._cpu = engines.cpu
         self._gpu = engines.gpu
         self._config = config
         self._num_cores = num_cores
-        self._schedule = schedule
+        self._events = events
+        self._counter = counter
+        self._server_index = server_index
+        self._batch_size = config.batch_size
+        self._threshold = (
+            config.offload_threshold if engines.gpu is not None else None
+        )
 
-        self._cpu_queue: List = []  # FIFO of (query_id, request_batch)
-        self._gpu_queue: List[int] = []  # FIFO of query ids
+        # Dense service-time lookups: _cpu_service[active_cores][batch].
+        # Engines without a latency table (duck-typed wrappers) fall back to
+        # lazily memoised scalar calls with the same row[batch] interface.
+        cpu_table = getattr(engines.cpu, "latency_table", None)
+        if cpu_table is not None:
+            self._cpu_service = [None] + [
+                cpu_table.column(config.batch_size, cores)
+                for cores in range(1, num_cores + 1)
+            ]
+        else:
+            self._cpu_service = [None] + [
+                _LazyServiceRow(engines.cpu.request_latency_s, cores, config.batch_size)
+                for cores in range(1, num_cores + 1)
+            ]
+        if engines.gpu is None:
+            self._gpu_service = None
+        else:
+            gpu_table = getattr(engines.gpu, "latency_table", None)
+            self._gpu_service = (
+                gpu_table.total_s if gpu_table is not None else engines.gpu.query_latency_s
+            )
+
+        self._cpu_queue: deque = deque()  # FIFO of (query_id, request_batch)
+        self._gpu_queue: deque = deque()  # FIFO of query ids
         self._states: Dict[int, _QueryState] = {}
         self._busy_cores = 0
         self._gpu_busy = False
@@ -201,8 +322,6 @@ class ServerKernel:
         self.total_items = 0
         self.gpu_items = 0
         self.num_submitted = 0
-        self.num_completed = 0
-        self.outstanding_queries = 0
         self.outstanding_items = 0
 
     @property
@@ -215,71 +334,155 @@ class ServerKernel:
         """Number of CPU worker cores simulated."""
         return self._num_cores
 
+    @property
+    def outstanding_queries(self) -> int:
+        """Queries accepted but not yet fully completed (derived, O(1))."""
+        return len(self._states)
+
+    @property
+    def num_completed(self) -> int:
+        """Queries fully completed so far (derived, O(1))."""
+        return self.num_submitted - len(self._states)
+
     def submit(self, query: Query, now: float) -> None:
         """Accept an arriving query: offload it whole or split it for the CPU."""
+        size = query.size
+        query_id = query.query_id
         self.num_submitted += 1
-        self.total_items += query.size
-        self.outstanding_queries += 1
-        self.outstanding_items += query.size
-        threshold = self._config.offload_threshold
-        offload = (
-            threshold is not None and self._gpu is not None and query.size > threshold
-        )
-        if offload:
-            self._states[query.query_id] = _QueryState(query, 0, True)
-            self.gpu_items += query.size
-            self._gpu_queue.append(query.query_id)
+        self.total_items += size
+        self.outstanding_items += size
+        threshold = self._threshold
+        if threshold is not None and size > threshold:
+            self._states[query_id] = query
+            self.gpu_items += size
+            self._gpu_queue.append(query_id)
             self._dispatch_gpu(now)
+        elif size <= self._batch_size:
+            # Single-request query (the common case): no split bookkeeping,
+            # and when a core is free the request starts immediately without
+            # touching the FIFO (a free core implies an empty queue).
+            self._states[query_id] = query
+            busy = self._busy_cores
+            if busy < self._num_cores:
+                busy += 1
+                service = self._cpu_service[busy][size]
+                self.cpu_busy_time += service
+                self._busy_cores = busy
+                heapq.heappush(
+                    self._events,
+                    (
+                        now + service,
+                        EVT_CPU_DONE,
+                        next(self._counter),
+                        self._server_index,
+                        query_id,
+                    ),
+                )
+            else:
+                self._cpu_queue.append((query_id, size))
         else:
-            requests = split_query(query, self._config.batch_size)
-            self._states[query.query_id] = _QueryState(query, len(requests), False)
-            for request in requests:
-                self._cpu_queue.append((query.query_id, request.batch_size))
+            # Inline query splitting: full batches first, remainder last —
+            # the exact request order split_query produces, without the
+            # per-request object allocations.
+            batch = self._batch_size
+            full, remainder = divmod(size, batch)
+            queue = self._cpu_queue
+            queue.extend(itertools.repeat((query_id, batch), full))
+            if remainder:
+                queue.append((query_id, remainder))
+                full += 1
+            self._states[query_id] = _QueryState(query, full)
             self._dispatch_cpu(now)
 
     def on_cpu_done(self, query_id: int, now: float) -> Optional[Query]:
         """Handle one CPU request completion; return the query if it finished."""
-        self._busy_cores -= 1
-        state = self._states[query_id]
-        state.outstanding_requests -= 1
-        completed = None
-        if state.outstanding_requests == 0:
-            completed = self._finish(query_id)
-        self._dispatch_cpu(now)
-        return completed
+        busy = self._busy_cores - 1
+        states = self._states
+        state = states[query_id]
+        if type(state) is _QueryState:
+            remaining = state.outstanding_requests - 1
+            if remaining:
+                state.outstanding_requests = remaining
+                query = None
+            else:
+                query = state.query
+        else:
+            query = state
+        if query is not None:
+            del states[query_id]
+            self.outstanding_items -= query.size
+        # Inline of _dispatch_cpu: exactly one core was freed, so at most one
+        # queued request can start (the loop runs at most once).
+        queue = self._cpu_queue
+        if queue:
+            next_id, request_batch = queue.popleft()
+            busy += 1
+            service = self._cpu_service[busy][request_batch]
+            self.cpu_busy_time += service
+            heapq.heappush(
+                self._events,
+                (
+                    now + service,
+                    EVT_CPU_DONE,
+                    next(self._counter),
+                    self._server_index,
+                    next_id,
+                ),
+            )
+        self._busy_cores = busy
+        return query
 
     def on_gpu_done(self, query_id: int, now: float) -> Query:
         """Handle an accelerator query completion; always finishes the query."""
         self._gpu_busy = False
-        completed = self._finish(query_id)
+        query = self._states.pop(query_id)
+        self.outstanding_items -= query.size
         self._dispatch_gpu(now)
-        return completed
+        return query
 
     # ------------------------------------------------------------------ #
 
     def _dispatch_cpu(self, now: float) -> None:
-        while self._cpu_queue and self._busy_cores < self._num_cores:
-            query_id, request_batch = self._cpu_queue.pop(0)
-            self._busy_cores += 1
-            service = self._cpu.request_latency_s(request_batch, self._busy_cores)
-            self.cpu_busy_time += service
-            self._schedule(now + service, EVT_CPU_DONE, query_id)
+        queue = self._cpu_queue
+        busy = self._busy_cores
+        cores = self._num_cores
+        if not queue or busy >= cores:
+            return
+        service_rows = self._cpu_service
+        heappush = heapq.heappush
+        events = self._events
+        counter = self._counter
+        server_index = self._server_index
+        busy_time = self.cpu_busy_time
+        while queue and busy < cores:
+            query_id, request_batch = queue.popleft()
+            busy += 1
+            service = service_rows[busy][request_batch]
+            busy_time += service
+            heappush(
+                events,
+                (now + service, EVT_CPU_DONE, next(counter), server_index, query_id),
+            )
+        self._busy_cores = busy
+        self.cpu_busy_time = busy_time
 
     def _dispatch_gpu(self, now: float) -> None:
         if self._gpu_busy or not self._gpu_queue:
             return
-        query_id = self._gpu_queue.pop(0)
+        query_id = self._gpu_queue.popleft()
         self._gpu_busy = True
-        service = self._gpu.query_latency_s(self._states[query_id].query.size)
+        service = self._gpu_service(self._states[query_id].size)
         self.gpu_busy_time += service
-        self._schedule(now + service, EVT_GPU_DONE, query_id)
-
-    def _finish(self, query_id: int) -> Query:
-        state = self._states.pop(query_id)
-        self.outstanding_queries -= 1
-        self.outstanding_items -= state.query.size
-        self.num_completed += 1
-        return state.query
+        heapq.heappush(
+            self._events,
+            (
+                now + service,
+                EVT_GPU_DONE,
+                next(self._counter),
+                self._server_index,
+                query_id,
+            ),
+        )
 
 
 def late_window_p95(samples: Sequence[float]) -> float:
@@ -314,39 +517,62 @@ class ServingSimulator:
             raise ValueError("cannot simulate an empty query stream")
         config = self._config
 
-        ordered = sorted(queries, key=lambda q: q.arrival_time)
+        ordered = sorted(queries, key=_arrival_key)
         warmup_count = int(len(ordered) * config.warmup_fraction)
         warmup_ids = {q.query_id for q in ordered[:warmup_count]}
 
-        counter = itertools.count()
+        # Arrivals are consumed straight from the sorted list with a cursor;
+        # only completions go through the event heap.  A completion at time t
+        # is processed before an arrival at the same instant (frees cores
+        # first), matching the EVT_* ordering of the all-in-one-heap form.
         events: List[tuple] = []
-        for query in ordered:
-            heapq.heappush(
-                events, (query.arrival_time, EVT_ARRIVAL, next(counter), query)
-            )
+        kernel = ServerKernel(
+            self._engines, config, self._num_cores, events, itertools.count()
+        )
 
-        def schedule(time: float, kind: int, query_id: int) -> None:
-            heapq.heappush(events, (time, kind, next(counter), query_id))
-
-        kernel = ServerKernel(self._engines, config, self._num_cores, schedule)
-
-        tracker = PercentileTracker()
         first_arrival = ordered[0].arrival_time
         last_completion = first_arrival
 
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            if kind == EVT_ARRIVAL:
-                kernel.submit(payload, now)
-                continue
-            if kind == EVT_CPU_DONE:
-                completed = kernel.on_cpu_done(payload, now)
-            else:  # EVT_GPU_DONE
-                completed = kernel.on_gpu_done(payload, now)
-            if completed is not None:
-                last_completion = max(last_completion, now)
-                if completed.query_id not in warmup_ids:
-                    tracker.add(now - completed.arrival_time)
+        # Hot loop: bind everything to locals.  Measured latencies collect
+        # into a plain list and feed the tracker in one vectorized pass.
+        heappop = heapq.heappop
+        submit = kernel.submit
+        on_cpu_done = kernel.on_cpu_done
+        on_gpu_done = kernel.on_gpu_done
+        measured_latencies: List[float] = []
+        record = measured_latencies.append
+        num_arrivals = len(ordered)
+        cursor = 0
+        next_arrival = first_arrival
+        with pause_gc():
+            while True:
+                if events:
+                    head = events[0]
+                    now = head[0]
+                    if now <= next_arrival:
+                        _, kind, _, _, query_id = heappop(events)
+                        if kind == EVT_CPU_DONE:
+                            completed = on_cpu_done(query_id, now)
+                            if completed is None:
+                                continue
+                        else:  # EVT_GPU_DONE
+                            completed = on_gpu_done(query_id, now)
+                        if now > last_completion:
+                            last_completion = now
+                        if completed.query_id not in warmup_ids:
+                            record(now - completed.arrival_time)
+                        continue
+                if cursor >= num_arrivals:
+                    break
+                query = ordered[cursor]
+                cursor += 1
+                next_arrival = (
+                    ordered[cursor].arrival_time if cursor < num_arrivals else _INFINITY
+                )
+                submit(query, query.arrival_time)
+
+        tracker = PercentileTracker()
+        tracker.extend(measured_latencies)
 
         duration = max(last_completion - first_arrival, 1e-9)
         offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)

@@ -79,6 +79,12 @@ def max_relative_cdf_gap(
 class PercentileTracker:
     """Collects latency samples and reports percentiles.
 
+    Samples accumulate into a growable ``numpy`` buffer (no per-sample Python
+    list work in the simulators' hot loop), and percentile queries share one
+    sorted copy computed on first use after the run — repeated p50/p95/p99
+    calls do not re-sort.  Values reported are identical to the previous
+    list-based implementation.
+
     Parameters
     ----------
     warmup:
@@ -86,38 +92,70 @@ class PercentileTracker:
         The serving simulator uses this to exclude the queue ramp-up transient.
     """
 
+    __slots__ = ("_warmup", "_buffer", "_count", "_sorted")
+
     def __init__(self, warmup: int = 0) -> None:
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
         self._warmup = warmup
-        self._samples: List[float] = []
+        self._buffer = np.empty(256, dtype=np.float64)
+        self._count = 0
+        self._sorted: "np.ndarray | None" = None
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        capacity = self._buffer.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._count] = self._buffer[: self._count]
+            self._buffer = grown
 
     def add(self, value: float) -> None:
         """Record one sample."""
-        self._samples.append(float(value))
+        count = self._count
+        buffer = self._buffer
+        if count == buffer.shape[0]:
+            self._reserve(1)
+            buffer = self._buffer
+        buffer[count] = value
+        self._count = count + 1
+        self._sorted = None
 
     def extend(self, values: Iterable[float]) -> None:
         """Record many samples."""
-        for value in values:
-            self.add(value)
+        arr = np.fromiter(values, dtype=np.float64)
+        self._reserve(arr.shape[0])
+        self._buffer[self._count : self._count + arr.shape[0]] = arr
+        self._count += arr.shape[0]
+        self._sorted = None
 
     @property
     def count(self) -> int:
         """Number of samples recorded after the warmup window."""
-        return max(0, len(self._samples) - self._warmup)
+        return max(0, self._count - self._warmup)
 
     @property
     def raw_count(self) -> int:
         """Total number of samples recorded, including warmup."""
-        return len(self._samples)
+        return self._count
+
+    def _post_warmup(self) -> np.ndarray:
+        return self._buffer[self._warmup : self._count]
+
+    def _post_warmup_sorted(self) -> np.ndarray:
+        if self._sorted is None:
+            self._sorted = np.sort(self._post_warmup())
+        return self._sorted
 
     def samples(self) -> List[float]:
-        """Return post-warmup samples (a copy)."""
-        return list(self._samples[self._warmup :])
+        """Return post-warmup samples (a copy, in insertion order)."""
+        return self._post_warmup().tolist()
 
     def percentile(self, pct: float) -> float:
         """Return the ``pct``-th percentile of post-warmup samples."""
-        return percentile(self._samples[self._warmup :], pct)
+        return percentile(self._post_warmup_sorted(), pct)
 
     def p50(self) -> float:
         """Median latency."""
@@ -133,8 +171,8 @@ class PercentileTracker:
 
     def mean(self) -> float:
         """Mean of post-warmup samples."""
-        post = self._samples[self._warmup :]
-        if not post:
+        post = self._post_warmup()
+        if post.shape[0] == 0:
             raise ValueError("no samples recorded after warmup")
         return float(np.mean(post))
 

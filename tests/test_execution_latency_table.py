@@ -1,0 +1,176 @@
+"""Exactness tests for the dense latency tables (the execution fast path).
+
+The serving simulators trust ``CPULatencyTable`` / ``GPULatencyTable`` to
+return *bit-identical* values to the scalar engine calls, so these tests
+assert equality with ``==`` — no tolerance — across the model zoo, both CPU
+platforms, and randomised batch sizes / core counts (hypothesis), plus the
+scalar fallback path for operator types without a vectorized cost.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.cpu_engine import CPUEngine
+from repro.execution.engine import build_cpu_engine, build_gpu_engine
+from repro.execution.latency_table import operator_cost_columns
+from repro.hardware.cpu import get_cpu
+from repro.models.ops import FullyConnected, Operator, OperatorCategory, OperatorCost
+from repro.models.zoo import available_models
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+MODELS = available_models()
+_CPU_ENGINES = {}
+_GPU_ENGINES = {}
+
+
+def cpu_engine(model: str, platform: str) -> CPUEngine:
+    key = (model, platform)
+    if key not in _CPU_ENGINES:
+        _CPU_ENGINES[key] = build_cpu_engine(model, platform)
+    return _CPU_ENGINES[key]
+
+
+def gpu_engine(model: str):
+    if model not in _GPU_ENGINES:
+        _GPU_ENGINES[model] = build_gpu_engine(model)
+    return _GPU_ENGINES[model]
+
+
+class TestCPUTableExactness:
+    @SETTINGS
+    @given(
+        model=st.sampled_from(MODELS),
+        platform=st.sampled_from(["skylake", "broadwell"]),
+        batch=st.integers(1, 1024),
+        cores=st.integers(1, 40),
+    )
+    def test_lookup_equals_engine_call(self, model, platform, batch, cores):
+        engine = cpu_engine(model, platform)
+        table = engine.latency_table
+        assert table.total_s(batch, cores) == engine.request_latency_s(batch, cores)
+
+    def test_full_grid_exact_for_one_model(self):
+        engine = cpu_engine("dlrm-rmc2", "skylake")
+        table = engine.latency_table
+        for cores in (1, 4, 18):
+            for batch in range(1, 130):
+                assert table.total_s(batch, cores) == engine.request_latency_s(
+                    batch, cores
+                )
+
+    def test_columns_are_cached_and_shared(self):
+        engine = cpu_engine("ncf", "skylake")
+        table = engine.latency_table
+        first = table.column(64, 2)
+        second = table.column(32, 2)
+        assert second is first  # same column object serves smaller ranges
+        assert len(first) > 64
+        assert math.isnan(first[0])  # index 0 is unused
+
+    def test_entries_built_counter_grows(self):
+        engine = build_cpu_engine("wnd", "skylake")
+        table = engine.latency_table
+        assert table.entries_built == 0
+        table.total_s(8, 1)
+        assert table.entries_built > 0
+
+
+class TestGPUTableExactness:
+    @SETTINGS
+    @given(model=st.sampled_from(MODELS), size=st.integers(1, 2048))
+    def test_lookup_equals_engine_call(self, model, size):
+        engine = gpu_engine(model)
+        table = engine.latency_table
+        assert table.total_s(size) == engine.query_latency_s(size)
+
+    def test_totals_grow_on_demand(self):
+        engine = build_gpu_engine("din")
+        table = engine.latency_table
+        assert table.entries_built == 0
+        small = table.total_s(10)
+        assert table.entries_built > 0
+        large = table.total_s(5000)
+        assert small == engine.query_latency_s(10)
+        assert large == engine.query_latency_s(5000)
+
+
+class _OddOperator(Operator):
+    """An operator type the vectorized cost builder does not know."""
+
+    def __init__(self) -> None:
+        super().__init__("odd", OperatorCategory.OTHER)
+
+    def cost(self, batch_size: int) -> OperatorCost:
+        return OperatorCost(
+            flops=batch_size**1.5 * 1e6, regular_bytes=batch_size * 4096.0
+        )
+
+
+class _StubModel:
+    """Minimal duck-typed model: just an operator list."""
+
+    def __init__(self, operators):
+        self._operators = list(operators)
+
+    def operators(self):
+        return list(self._operators)
+
+
+class TestScalarFallback:
+    def test_unknown_operator_has_no_vector_form(self):
+        import numpy as np
+
+        assert operator_cost_columns(_OddOperator(), np.arange(1.0, 4.0)) is None
+
+    def test_fallback_column_is_still_exact(self):
+        model = _StubModel([FullyConnected("fc", 64, 32), _OddOperator()])
+        engine = CPUEngine(model, get_cpu("skylake"))
+        table = engine.latency_table
+        for cores in (1, 3):
+            for batch in (1, 2, 7, 33, 100):
+                assert table.total_s(batch, cores) == engine.request_latency_s(
+                    batch, cores
+                )
+        assert table.scalar_fallbacks > 0
+
+
+class TestCacheStats:
+    def test_cpu_engine_counts_hits_and_misses(self):
+        engine = build_cpu_engine("dlrm-rmc1", "skylake")
+        assert engine.cache_stats() == {
+            "hits": 0, "misses": 0, "size": 0, "table_entries": 0,
+        }
+        engine.request_latency_s(16, 2)
+        engine.request_latency_s(16, 2)
+        engine.request_latency_s(32, 2)
+        stats = engine.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+
+    def test_gpu_engine_counts_hits_and_misses(self):
+        engine = build_gpu_engine("dlrm-rmc1")
+        engine.query_latency_s(100)
+        engine.query_latency_s(100)
+        stats = engine.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_table_entries_reported(self):
+        engine = build_cpu_engine("dlrm-rmc1", "skylake")
+        engine.latency_table.total_s(4, 1)
+        assert engine.cache_stats()["table_entries"] > 0
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_every_zoo_model_vectorizes_without_fallback(model):
+    """All shipped operator types have a vectorized cost (no silent slow path)."""
+    engine = cpu_engine(model, "skylake")
+    table = engine.latency_table
+    table.total_s(32, 2)
+    assert table.scalar_fallbacks == 0

@@ -85,6 +85,28 @@ class TestStatsProperties:
         assert tracker.count == max(0, len(samples) - warmup)
         assert tracker.raw_count == len(samples)
 
+    @SETTINGS
+    @given(
+        st.lists(st.floats(0.001, 1e3), min_size=1, max_size=40),
+        st.integers(1, 4),
+    )
+    def test_tracker_buffer_growth_preserves_samples(self, samples, repeats):
+        # Interleave add() and extend() past the initial buffer capacity and
+        # check the recorded stream is exactly the inserted one, in order.
+        tracker = PercentileTracker()
+        expected = []
+        for _ in range(repeats):
+            tracker.extend(samples)
+            expected.extend(samples)
+            for value in samples:
+                tracker.add(value)
+            expected.extend(samples)
+        padding = [0.5] * 300  # force at least one buffer doubling
+        tracker.extend(padding)
+        expected.extend(padding)
+        assert tracker.samples() == expected
+        assert tracker.percentile(50) == percentile(expected, 50)
+
 
 class TestOperatorCostProperties:
     @SETTINGS

@@ -189,6 +189,93 @@ class TestFleetCapacity:
         assert outcomes[2].result.acceptable(target.latency_s)
 
 
+class TestParallelCapacitySearch:
+    SEARCH_KWARGS = dict(num_queries=100, iterations=3, max_queries=1000)
+
+    def test_parallel_search_returns_same_qps_as_serial(self, engines, config):
+        target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 2)
+        serial = find_cluster_max_qps(
+            fleet, "least-outstanding", target.latency_s, generator,
+            **self.SEARCH_KWARGS,
+        )
+        parallel = find_cluster_max_qps(
+            fleet, "least-outstanding", target.latency_s, generator, jobs=2,
+            **self.SEARCH_KWARGS,
+        )
+        # Speculative parallel bisection walks the identical decision tree,
+        # so the outcome matches the serial search exactly — not approximately.
+        assert parallel.max_qps == serial.max_qps
+        assert parallel.result.p95_latency_s == serial.result.p95_latency_s
+        assert parallel.result.measured_queries == serial.result.measured_queries
+
+    def test_invalid_jobs_rejected(self, engines, config):
+        with pytest.raises(ValueError, match="jobs"):
+            find_cluster_max_qps(
+                homogeneous_fleet(engines, config, 1),
+                "round-robin",
+                0.1,
+                LoadGenerator(seed=7),
+                jobs=0,
+                **self.SEARCH_KWARGS,
+            )
+
+    def test_warm_start_cache_records_and_reuses(self, engines, config, tmp_path):
+        target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 2)
+        cold = find_cluster_max_qps(
+            fleet, "least-outstanding", target.latency_s, generator,
+            warm_start_cache=tmp_path, **self.SEARCH_KWARGS,
+        )
+        entries = list(tmp_path.glob("capacity-*.json"))
+        assert len(entries) == 1
+        warm = find_cluster_max_qps(
+            fleet, "least-outstanding", target.latency_s, generator,
+            warm_start_cache=tmp_path, **self.SEARCH_KWARGS,
+        )
+        # A warm-started search bisects a tighter bracket, so it may land on
+        # a (slightly) different rate — but it must stay a valid capacity.
+        assert warm.feasible
+        assert warm.max_qps == pytest.approx(cold.max_qps, rel=0.35)
+        assert warm.result.acceptable(target.latency_s)
+
+    def test_warm_start_signature_distinguishes_workload_params(
+        self, engines, config
+    ):
+        from repro.queries.size_dist import ProductionQuerySizes
+        from repro.serving.cluster import _capacity_search_signature
+
+        fleet = homogeneous_fleet(engines, config, 2)
+
+        def signature(sizes):
+            return _capacity_search_signature(
+                fleet, "round-robin", 0.1, LoadGenerator(seed=7, sizes=sizes),
+                100, 3, 1.3, 1000, None, 0,
+            )
+
+        heavy = signature(ProductionQuerySizes(body_median=95.0))
+        light = signature(ProductionQuerySizes(body_median=5.0))
+        assert heavy is not None and light is not None
+        # Same distribution class, different parameters -> different cache
+        # entries; a collision would warm-start against the wrong workload.
+        assert heavy != light
+        assert signature(ProductionQuerySizes(body_median=95.0)) == heavy
+
+    def test_warm_start_ignores_foreign_entries(self, engines, config, tmp_path):
+        (tmp_path / "capacity-bogus.json").write_text("{not json")
+        outcome = find_cluster_max_qps(
+            homogeneous_fleet(engines, config, 1),
+            "round-robin",
+            sla_target("dlrm-rmc1", SLATier.MEDIUM).latency_s,
+            LoadGenerator(seed=7),
+            warm_start_cache=tmp_path,
+            **self.SEARCH_KWARGS,
+        )
+        assert outcome.feasible
+
+
 class TestCoordinateDescent:
     def test_finds_separable_optimum(self):
         def objective(knobs):
@@ -308,6 +395,12 @@ class TestSweepRunnerCache:
         second = config_hash("FIGURE-9", {"b": [1, 2], "a": 1})
         assert first == second
         assert config_hash("figure-9", {"a": 2}) != first
+
+    def test_config_hash_ignores_worker_budget(self):
+        # `jobs` cannot change results, so it must not splinter the cache.
+        assert config_hash("figure-15", {"jobs": 8, "seed": 5}) == config_hash(
+            "figure-15", {"seed": 5}
+        )
 
     def test_canonicalize_handles_enums_and_rejects_objects(self):
         assert canonicalize({"tier": SLATier.LOW}) == {"tier": "low"}
