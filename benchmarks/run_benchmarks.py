@@ -1,23 +1,29 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness for the serving/simulation fast path.
 
-Times three representative workloads end to end and writes ``BENCH_2.json``:
+Times five representative workloads end to end and writes ``BENCH_3.json``:
 
 * ``fig9-batch-sweep`` — single-server capacity bisections across a batch-size
   grid (the Fig. 9 experiment at reduced fidelity);
 * ``fig15-cluster-scaling`` — the full fleet-scaling experiment (Fig. 15
   extension), the heaviest consumer of the cluster event core;
-* ``cluster-capacity-search`` — one ``find_cluster_max_qps`` fleet bisection.
+* ``cluster-capacity-search`` — one ``find_cluster_max_qps`` fleet bisection;
+* ``fig13-production`` — the Fig. 13 diurnal fleet replay (fixed vs tuned
+  batch size under random balancing), post-unification running through the
+  shared-heap ``ClusterSimulator`` on scaled latency tables;
+* ``fig7-subsampling`` — the Fig. 7 subsampling experiment (two 16-node
+  fleets replaying 2 400 queries each).
 
 Each case records wall-clock seconds plus the speedup against the pre-PR
 baseline numbers embedded below (measured on the same machine, same case
-kwargs, at the commit before the fast-path PR).  ``--quick`` shrinks every
-case for CI smoke runs; quick-mode baselines are recorded separately so the
-speedup column stays meaningful there too.
+kwargs, at the commit recorded in ``BASELINE_COMMIT`` — the commit just
+before the PR that last rebuilt that case's hot path).  ``--quick`` shrinks
+every case for CI smoke runs; quick-mode baselines are recorded separately
+so the speedup column stays meaningful there too.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                # full run, BENCH_2.json
+    python benchmarks/run_benchmarks.py                # full run, BENCH_3.json
     python benchmarks/run_benchmarks.py --quick        # CI smoke sizes
     python benchmarks/run_benchmarks.py --jobs 4       # parallel capacity search
 """
@@ -46,21 +52,35 @@ from repro.serving.cluster import find_cluster_max_qps, homogeneous_fleet  # noq
 from repro.serving.simulator import ServingConfig  # noqa: E402
 from repro.serving.sla import SLATier, sla_target  # noqa: E402
 
-#: Pre-PR wall-clock seconds per case, measured on the recording host at the
-#: commit before the fast-path PR (cb22c24; same script, same kwargs,
-#: best-of-3, jobs=1).  The speedup column of BENCH_2.json is computed
+#: Pre-PR wall-clock seconds per case, measured on the recording host with
+#: the same script, same kwargs, best-of-3, jobs=1, at the commit in
+#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_3.json is computed
 #: against these numbers.
 PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
     "full": {
         "fig9-batch-sweep": 1.03,
         "fig15-cluster-scaling": 1.90,
         "cluster-capacity-search": 0.24,
+        "fig13-production": 0.513,
+        "fig7-subsampling": 0.266,
     },
     "quick": {
         "fig9-batch-sweep": 0.34,
         "fig15-cluster-scaling": 0.20,
         "cluster-capacity-search": 0.08,
+        "fig13-production": 0.268,
+        "fig7-subsampling": 0.064,
     },
+}
+
+#: Commit each case's baseline was measured at: the commit just before the PR
+#: that last rebuilt the case's hot path.
+BASELINE_COMMIT: Dict[str, str] = {
+    "fig9-batch-sweep": "cb22c24 (pre fast-path PR)",
+    "fig15-cluster-scaling": "cb22c24 (pre fast-path PR)",
+    "cluster-capacity-search": "cb22c24 (pre fast-path PR)",
+    "fig13-production": "5baf554 (pre fleet-unification PR)",
+    "fig7-subsampling": "5baf554 (pre fleet-unification PR)",
 }
 
 
@@ -114,10 +134,37 @@ def bench_capacity_search(quick: bool, jobs: int) -> None:
     )
 
 
+def bench_fig13(quick: bool, jobs: int) -> None:
+    # policies=("random",) replays exactly the pre-unification workload
+    # (fixed + tuned batch under uniform-random assignment), so the speedup
+    # isolates the event-core/latency-table change, not extra sweep points.
+    kwargs: Dict[str, Any] = dict(policies=("random",), jobs=jobs)
+    if quick:
+        kwargs.update(duration_s=3.0)
+    from repro.experiments.registry import get_experiment
+
+    kwargs = _accepted_kwargs(get_experiment("figure-13"), kwargs)
+    run_experiment("figure-13", **kwargs)
+
+
+def bench_fig7(quick: bool, jobs: int) -> None:
+    # figure-7 has no worker knob: its two fleet replays are sequential by
+    # design, so this case always runs serially regardless of --jobs.
+    kwargs: Dict[str, Any] = dict(policies=("random",))
+    if quick:
+        kwargs.update(num_nodes=8, queries_per_node=60)
+    from repro.experiments.registry import get_experiment
+
+    kwargs = _accepted_kwargs(get_experiment("figure-7"), kwargs)
+    run_experiment("figure-7", **kwargs)
+
+
 CASES: Dict[str, Callable[[bool, int], None]] = {
     "fig9-batch-sweep": bench_fig9,
     "fig15-cluster-scaling": bench_fig15,
     "cluster-capacity-search": bench_capacity_search,
+    "fig13-production": bench_fig13,
+    "fig7-subsampling": bench_fig7,
 }
 
 
@@ -151,10 +198,11 @@ def build_report(
         entry: Dict[str, Any] = {"seconds": round(seconds, 3), "baseline_s": baseline}
         if baseline:
             entry["speedup"] = round(baseline / seconds, 2)
+            entry["baseline_commit"] = BASELINE_COMMIT.get(name)
             speedups.append(baseline / seconds)
         cases[name] = entry
     report: Dict[str, Any] = {
-        "bench_id": "BENCH_2",
+        "bench_id": "BENCH_3",
         "mode": mode,
         "jobs": jobs,
         "repeats": repeats,
@@ -185,7 +233,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--output",
         default="",
-        help="Output JSON path (default: BENCH_2.json at the repo root).",
+        help="Output JSON path (default: BENCH_3.json at the repo root).",
     )
     parser.add_argument(
         "--repeats",
@@ -203,7 +251,7 @@ def main(argv: Optional[list] = None) -> int:
 
     timings = run_cases(args.quick, jobs, repeats)
     report = build_report(timings, args.quick, jobs, repeats)
-    output = Path(args.output) if args.output else _REPO_ROOT / "BENCH_2.json"
+    output = Path(args.output) if args.output else _REPO_ROOT / "BENCH_3.json"
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     for name, entry in report["cases"].items():

@@ -50,6 +50,12 @@ def test_bench_fig6_large_query_execution_share(run_and_report):
 
 
 def test_bench_fig7_subsampling(run_and_report):
-    """Fig. 7: a handful of nodes tracks the fleet-wide latency distribution."""
+    """Fig. 7: a handful of nodes tracks the fleet-wide latency distribution.
+
+    The ~15 % bound holds under real balancing too — the gap is reported per
+    policy (random and least-outstanding) since the fleet unification.
+    """
     result = run_and_report("figure-7")
-    assert result.metadata["max_gap"] < 0.35
+    assert result.metadata["max_gap"] < 0.15
+    for gap in result.metadata["gap_by_policy"].values():
+        assert gap < 0.15

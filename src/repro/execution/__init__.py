@@ -19,8 +19,10 @@ from repro.execution.gpu_engine import GPUEngine, GPUQueryLatency
 from repro.execution.latency_table import (
     CPULatencyTable,
     GPULatencyTable,
+    ScaledLatencyTable,
     operator_cost_columns,
 )
+from repro.execution.scaled_engine import ScaledCPUEngine
 
 __all__ = [
     "OperatorBreakdown",
@@ -40,5 +42,7 @@ __all__ = [
     "GPUQueryLatency",
     "CPULatencyTable",
     "GPULatencyTable",
+    "ScaledLatencyTable",
+    "ScaledCPUEngine",
     "operator_cost_columns",
 ]

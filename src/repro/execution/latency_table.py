@@ -247,6 +247,73 @@ class CPULatencyTable:
         return compute, memory
 
 
+class ScaledLatencyTable:
+    """A speed-scaled, read-only view of another CPU latency table.
+
+    Heterogeneous-fleet nodes (see
+    :class:`~repro.execution.scaled_engine.ScaledCPUEngine`) are modelled as a
+    nominal engine whose latencies are multiplied by a per-node
+    ``speed_factor``.  Rather than rebuilding a full table per node, this view
+    wraps the *base* engine's table and scales each column once on first use:
+    every entry is **exactly** ``speed_factor *`` the base entry (one float64
+    multiply, no re-derivation), so fleets of scaled nodes share one base
+    table build and still ride the dense fast path — ``scalar_fallbacks``
+    stays whatever the base table reports (0 for zoo models).
+
+    Scaled columns are cached per requested core count and invalidated
+    automatically when the base table grows a column (the base returns a new
+    list object when it rebuilds).
+    """
+
+    __slots__ = ("_base", "_speed_factor", "_columns")
+
+    def __init__(self, base: "CPULatencyTable", speed_factor: float) -> None:
+        if speed_factor <= 0:
+            raise ValueError(f"speed_factor must be > 0, got {speed_factor}")
+        self._base = base
+        self._speed_factor = speed_factor
+        # active_cores -> (base column the scale was taken from, scaled column)
+        self._columns: Dict[int, Tuple[List[float], List[float]]] = {}
+
+    @property
+    def base(self) -> "CPULatencyTable":
+        """The nominal (unscaled) table this view wraps."""
+        return self._base
+
+    @property
+    def speed_factor(self) -> float:
+        """Multiplier applied to every base entry."""
+        return self._speed_factor
+
+    @property
+    def entries_built(self) -> int:
+        """Entries materialised by the underlying base table."""
+        return self._base.entries_built
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        """Scalar fallbacks taken by the underlying base table."""
+        return self._base.scalar_fallbacks
+
+    def column(self, max_batch: int, active_cores: int) -> List[float]:
+        """Scaled totals list for ``active_cores``, valid for batches ``1..max_batch``.
+
+        Shared/cached like the base table's columns — treat it as read-only.
+        """
+        base_column = self._base.column(max_batch, active_cores)
+        cached = self._columns.get(active_cores)
+        if cached is not None and cached[0] is base_column:
+            return cached[1]
+        factor = self._speed_factor
+        scaled = [value * factor for value in base_column]
+        self._columns[active_cores] = (base_column, scaled)
+        return scaled
+
+    def total_s(self, batch_size: int, active_cores: int = 1) -> float:
+        """Scalar lookup; exactly ``speed_factor *`` the base table's entry."""
+        return self.column(batch_size, active_cores)[batch_size]
+
+
 class GPULatencyTable:
     """Dense query-latency column for one :class:`GPUEngine`, by query size."""
 

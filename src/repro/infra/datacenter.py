@@ -10,70 +10,51 @@ Two of the paper's experiments need more than a single simulated server:
   24 hours and reports 1.39x / 1.31x reductions in p95 / p99 latency.
 
 :class:`DatacenterCluster` models a fleet of inference servers with per-node
-heterogeneity (platform mix and a small per-node speed spread), a random
-load balancer, and trace-driven execution.
+heterogeneity (platform mix and a small per-node speed spread) and
+trace-driven execution.  Since the fleet unification, every run executes as
+**one** shared-heap :class:`~repro.serving.cluster.ClusterSimulator` pass:
+queries are routed online by a pluggable balancing policy (``random`` by
+default, reproducing the historical uniform pre-partitioning as an online
+policy) instead of being pre-partitioned into N independent single-server
+simulations.  Node engines ride the dense latency-table fast path through
+:class:`~repro.execution.latency_table.ScaledLatencyTable` views, and the
+warmup window is fleet-wide — the first ``warmup_fraction`` of queries *by
+global arrival order* are excluded, rather than a per-node fraction that
+starved lightly-loaded nodes of warmup entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.execution.cpu_engine import CPUEngine, RequestLatency
-from repro.execution.engine import EnginePair, build_cpu_engine
+from repro.execution.engine import EnginePair
+from repro.execution.scaled_engine import ScaledCPUEngine
 from repro.queries.query import Query
 from repro.queries.size_dist import ProductionQuerySizes, QuerySizeDistribution
 from repro.queries.trace import DiurnalPattern, QueryTrace, generate_diurnal_trace
 from repro.serving.capacity import estimate_upper_bound_qps
-from repro.serving.simulator import ServingConfig, ServingSimulator, SimulationResult
+from repro.serving.cluster import (
+    ClusterServer,
+    ClusterSimulationResult,
+    ClusterSimulator,
+    LoadBalancer,
+    ServerLoadSummary,
+    heterogeneous_fleet,
+)
+from repro.serving.simulator import ServingConfig, SimulationResult, late_window_p95
 from repro.utils.rng import RngFactory
 from repro.utils.stats import max_relative_cdf_gap
 from repro.utils.validation import check_positive
 
-
-class ScaledCPUEngine:
-    """A CPU engine whose latencies are scaled by a per-node speed factor.
-
-    Production fleets are heterogeneous even within a platform generation
-    (DVFS, memory population, co-located workloads); a node with
-    ``speed_factor=1.05`` is 5 % slower than nominal.
-    """
-
-    def __init__(self, engine: CPUEngine, speed_factor: float = 1.0) -> None:
-        check_positive("speed_factor", speed_factor)
-        self._engine = engine
-        self._speed_factor = speed_factor
-
-    @property
-    def platform(self):
-        """The underlying platform (unscaled)."""
-        return self._engine.platform
-
-    @property
-    def model(self):
-        """The model served by this node."""
-        return self._engine.model
-
-    @property
-    def speed_factor(self) -> float:
-        """Latency multiplier applied to the nominal engine."""
-        return self._speed_factor
-
-    def request_latency(self, batch_size: int, active_cores: int = 1) -> RequestLatency:
-        """Scaled per-request latency components."""
-        nominal = self._engine.request_latency(batch_size, active_cores)
-        factor = self._speed_factor
-        return RequestLatency(
-            compute_s=nominal.compute_s * factor,
-            memory_s=nominal.memory_s * factor,
-            overhead_s=nominal.overhead_s * factor,
-        )
-
-    def request_latency_s(self, batch_size: int, active_cores: int = 1) -> float:
-        """Scaled scalar request latency."""
-        return self.request_latency(batch_size, active_cores).total_s
+__all__ = [
+    "ClusterNode",
+    "ClusterResult",
+    "DatacenterCluster",
+    "ScaledCPUEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +75,14 @@ class ClusterResult:
     p99_latency_s: float
     per_node_results: Dict[int, SimulationResult]
     latencies_s: List[float] = field(repr=False, default_factory=list)
+    #: Balancing policy that routed the run's queries.
+    policy: str = "random"
+    #: Scalar latency-table fallbacks taken across the fleet's engines during
+    #: the run's lifetime; 0 means the replay stayed on the dense fast path.
+    scalar_fallbacks: int = 0
+    #: The underlying fleet-level measurement (per-server load shares,
+    #: utilisation, drain time) from the shared-heap simulator pass.
+    fleet: Optional[ClusterSimulationResult] = field(default=None, repr=False)
 
     @property
     def num_nodes(self) -> int:
@@ -109,6 +98,18 @@ class ClusterResult:
             pooled.extend(self.per_node_results[node_id].latencies_s)
         return pooled
 
+    def query_shares(self) -> Dict[int, float]:
+        """Fraction of the stream each node absorbed (by node id)."""
+        total = sum(
+            result.num_queries for result in self.per_node_results.values()
+        )
+        if not total:
+            return {node_id: 0.0 for node_id in self.per_node_results}
+        return {
+            node_id: result.num_queries / total
+            for node_id, result in self.per_node_results.items()
+        }
+
     def subsample_gap(self, node_ids: Sequence[int]) -> float:
         """Max relative CDF gap between a node subsample and the whole fleet.
 
@@ -119,7 +120,7 @@ class ClusterResult:
 
 
 class DatacenterCluster:
-    """A fleet of heterogeneous inference servers behind a random load balancer."""
+    """A fleet of heterogeneous inference servers behind a pluggable balancer."""
 
     def __init__(
         self,
@@ -131,28 +132,36 @@ class DatacenterCluster:
         seed: int = 0,
     ) -> None:
         check_positive("num_nodes", num_nodes)
-        if not 0.0 <= speed_spread < 0.5:
-            raise ValueError(f"speed_spread must be in [0, 0.5), got {speed_spread}")
-        mix = platform_mix if platform_mix is not None else {"skylake": 0.5, "broadwell": 0.5}
-        total = sum(mix.values())
-        if total <= 0:
-            raise ValueError("platform_mix weights must sum to a positive value")
         self._model = model
         self._num_cores = num_cores
         self._rng_factory = RngFactory(seed)
-        rng = self._rng_factory.child("cluster-nodes")
-
-        platform_names = list(mix)
-        probabilities = np.array([mix[name] for name in platform_names]) / total
-        self._nodes: List[ClusterNode] = []
-        self._engines: Dict[int, EnginePair] = {}
-        for node_id in range(num_nodes):
-            platform_name = str(rng.choice(platform_names, p=probabilities))
-            speed_factor = float(1.0 + rng.uniform(-speed_spread, speed_spread))
-            self._nodes.append(ClusterNode(node_id, platform_name, speed_factor))
-            base_engine = build_cpu_engine(model, platform_name)
-            scaled = ScaledCPUEngine(base_engine, speed_factor)
-            self._engines[node_id] = EnginePair(cpu=scaled, gpu=None)
+        # The fleet template: per-node scaled engines drawn once at
+        # construction; run() re-binds them to the requested per-run config.
+        # The template config's batch size is never executed.
+        self._fleet: List[ClusterServer] = heterogeneous_fleet(
+            model,
+            ServingConfig(batch_size=1, num_cores=num_cores),
+            num_nodes,
+            platform_mix=platform_mix,
+            speed_spread=speed_spread,
+            rng=self._rng_factory.child("cluster-nodes"),
+        )
+        self._nodes: List[ClusterNode] = [
+            ClusterNode(
+                node_id=index,
+                platform_name=server.engines.cpu.platform.name,
+                speed_factor=server.engines.cpu.speed_factor,
+            )
+            for index, server in enumerate(self._fleet)
+        ]
+        self._engines: Dict[int, EnginePair] = {
+            index: server.engines for index, server in enumerate(self._fleet)
+        }
+        # Randomised balancing policies draw from a stream derived from the
+        # cluster seed, so two clusters with different seeds route differently.
+        self._balancer_seed = int(
+            self._rng_factory.child("load-balancer").integers(0, 2**31)
+        )
 
     @property
     def model(self) -> str:
@@ -190,50 +199,118 @@ class DatacenterCluster:
             for node in self._nodes
         )
 
-    def _partition(self, queries: Sequence[Query]) -> Dict[int, List[Query]]:
-        """Randomly load-balance queries across nodes (uniform)."""
-        rng = self._rng_factory.child("load-balancer")
-        assignments = rng.integers(0, self.num_nodes, size=len(queries))
-        per_node: Dict[int, List[Query]] = {node.node_id: [] for node in self._nodes}
-        for query, node_id in zip(queries, assignments):
-            per_node[int(node_id)].append(query)
-        return per_node
+    def _node_result(
+        self,
+        config: ServingConfig,
+        summary: ServerLoadSummary,
+        latencies: List[float],
+        fleet: ClusterSimulationResult,
+    ) -> SimulationResult:
+        """Per-node :class:`SimulationResult` rebuilt from one server's kernel.
+
+        Timing fields that only exist fleet-wide (duration, arrival span,
+        drain) carry the shared-clock values; percentiles of a node that
+        measured no post-warmup queries are reported as 0.0 rather than
+        raising, since the fleet-wide statistics remain well defined.
+        """
+        if latencies:
+            samples = np.asarray(latencies)
+            p50 = float(np.percentile(samples, 50))
+            p95 = float(np.percentile(samples, 95))
+            p99 = float(np.percentile(samples, 99))
+            mean = float(samples.mean())
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        return SimulationResult(
+            config=config,
+            num_queries=summary.num_queries,
+            measured_queries=len(latencies),
+            duration_s=fleet.duration_s,
+            p50_latency_s=p50,
+            p95_latency_s=p95,
+            p99_latency_s=p99,
+            mean_latency_s=mean,
+            achieved_qps=summary.num_queries / fleet.duration_s,
+            offered_qps=summary.num_queries / fleet.arrival_span_s,
+            cpu_utilization=summary.cpu_utilization,
+            gpu_utilization=summary.gpu_utilization,
+            gpu_work_fraction=summary.gpu_work_fraction,
+            p95_late_window_s=late_window_p95(latencies),
+            drain_s=fleet.drain_s,
+            arrival_span_s=fleet.arrival_span_s,
+            latencies_s=list(latencies),
+        )
+
+    def _scalar_fallbacks(self) -> int:
+        """Scalar fallbacks across the fleet's distinct base latency tables."""
+        bases = {}
+        for server in self._fleet:
+            table = getattr(server.engines.cpu, "latency_table", None)
+            if table is None:
+                continue
+            base = getattr(table, "base", table)
+            bases[id(base)] = base
+        return sum(base.scalar_fallbacks for base in bases.values())
 
     def run(
         self,
         queries: Sequence[Query],
         batch_size: int,
         warmup_fraction: float = 0.05,
+        policy: Union[str, LoadBalancer] = "random",
     ) -> ClusterResult:
-        """Serve ``queries`` across the fleet at a fixed per-request batch size."""
+        """Serve ``queries`` across the fleet at a fixed per-request batch size.
+
+        The whole stream runs through one shared-heap
+        :class:`~repro.serving.cluster.ClusterSimulator`; ``policy`` selects
+        the balancing policy (any registered name or a
+        :class:`~repro.serving.cluster.LoadBalancer` instance), defaulting to
+        the legacy uniform-``random`` assignment.  ``warmup_fraction`` is
+        fleet-wide: the first fraction of queries by global arrival order is
+        excluded from every statistic, so lightly-loaded nodes are not
+        systematically denied a warmup window.
+        """
         check_positive("batch_size", batch_size)
         if not queries:
             raise ValueError("cannot run a cluster simulation with no queries")
-        per_node = self._partition(queries)
+        config = ServingConfig(
+            batch_size=batch_size,
+            num_cores=self._num_cores,
+            warmup_fraction=warmup_fraction,
+        )
+        servers = [
+            ClusterServer(engines=server.engines, config=config, name=server.name)
+            for server in self._fleet
+        ]
+        simulator = ClusterSimulator(
+            servers,
+            balancer=policy,
+            balancer_seed=self._balancer_seed,
+            collect_per_server_latencies=True,
+        )
+        fleet = simulator.run(queries)
+
         per_node_results: Dict[int, SimulationResult] = {}
-        pooled: List[float] = []
-        for node in self._nodes:
-            node_queries = per_node[node.node_id]
-            if not node_queries:
+        assert fleet.per_server_latencies is not None
+        for node, summary, latencies in zip(
+            self._nodes, fleet.per_server, fleet.per_server_latencies
+        ):
+            if summary.num_queries == 0:
                 continue
-            config = ServingConfig(
-                batch_size=batch_size,
-                num_cores=self._num_cores,
-                warmup_fraction=warmup_fraction,
+            per_node_results[node.node_id] = self._node_result(
+                config, summary, latencies, fleet
             )
-            simulator = ServingSimulator(self._engines[node.node_id], config)
-            result = simulator.run(node_queries)
-            per_node_results[node.node_id] = result
-            pooled.extend(result.latencies_s)
-        if not pooled:
+        if not per_node_results:
             raise ValueError("no node processed any measurable queries")
-        pooled_array = np.asarray(pooled)
         return ClusterResult(
-            p50_latency_s=float(np.percentile(pooled_array, 50)),
-            p95_latency_s=float(np.percentile(pooled_array, 95)),
-            p99_latency_s=float(np.percentile(pooled_array, 99)),
+            p50_latency_s=fleet.p50_latency_s,
+            p95_latency_s=fleet.p95_latency_s,
+            p99_latency_s=fleet.p99_latency_s,
             per_node_results=per_node_results,
-            latencies_s=pooled,
+            latencies_s=fleet.latencies_s,
+            policy=fleet.policy,
+            scalar_fallbacks=self._scalar_fallbacks(),
+            fleet=fleet,
         )
 
     def run_diurnal(
@@ -243,9 +320,20 @@ class DatacenterCluster:
         duration_s: float,
         pattern: Optional[DiurnalPattern] = None,
         sizes: Optional[QuerySizeDistribution] = None,
-        seed: int = 17,
+        seed: Optional[int] = None,
+        policy: Union[str, LoadBalancer] = "random",
     ) -> ClusterResult:
-        """Serve a diurnally modulated trace (the Fig. 13 protocol)."""
+        """Serve a diurnally modulated trace (the Fig. 13 protocol).
+
+        ``seed`` controls the generated trace.  When ``None`` (the default)
+        it is derived from the cluster's own seed, so two clusters built with
+        different seeds replay *different* traces out of the box — the old
+        behaviour (a hardcoded default trace seed shared by every cluster)
+        silently correlated experiments that looked independent.  Pass an
+        explicit ``seed`` to replay one trace across clusters on purpose.
+        """
+        if seed is None:
+            seed = int(self._rng_factory.child("diurnal-trace").integers(0, 2**31))
         trace: QueryTrace = generate_diurnal_trace(
             base_rate_qps=base_rate_qps,
             duration_s=duration_s,
@@ -253,4 +341,4 @@ class DatacenterCluster:
             sizes=sizes if sizes is not None else ProductionQuerySizes(),
             seed=seed,
         )
-        return self.run(trace.queries, batch_size)
+        return self.run(trace.queries, batch_size, policy=policy)

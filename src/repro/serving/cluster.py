@@ -14,8 +14,10 @@ runs the same event mechanics as :class:`ServingSimulator` from a shared
 event heap, a cluster of one server reproduces the single-server simulator's
 measurements exactly.
 
-Three balancing policies ship by default:
+Four balancing policies ship by default:
 
+* ``random`` — assign each query to a uniformly random server, blind to load
+  (the pre-partitioning scheme the datacenter simulation historically used);
 * ``round-robin`` — cycle through servers regardless of load;
 * ``least-outstanding`` — send each query to the server with the least
   outstanding work (items queued or in flight);
@@ -36,7 +38,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.execution.engine import EnginePair
+import numpy as np
+
+from repro.execution.engine import EnginePair, build_cpu_engine
+from repro.execution.scaled_engine import ScaledCPUEngine
 from repro.queries.generator import LoadGenerator
 from repro.queries.query import Query
 from repro.serving.capacity import (
@@ -59,6 +64,7 @@ from repro.serving.simulator import (
     pause_gc,
     resolve_num_cores,
 )
+from repro.utils.rng import SeedLike, derive_rng
 from repro.utils.stats import PercentileTracker
 from repro.utils.validation import check_positive
 
@@ -86,6 +92,31 @@ class LoadBalancer(ABC):
     @abstractmethod
     def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
         """Index of the server that should execute ``query``."""
+
+
+class RandomBalancer(LoadBalancer):
+    """Assign each query to a uniformly random server, ignoring load.
+
+    This is the legacy datacenter-cluster behaviour (random pre-partitioning
+    of the stream) recast as an online policy, so the production-fleet
+    experiments can compare it directly against load-aware balancing.  Like
+    :class:`PowerOfTwoBalancer` it draws from the stdlib Mersenne-Twister
+    generator — one bounded scalar per arrival on the hot path — and streams
+    are seed-stable across platforms and Python versions.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._random = random.Random(seed)
+        self._randrange = self._random.randrange
+
+    def reset(self, num_servers: int) -> None:
+        self._random.seed(self._seed)
+
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        return self._randrange(len(servers))
 
 
 class RoundRobinBalancer(LoadBalancer):
@@ -163,10 +194,14 @@ class PowerOfTwoBalancer(LoadBalancer):
 
 
 _BALANCER_REGISTRY = {
+    RandomBalancer.name: RandomBalancer,
     RoundRobinBalancer.name: RoundRobinBalancer,
     LeastOutstandingBalancer.name: LeastOutstandingBalancer,
     PowerOfTwoBalancer.name: PowerOfTwoBalancer,
 }
+
+#: Policies whose decisions depend on a random stream (and hence on ``seed``).
+_SEEDED_BALANCERS = (RandomBalancer, PowerOfTwoBalancer)
 
 
 def available_balancers() -> List[str]:
@@ -177,7 +212,7 @@ def available_balancers() -> List[str]:
 def get_balancer(policy: Union[str, LoadBalancer], seed: int = 0) -> LoadBalancer:
     """Resolve a policy name (or pass through an instance) to a balancer.
 
-    ``seed`` only affects randomised policies (power-of-two-choices).
+    ``seed`` only affects randomised policies (random, power-of-two-choices).
     """
     if isinstance(policy, LoadBalancer):
         return policy
@@ -187,8 +222,8 @@ def get_balancer(policy: Union[str, LoadBalancer], seed: int = 0) -> LoadBalance
             f"unknown balancing policy {policy!r}; available: {available_balancers()}"
         )
     factory = _BALANCER_REGISTRY[key]
-    if factory is PowerOfTwoBalancer:
-        return PowerOfTwoBalancer(seed=seed)
+    if factory in _SEEDED_BALANCERS:
+        return factory(seed=seed)
     return factory()
 
 
@@ -219,6 +254,59 @@ def homogeneous_fleet(
         ClusterServer(engines=engines, config=config, name=f"server-{index}")
         for index in range(num_servers)
     ]
+
+
+def heterogeneous_fleet(
+    model: str,
+    config: ServingConfig,
+    num_servers: int,
+    platform_mix: Optional[Dict[str, float]] = None,
+    speed_spread: float = 0.06,
+    rng: SeedLike = None,
+) -> List[ClusterServer]:
+    """A fleet drawn from a platform mix with a per-node speed spread.
+
+    Each server's platform is sampled from ``platform_mix`` (weights need not
+    be normalised; default an even Skylake/Broadwell mix) and its engine is a
+    :class:`~repro.execution.scaled_engine.ScaledCPUEngine` whose
+    ``speed_factor`` is drawn uniformly from ``1 +- speed_spread`` — the
+    within-generation heterogeneity (DVFS, memory population, co-located
+    workloads) of a production fleet.  One nominal engine is built per
+    distinct platform and shared by all its nodes, so the fleet shares one
+    latency-table build per platform and every node stays on the dense fast
+    path (the scaled view is exactly ``speed_factor x`` the base table).
+
+    ``rng`` accepts a seed or a ``numpy.random.Generator``; the per-node
+    draw order (platform, then speed factor) is stable, so a fleet is fully
+    reproducible from its seed.
+    """
+    check_positive("num_servers", num_servers)
+    if not 0.0 <= speed_spread < 0.5:
+        raise ValueError(f"speed_spread must be in [0, 0.5), got {speed_spread}")
+    mix = platform_mix if platform_mix is not None else {"skylake": 0.5, "broadwell": 0.5}
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("platform_mix weights must sum to a positive value")
+    generator = derive_rng(rng)
+    platform_names = list(mix)
+    probabilities = np.array([mix[name] for name in platform_names]) / total
+    base_engines: Dict[str, Any] = {}
+    servers: List[ClusterServer] = []
+    for index in range(num_servers):
+        platform_name = str(generator.choice(platform_names, p=probabilities))
+        speed_factor = float(1.0 + generator.uniform(-speed_spread, speed_spread))
+        base = base_engines.get(platform_name)
+        if base is None:
+            base = build_cpu_engine(model, platform_name)
+            base_engines[platform_name] = base
+        servers.append(
+            ClusterServer(
+                engines=EnginePair(cpu=ScaledCPUEngine(base, speed_factor), gpu=None),
+                config=config,
+                name=f"node-{index}-{platform_name}",
+            )
+        )
+    return servers
 
 
 @dataclass(frozen=True)
@@ -260,9 +348,21 @@ class ClusterSimulationResult(SLACriteriaMixin):
     drain_s: float = 0.0
     arrival_span_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list, repr=False)
+    #: Measured latencies per server (completion order), aligned with
+    #: ``per_server``.  Only populated when the simulator was built with
+    #: ``collect_per_server_latencies=True``.
+    per_server_latencies: Optional[List[List[float]]] = field(
+        default=None, repr=False
+    )
 
     def max_query_share(self) -> float:
-        """Largest fraction of the stream any one server absorbed."""
+        """Largest fraction of the stream any one server absorbed.
+
+        0.0 when no per-server summaries exist (e.g. a result rebuilt from a
+        partial serialisation) rather than raising on the empty ``max``.
+        """
+        if not self.per_server:
+            return 0.0
         return max(summary.query_share for summary in self.per_server)
 
 
@@ -287,6 +387,7 @@ class ClusterSimulator:
         balancer: Union[str, LoadBalancer] = "least-outstanding",
         warmup_fraction: Optional[float] = None,
         balancer_seed: int = 0,
+        collect_per_server_latencies: bool = False,
     ) -> None:
         if not servers:
             raise ValueError("a cluster needs at least one server")
@@ -309,6 +410,7 @@ class ClusterSimulator:
                 f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
             )
         self._warmup_fraction = warmup_fraction
+        self._collect_per_server = collect_per_server_latencies
 
     @property
     def servers(self) -> List[ClusterServer]:
@@ -365,6 +467,9 @@ class ClusterSimulator:
         choose = self._balancer.choose
         measured_latencies: List[float] = []
         record = measured_latencies.append
+        per_server_latencies: Optional[List[List[float]]] = (
+            [[] for _ in kernels] if self._collect_per_server else None
+        )
         num_kernels = len(kernels)
         num_arrivals = len(ordered)
         cursor = 0
@@ -385,7 +490,10 @@ class ClusterSimulator:
                         if now > last_completion:
                             last_completion = now
                         if completed.query_id not in warmup_ids:
-                            record(now - completed.arrival_time)
+                            latency = now - completed.arrival_time
+                            record(latency)
+                            if per_server_latencies is not None:
+                                per_server_latencies[server_index].append(latency)
                         continue
                 if cursor >= num_arrivals:
                     break
@@ -458,6 +566,7 @@ class ClusterSimulator:
             drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
             arrival_span_s=offered_duration,
             latencies_s=samples,
+            per_server_latencies=per_server_latencies,
         )
 
 
@@ -559,6 +668,9 @@ def _capacity_search_signature(
                     ),
                     "batch_size": server.config.batch_size,
                     "num_cores": server.config.num_cores,
+                    # Scaled nodes with different speed factors are different
+                    # fleets; a collision would warm-start the wrong search.
+                    "speed_factor": getattr(server.engines.cpu, "speed_factor", 1.0),
                     "offload_threshold": server.config.offload_threshold,
                     "warmup_fraction": server.config.warmup_fraction,
                 }

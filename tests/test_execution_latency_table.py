@@ -15,7 +15,8 @@ from hypothesis import strategies as st
 
 from repro.execution.cpu_engine import CPUEngine
 from repro.execution.engine import build_cpu_engine, build_gpu_engine
-from repro.execution.latency_table import operator_cost_columns
+from repro.execution.latency_table import ScaledLatencyTable, operator_cost_columns
+from repro.execution.scaled_engine import ScaledCPUEngine
 from repro.hardware.cpu import get_cpu
 from repro.models.ops import FullyConnected, Operator, OperatorCategory, OperatorCost
 from repro.models.zoo import available_models
@@ -96,6 +97,68 @@ class TestGPUTableExactness:
         large = table.total_s(5000)
         assert small == engine.query_latency_s(10)
         assert large == engine.query_latency_s(5000)
+
+
+class TestScaledTableExactness:
+    """The scaled view is exactly ``speed_factor x`` the base table."""
+
+    @SETTINGS
+    @given(
+        model=st.sampled_from(MODELS),
+        platform=st.sampled_from(["skylake", "broadwell"]),
+        batch=st.integers(1, 1024),
+        cores=st.integers(1, 40),
+        factor=st.floats(0.5, 2.0, allow_nan=False),
+    )
+    def test_entries_are_exactly_factor_times_base(
+        self, model, platform, batch, cores, factor
+    ):
+        engine = cpu_engine(model, platform)
+        scaled = ScaledCPUEngine(engine, speed_factor=factor)
+        table = scaled.latency_table
+        assert table.total_s(batch, cores) == factor * engine.latency_table.total_s(
+            batch, cores
+        )
+
+    def test_scalar_call_matches_table_bit_for_bit(self):
+        engine = cpu_engine("dlrm-rmc1", "skylake")
+        scaled = ScaledCPUEngine(engine, speed_factor=1.0375)
+        table = scaled.latency_table
+        for cores in (1, 4, 16):
+            for batch in range(1, 130):
+                assert table.total_s(batch, cores) == scaled.request_latency_s(
+                    batch, cores
+                )
+
+    def test_view_shares_base_build_and_fallback_counters(self):
+        base = build_cpu_engine("dlrm-rmc1", "skylake")
+        first = ScaledCPUEngine(base, speed_factor=1.05)
+        second = ScaledCPUEngine(base, speed_factor=0.95)
+        first.latency_table.total_s(64, 2)
+        built = base.latency_table.entries_built
+        assert built > 0
+        # The second view reuses the base column: no extra base entries built.
+        second.latency_table.total_s(64, 2)
+        assert base.latency_table.entries_built == built
+        assert first.latency_table.scalar_fallbacks == 0
+        assert second.latency_table.scalar_fallbacks == 0
+
+    def test_scaled_column_follows_base_growth(self):
+        engine = build_cpu_engine("ncf", "broadwell")
+        scaled = ScaledCPUEngine(engine, speed_factor=1.2)
+        table = scaled.latency_table
+        small = table.column(32, 2)
+        assert table.column(16, 2) is small  # cached view serves smaller ranges
+        grown = table.column(4 * len(small), 2)
+        assert grown is not small
+        assert grown[100] == 1.2 * engine.latency_table.column(4 * len(small), 2)[100]
+
+    def test_invalid_factor_rejected(self):
+        engine = cpu_engine("ncf", "skylake")
+        with pytest.raises(ValueError):
+            ScaledLatencyTable(engine.latency_table, 0.0)
+        with pytest.raises(ValueError):
+            ScaledCPUEngine(engine, speed_factor=-1.0)
 
 
 class _OddOperator(Operator):

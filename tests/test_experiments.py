@@ -124,6 +124,11 @@ class TestLightweightDrivers:
             "figure-7", num_nodes=6, queries_per_node=60, subsample_nodes=2
         )
         assert result.metadata["max_gap"] < 0.4
+        # The gap is now reported per balancing policy (random + load-aware).
+        assert set(result.metadata["gap_by_policy"]) == {
+            "random", "least-outstanding"
+        }
+        assert len(result.rows) == 4  # 2 cases x 2 policies
 
 
 class TestHeavyDriversReduced:
@@ -163,3 +168,24 @@ class TestHeavyDriversReduced:
         )
         assert result.metadata["p99_reduction"] > 1.0
         assert result.metadata["p95_reduction"] > 0.7
+
+    def test_fig13_policy_sweep_metadata(self):
+        result = run_experiment(
+            "figure-13",
+            num_nodes=2,
+            num_cores_per_node=8,
+            duration_s=3.0,
+            policies=("random", "least-outstanding"),
+        )
+        by_policy = result.metadata["by_policy"]
+        assert set(by_policy) == {"random", "least-outstanding"}
+        assert len(result.rows) == 4  # 2 policies x (fixed, tuned)
+        for policy, entry in by_policy.items():
+            shares = entry["tuned_query_shares"]
+            assert sum(shares.values()) == pytest.approx(1.0)
+        # The headline reductions report the first policy in the sweep.
+        assert result.metadata["p95_reduction"] == pytest.approx(
+            by_policy["random"]["p95_reduction"]
+        )
+        # The whole replay rode the dense latency-table fast path.
+        assert result.metadata["scalar_fallbacks"] == 0

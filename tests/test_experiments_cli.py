@@ -4,7 +4,11 @@ import pytest
 
 from repro.experiments.__main__ import build_parser, main
 from repro.experiments.result import ExperimentResult
-from repro.experiments.runner import render_report, run_experiments
+from repro.experiments.runner import (
+    _parallelism_overrides,
+    render_report,
+    run_experiments,
+)
 
 
 class TestRenderReport:
@@ -21,6 +25,51 @@ class TestRenderReport:
         results = run_experiments(["table-1"])
         assert len(results) == 1
         assert results[0].experiment_id == "table-1"
+
+
+class TestParallelismRouting:
+    """--jobs/--cache-dir must reach the drivers that understand them."""
+
+    @pytest.mark.parametrize("experiment_id", ["figure-13", "figure-15"])
+    def test_jobs_and_cache_dir_reach_driver(self, experiment_id, tmp_path):
+        extra = _parallelism_overrides(experiment_id, {}, 4, tmp_path)
+        assert extra["jobs"] == 4
+        assert extra["capacity_cache_dir"] == str(tmp_path.resolve())
+
+    @pytest.mark.parametrize("experiment_id", ["figure-13", "figure-15"])
+    def test_explicit_overrides_win(self, experiment_id):
+        extra = _parallelism_overrides(experiment_id, {"jobs": 2}, 8, None)
+        assert extra["jobs"] == 2
+        assert "capacity_cache_dir" not in extra
+
+    def test_driver_without_jobs_param_untouched(self, tmp_path):
+        extra = _parallelism_overrides("table-1", {}, 4, tmp_path)
+        assert "jobs" not in extra
+        assert "capacity_cache_dir" not in extra
+
+    def test_single_experiment_run_routes_jobs_and_cache(self, tmp_path):
+        kwargs = {
+            "num_nodes": 1,
+            "num_cores_per_node": 8,
+            "duration_s": 2.0,
+            "policies": ("random",),
+        }
+        results = run_experiments(
+            ["figure-13"],
+            overrides={"figure-13": dict(kwargs)},
+            processes=2,
+            cache_dir=str(tmp_path),
+        )
+        assert results[0].experiment_id == "figure-13"
+        # The replay memo landed next to the sweep cache in the shared dir.
+        assert list(tmp_path.glob("fig13-*.json"))
+        rerun = run_experiments(
+            ["figure-13"],
+            overrides={"figure-13": dict(kwargs)},
+            processes=2,
+            cache_dir=str(tmp_path),
+        )
+        assert rerun[0].rows == results[0].rows
 
 
 class TestCLI:

@@ -12,17 +12,19 @@ from repro.serving.cluster import (
     ClusterSimulator,
     LeastOutstandingBalancer,
     PowerOfTwoBalancer,
+    RandomBalancer,
     RoundRobinBalancer,
     available_balancers,
     estimate_fleet_upper_bound_qps,
     find_cluster_max_qps,
     get_balancer,
+    heterogeneous_fleet,
     homogeneous_fleet,
 )
 from repro.serving.simulator import ServingConfig, ServingSimulator
 from repro.serving.sla import SLATier, sla_target
 
-ALL_POLICIES = ("round-robin", "least-outstanding", "power-of-two")
+ALL_POLICIES = ("random", "round-robin", "least-outstanding", "power-of-two")
 
 
 @pytest.fixture(scope="module")
@@ -41,10 +43,11 @@ def query_stream():
 
 
 class TestBalancerRegistry:
-    def test_three_policies_registered(self):
+    def test_four_policies_registered(self):
         assert available_balancers() == sorted(ALL_POLICIES)
 
     def test_get_balancer_by_name(self):
+        assert isinstance(get_balancer("random"), RandomBalancer)
         assert isinstance(get_balancer("round-robin"), RoundRobinBalancer)
         assert isinstance(get_balancer("least-outstanding"), LeastOutstandingBalancer)
         assert isinstance(get_balancer("POWER-OF-TWO"), PowerOfTwoBalancer)
@@ -103,6 +106,109 @@ class TestClusterPolicies:
             s.num_queries for s in second.per_server
         ]
         assert first.p95_latency_s == second.p95_latency_s
+
+
+class TestRandomBalancer:
+    def test_seed_reproducible(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 4)
+        first = ClusterSimulator(fleet, "random", balancer_seed=9).run(query_stream)
+        second = ClusterSimulator(fleet, "random", balancer_seed=9).run(query_stream)
+        assert [s.num_queries for s in first.per_server] == [
+            s.num_queries for s in second.per_server
+        ]
+        assert first.p95_latency_s == second.p95_latency_s
+
+    def test_different_seeds_route_differently(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 4)
+        first = ClusterSimulator(fleet, "random", balancer_seed=1).run(query_stream)
+        second = ClusterSimulator(fleet, "random", balancer_seed=2).run(query_stream)
+        assert [s.num_queries for s in first.per_server] != [
+            s.num_queries for s in second.per_server
+        ]
+
+    def test_roughly_uniform_shares(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 4)
+        result = ClusterSimulator(fleet, "random").run(query_stream)
+        for summary in result.per_server:
+            assert summary.query_share == pytest.approx(0.25, abs=0.08)
+
+    def test_max_query_share_empty_returns_zero(self, engines, config, query_stream):
+        # Regression: max() over an empty per_server list used to raise.
+        result = ClusterSimulator(homogeneous_fleet(engines, config, 1), "random").run(
+            query_stream
+        )
+        result.per_server = []
+        assert result.max_query_share() == 0.0
+
+
+class TestPerServerLatencies:
+    def test_collection_is_opt_in(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 2)
+        plain = ClusterSimulator(fleet, "round-robin").run(query_stream)
+        assert plain.per_server_latencies is None
+        collected = ClusterSimulator(
+            fleet, "round-robin", collect_per_server_latencies=True
+        ).run(query_stream)
+        assert collected.per_server_latencies is not None
+        assert len(collected.per_server_latencies) == 2
+        # Per-server slices partition the pooled measured latencies exactly.
+        pooled = sorted(
+            latency
+            for slice_ in collected.per_server_latencies
+            for latency in slice_
+        )
+        assert pooled == sorted(collected.latencies_s)
+        assert collected.p95_latency_s == plain.p95_latency_s
+
+
+class TestHeterogeneousFleetConstructor:
+    def test_reproducible_from_seed(self):
+        config = ServingConfig(batch_size=128, num_cores=8)
+        first = heterogeneous_fleet("dlrm-rmc1", config, 6, rng=3)
+        second = heterogeneous_fleet("dlrm-rmc1", config, 6, rng=3)
+        assert [s.name for s in first] == [s.name for s in second]
+        assert [s.engines.cpu.speed_factor for s in first] == [
+            s.engines.cpu.speed_factor for s in second
+        ]
+
+    def test_platform_mix_and_speed_spread_respected(self):
+        config = ServingConfig(batch_size=128, num_cores=8)
+        fleet = heterogeneous_fleet(
+            "dlrm-rmc1", config, 12, platform_mix={"skylake": 1.0}, speed_spread=0.1,
+            rng=5,
+        )
+        assert all(s.engines.cpu.platform.name == "skylake" for s in fleet)
+        factors = [s.engines.cpu.speed_factor for s in fleet]
+        assert all(0.9 <= f <= 1.1 for f in factors)
+        assert len(set(factors)) > 1
+
+    def test_base_engine_shared_per_platform(self):
+        config = ServingConfig(batch_size=128, num_cores=8)
+        fleet = heterogeneous_fleet(
+            "ncf", config, 8, platform_mix={"skylake": 0.5, "broadwell": 0.5}, rng=2
+        )
+        bases = {s.engines.cpu.platform.name: set() for s in fleet}
+        for server in fleet:
+            bases[server.engines.cpu.platform.name].add(id(server.engines.cpu.base_engine))
+        assert all(len(ids) == 1 for ids in bases.values())
+
+    def test_fleet_runs_on_fast_path(self, query_stream):
+        config = ServingConfig(batch_size=128, num_cores=8)
+        fleet = heterogeneous_fleet("dlrm-rmc1", config, 4, rng=7)
+        result = ClusterSimulator(fleet, "least-outstanding").run(query_stream)
+        assert result.num_queries == len(query_stream)
+        assert all(
+            s.engines.cpu.latency_table.scalar_fallbacks == 0 for s in fleet
+        )
+
+    def test_invalid_parameters(self):
+        config = ServingConfig(batch_size=128)
+        with pytest.raises(ValueError):
+            heterogeneous_fleet("dlrm-rmc1", config, 0)
+        with pytest.raises(ValueError):
+            heterogeneous_fleet("dlrm-rmc1", config, 2, speed_spread=0.9)
+        with pytest.raises(ValueError):
+            heterogeneous_fleet("dlrm-rmc1", config, 2, platform_mix={"skylake": 0.0})
 
 
 class TestHeterogeneousFleet:
