@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Perf-trend gate: trajectory table over all BENCH_*.json + regression check.
+
+Every PR that touches a hot path records a ``BENCH_N.json`` at the repo root
+(``benchmarks/run_benchmarks.py``).  This tool reads the whole trajectory and
+
+* prints a per-case table of wall-clock seconds across the benches, with a
+  trend column (best-prior seconds / latest seconds — >1 means the latest
+  bench is faster) and a geomean trend row across the cases the latest bench
+  shares with any prior one;
+* **fails** (exit 1) when the latest bench regresses any tracked case by more
+  than the threshold (default 25 %) against the *best* prior recording of
+  that case — the committed numbers are all measured on the recording host,
+  so the comparison is deterministic at CI time.
+
+The table is written as GitHub-flavoured markdown to the path in the
+``GITHUB_STEP_SUMMARY`` environment variable when set (the Actions job
+summary), and always echoed to stdout.
+
+Usage::
+
+    python benchmarks/perf_trend.py                 # gate at 25 %
+    python benchmarks/perf_trend.py --threshold 1.5 # allow up to 50 %
+    python benchmarks/perf_trend.py --root path/    # read BENCH_*.json there
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+_BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def load_benches(root: Path) -> List[Tuple[int, Dict[str, Any]]]:
+    """Full-mode ``BENCH_N.json`` files under ``root``, sorted by N.
+
+    Quick-mode recordings (CI smoke sizes) are skipped: their seconds are a
+    different workload, and mixing them into the trajectory would either
+    trip the gate spuriously or mask a real full-mode regression.
+    """
+    benches: List[Tuple[int, Dict[str, Any]]] = []
+    for path in root.glob("BENCH_*.json"):
+        match = _BENCH_PATTERN.match(path.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"unreadable bench file {path}: {error}")
+        if not isinstance(payload.get("cases"), dict):
+            raise SystemExit(f"bench file {path} has no 'cases' mapping")
+        if payload.get("mode", "full") != "full":
+            print(f"skipping {path.name}: mode={payload['mode']!r} (not full)")
+            continue
+        benches.append((int(match.group(1)), payload))
+    benches.sort(key=lambda item: item[0])
+    return benches
+
+
+def case_seconds(bench: Dict[str, Any]) -> Dict[str, float]:
+    """Case name -> wall-clock seconds for one bench payload."""
+    seconds: Dict[str, float] = {}
+    for name, entry in bench["cases"].items():
+        value = entry.get("seconds") if isinstance(entry, dict) else None
+        if isinstance(value, (int, float)) and value > 0:
+            seconds[name] = float(value)
+    return seconds
+
+
+def _geomean(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def build_table(benches: List[Tuple[int, Dict[str, Any]]]) -> str:
+    """Markdown trajectory table: cases x benches, plus a geomean-trend row."""
+    if not benches:
+        return "_no BENCH_*.json files found_"
+    by_bench = {number: case_seconds(bench) for number, bench in benches}
+    numbers = [number for number, _ in benches]
+    cases = sorted({name for seconds in by_bench.values() for name in seconds})
+    latest = numbers[-1]
+
+    header = (
+        "| case | "
+        + " | ".join(f"BENCH_{number} (s)" for number in numbers)
+        + " | trend |"
+    )
+    divider = "|" + " --- |" * (len(numbers) + 2)
+    lines = [header, divider]
+    trends: List[float] = []
+    for case in cases:
+        cells = []
+        for number in numbers:
+            value = by_bench[number].get(case)
+            cells.append(f"{value:.3f}" if value is not None else "—")
+        prior = [
+            by_bench[number][case]
+            for number in numbers[:-1]
+            if case in by_bench[number]
+        ]
+        current = by_bench[latest].get(case)
+        if prior and current:
+            trend = min(prior) / current
+            trends.append(trend)
+            trend_cell = f"{trend:.2f}x"
+        else:
+            trend_cell = "new" if current else "dropped"
+        lines.append(f"| {case} | " + " | ".join(cells) + f" | {trend_cell} |")
+
+    geomean = _geomean(trends)
+    if geomean is not None:
+        lines.append(
+            "| **geomean (latest vs best prior)** | "
+            + " | ".join("" for _ in numbers)
+            + f" | **{geomean:.2f}x** |"
+        )
+    return "\n".join(lines)
+
+
+def check_regressions(
+    benches: List[Tuple[int, Dict[str, Any]]], threshold: float
+) -> List[str]:
+    """Cases the latest bench regresses by more than ``threshold``x.
+
+    A case is compared against the *best* (fastest) prior bench that records
+    it; cases new in the latest bench have no prior and are never flagged.
+    A case tracked by any prior bench but *absent* from the latest is a
+    failure too — otherwise renaming or dropping a case would silently
+    un-track its regressions.
+    """
+    if len(benches) < 2:
+        return []
+    by_bench = {number: case_seconds(bench) for number, bench in benches}
+    numbers = [number for number, _ in benches]
+    latest = numbers[-1]
+    failures = []
+    tracked = {
+        case for number in numbers[:-1] for case in by_bench[number]
+    }
+    for case in sorted(tracked - set(by_bench[latest])):
+        failures.append(
+            f"{case}: tracked by prior benches but missing from BENCH_{latest} "
+            f"— dropping or renaming a case un-tracks its regressions; carry "
+            f"it forward (or deliberately prune it from the prior files)"
+        )
+    for case, current in sorted(by_bench[latest].items()):
+        prior = [
+            by_bench[number][case]
+            for number in numbers[:-1]
+            if case in by_bench[number]
+        ]
+        if not prior:
+            continue
+        best = min(prior)
+        if current > threshold * best:
+            failures.append(
+                f"{case}: BENCH_{latest} took {current:.3f}s vs best prior "
+                f"{best:.3f}s ({current / best:.2f}x, threshold {threshold:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default="",
+        help="Directory holding BENCH_*.json (default: the repo root).",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="Fail when the latest bench exceeds best-prior seconds by this "
+        "factor on any shared case (default 1.25 = a 25%% regression).",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error(f"--threshold must be > 1.0, got {args.threshold}")
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+
+    benches = load_benches(root)
+    table = build_table(benches)
+    title = "## Benchmark trajectory\n\n"
+    print(title + table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(title + table + "\n")
+
+    failures = check_regressions(benches, args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    if benches:
+        latest = benches[-1][0]
+        print(f"\nno case of BENCH_{latest} regresses past {args.threshold:.2f}x.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,17 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness for the serving/simulation fast path.
 
-Times five representative workloads end to end and writes ``BENCH_3.json``:
+Times six representative workloads end to end and writes ``BENCH_4.json``:
 
 * ``fig9-batch-sweep`` — single-server capacity bisections across a batch-size
   grid (the Fig. 9 experiment at reduced fidelity);
 * ``fig15-cluster-scaling`` — the full fleet-scaling experiment (Fig. 15
   extension), the heaviest consumer of the cluster event core;
 * ``cluster-capacity-search`` — one ``find_cluster_max_qps`` fleet bisection;
+* ``capacity-sweep-shared`` — a *sweep* of fleet capacity searches run twice
+  against one warm-start cache under one shared worker pool: the workload
+  the ``repro.runtime`` unification targets (pool reuse + replay-exact warm
+  starts);
 * ``fig13-production`` — the Fig. 13 diurnal fleet replay (fixed vs tuned
   batch size under random balancing), post-unification running through the
   shared-heap ``ClusterSimulator`` on scaled latency tables;
@@ -23,7 +27,7 @@ so the speedup column stays meaningful there too.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                # full run, BENCH_3.json
+    python benchmarks/run_benchmarks.py                # full run, BENCH_4.json
     python benchmarks/run_benchmarks.py --quick        # CI smoke sizes
     python benchmarks/run_benchmarks.py --jobs 4       # parallel capacity search
 """
@@ -54,13 +58,17 @@ from repro.serving.sla import SLATier, sla_target  # noqa: E402
 
 #: Pre-PR wall-clock seconds per case, measured on the recording host with
 #: the same script, same kwargs, best-of-3, jobs=1, at the commit in
-#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_3.json is computed
-#: against these numbers.
+#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_4.json is computed
+#: against these numbers.  (``capacity-sweep-shared`` was measured with the
+#: engine caches pre-warmed by the preceding cases, mirroring its position
+#: in the harness order, so its speedup isolates pool reuse + warm starts
+#: rather than one-time table builds.)
 PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
     "full": {
         "fig9-batch-sweep": 1.03,
         "fig15-cluster-scaling": 1.90,
         "cluster-capacity-search": 0.24,
+        "capacity-sweep-shared": 0.296,
         "fig13-production": 0.513,
         "fig7-subsampling": 0.266,
     },
@@ -68,6 +76,7 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "fig9-batch-sweep": 0.34,
         "fig15-cluster-scaling": 0.20,
         "cluster-capacity-search": 0.08,
+        "capacity-sweep-shared": 0.066,
         "fig13-production": 0.268,
         "fig7-subsampling": 0.064,
     },
@@ -79,6 +88,7 @@ BASELINE_COMMIT: Dict[str, str] = {
     "fig9-batch-sweep": "cb22c24 (pre fast-path PR)",
     "fig15-cluster-scaling": "cb22c24 (pre fast-path PR)",
     "cluster-capacity-search": "cb22c24 (pre fast-path PR)",
+    "capacity-sweep-shared": "56f3891 (pre runtime-unification PR)",
     "fig13-production": "5baf554 (pre fleet-unification PR)",
     "fig7-subsampling": "5baf554 (pre fleet-unification PR)",
 }
@@ -134,6 +144,44 @@ def bench_capacity_search(quick: bool, jobs: int) -> None:
     )
 
 
+def bench_capacity_sweep(quick: bool, jobs: int) -> None:
+    # A sweep of fleet capacity searches, run twice against one warm-start
+    # cache: pass 1 measures cold searches sharing one worker pool, pass 2
+    # the replay-exact warm starts.  Pre-runtime-PR checkouts run the same
+    # workload without a shared pool (each search owned its own), so the
+    # speedup column isolates exactly what the unification bought.
+    import tempfile
+
+    engines = build_engine_pair("dlrm-rmc1", "skylake", None)
+    config = ServingConfig(batch_size=256, num_cores=8)
+    target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+    if quick:
+        sizes, policies = (1, 2), ("least-outstanding",)
+        kwargs: Dict[str, Any] = dict(num_queries=80, iterations=3, max_queries=800)
+    else:
+        sizes, policies = (1, 2), ("least-outstanding", "power-of-two")
+        kwargs = dict(num_queries=200, iterations=5, max_queries=2500)
+    try:
+        from repro.runtime.pool import shared_pool
+    except ImportError:  # pre-runtime-PR: no invocation-wide pool to share
+        from contextlib import nullcontext as shared_pool
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with shared_pool(jobs):
+            for _pass in range(2):
+                for size in sizes:
+                    for policy in policies:
+                        find_cluster_max_qps(
+                            homogeneous_fleet(engines, config, size),
+                            policy,
+                            target.latency_s,
+                            LoadGenerator(seed=5),
+                            jobs=jobs,
+                            warm_start_cache=cache_dir,
+                            **kwargs,
+                        )
+
+
 def bench_fig13(quick: bool, jobs: int) -> None:
     # policies=("random",) replays exactly the pre-unification workload
     # (fixed + tuned batch under uniform-random assignment), so the speedup
@@ -163,6 +211,7 @@ CASES: Dict[str, Callable[[bool, int], None]] = {
     "fig9-batch-sweep": bench_fig9,
     "fig15-cluster-scaling": bench_fig15,
     "cluster-capacity-search": bench_capacity_search,
+    "capacity-sweep-shared": bench_capacity_sweep,
     "fig13-production": bench_fig13,
     "fig7-subsampling": bench_fig7,
 }
@@ -202,7 +251,7 @@ def build_report(
             speedups.append(baseline / seconds)
         cases[name] = entry
     report: Dict[str, Any] = {
-        "bench_id": "BENCH_3",
+        "bench_id": "BENCH_4",
         "mode": mode,
         "jobs": jobs,
         "repeats": repeats,
@@ -233,7 +282,9 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--output",
         default="",
-        help="Output JSON path (default: BENCH_3.json at the repo root).",
+        help="Output JSON path (default: BENCH_4.json at the repo root for "
+        "full runs; bench_quick.json for --quick, so a quick run never "
+        "overwrites the committed full-mode trajectory).",
     )
     parser.add_argument(
         "--repeats",
@@ -251,7 +302,14 @@ def main(argv: Optional[list] = None) -> int:
 
     timings = run_cases(args.quick, jobs, repeats)
     report = build_report(timings, args.quick, jobs, repeats)
-    output = Path(args.output) if args.output else _REPO_ROOT / "BENCH_3.json"
+    if args.output:
+        output = Path(args.output)
+    elif args.quick:
+        # Quick-mode seconds must never land in the committed BENCH_N.json:
+        # the perf-trend gate compares full-mode numbers across PRs.
+        output = _REPO_ROOT / "bench_quick.json"
+    else:
+        output = _REPO_ROOT / "BENCH_4.json"
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     for name, entry in report["cases"].items():

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.experiments.registry import available_experiments
 from repro.experiments.runner import render_report, run_experiments
+from repro.runtime.pool import shared_pool
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,11 +62,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
         return 2
     ids = args.experiments or None
-    results = run_experiments(
-        ids,
-        processes=args.jobs if args.jobs else (os.cpu_count() or 1),
-        cache_dir=args.cache_dir or None,
-    )
+    workers = args.jobs if args.jobs else (os.cpu_count() or 1)
+    # One pool per invocation: every parallel consumer below — the sweep
+    # runner, capacity searches, figure replay fans — resolves to this pool,
+    # so the whole run forks at most one set of workers (lazily, only if
+    # parallel work actually arrives).
+    with shared_pool(workers):
+        results = run_experiments(
+            ids,
+            processes=workers,
+            cache_dir=args.cache_dir or None,
+        )
     report = render_report(results)
     print(report)
     if args.output:

@@ -21,7 +21,7 @@ behaviour:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.execution.cpu_engine import CPUEngine
 from repro.execution.engine import EnginePair, build_engine_pair
@@ -46,13 +46,16 @@ def run_arrival_ablation(
     num_queries: int = 400,
     capacity_iterations: int = 4,
     seed: int = 7,
+    jobs: int = 1,
+    capacity_cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Capacity of one operating point under different arrival processes.
 
     Poisson arrivals produce burstier queueing than fixed/uniform gaps, so the
     capacity under the production (Poisson) assumption is the most
     conservative of the three — sizing a deployment with a smoother arrival
-    model overstates what the SLA can sustain.
+    model overstates what the SLA can sustain.  ``jobs``/``capacity_cache_dir``
+    parallelise and replay the capacity searches (bit-identical results).
     """
     engines = build_engine_pair(model, "skylake", None)
     target = sla_target(model, tier)
@@ -73,6 +76,8 @@ def run_arrival_ablation(
             generator,
             num_queries=num_queries,
             iterations=capacity_iterations,
+            jobs=jobs,
+            warm_start_cache=capacity_cache_dir,
         )
         capacities[name] = outcome.max_qps
         p95_ms = outcome.result.p95_latency_s * 1e3 if outcome.result else 0.0
@@ -93,11 +98,16 @@ def run_size_distribution_ablation(
     num_queries: int = 400,
     capacity_iterations: int = 4,
     seed: int = 7,
+    jobs: int = 1,
+    capacity_cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Tune the batch size under each size distribution, cross-evaluate on the other.
 
     Reproduces the Section VI-A observation that a lognormal-tuned operating
     point loses throughput when deployed against production-shaped traffic.
+    The cross-evaluation re-asks the tuning sweep's question at the optimum,
+    so with a ``capacity_cache_dir`` those repeat searches replay instantly;
+    ``jobs > 1`` parallelises each bisection (bit-identical results).
     """
     engines = build_engine_pair(model, "skylake", None)
     target = sla_target(model, tier)
@@ -115,6 +125,8 @@ def run_size_distribution_ablation(
             generator,
             num_queries=num_queries,
             iterations=capacity_iterations,
+            jobs=jobs,
+            warm_start_cache=capacity_cache_dir,
         )
         return outcome.max_qps
 
@@ -163,6 +175,8 @@ def run_cache_contention_ablation(
     num_queries: int = 400,
     capacity_iterations: int = 4,
     seed: int = 7,
+    jobs: int = 1,
+    capacity_cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Capacity with and without the LLC contention model.
 
@@ -198,6 +212,8 @@ def run_cache_contention_ablation(
                 generator,
                 num_queries=num_queries,
                 iterations=capacity_iterations,
+                jobs=jobs,
+                warm_start_cache=capacity_cache_dir,
             )
             capacities[label] = outcome.max_qps
         ratio = (

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -39,9 +38,16 @@ from repro.experiments.result import ExperimentResult
 from repro.infra.datacenter import DatacenterCluster
 from repro.queries.size_dist import ProductionQuerySizes
 from repro.queries.trace import DiurnalPattern
+from repro.runtime.pool import TaskContext, pool_scope
 from repro.utils.validation import check_in_range, check_positive
 
-DEFAULT_POLICIES = ("random", "least-outstanding")
+#: The paper's production protocol (uniform ``random`` assignment) plus the
+#: load-aware policies: plain least-outstanding and its speed-weighted
+#: variant, which normalises each node's outstanding work by its
+#: ``speed_factor`` — on the datacenter's speed-spread fleet that is the
+#: policy a capacity-aware production balancer would run.  Any name in the
+#: balancer registry can be swept via ``policies=``.
+DEFAULT_POLICIES = ("random", "least-outstanding", "weighted-least-outstanding")
 
 #: Keys every replay summary carries.  The schema version is folded into the
 #: cache digest, so entries written by a version with different summary keys
@@ -106,25 +112,21 @@ def _replay_digest(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
-# Worker-process state for the parallel replay sweep: each worker builds the
-# (deterministic) cluster once and then receives bare (batch, policy) points.
-_REPLAY_WORKER_STATE: Dict[str, Any] = {}
-
-
-def _replay_worker_init(payload: Tuple[Dict[str, Any], Dict[str, Any]]) -> None:
+# Task context for the parallel replay fan: each pool worker builds the
+# (deterministic) cluster once, then receives bare (batch, policy) points.
+def _build_replay_state(
+    payload: Tuple[Dict[str, Any], Dict[str, Any]],
+) -> Tuple[DatacenterCluster, Dict[str, Any]]:
     cluster_kwargs, replay = payload
-    _REPLAY_WORKER_STATE["cluster"] = DatacenterCluster(**cluster_kwargs)
-    _REPLAY_WORKER_STATE["replay"] = replay
+    return DatacenterCluster(**cluster_kwargs), replay
 
 
-def _replay_worker(point: Tuple[int, str]) -> Dict[str, Any]:
+def _replay_point(
+    state: Tuple[DatacenterCluster, Dict[str, Any]], point: Tuple[int, str]
+) -> Dict[str, Any]:
+    cluster, replay = state
     batch_size, policy = point
-    return _replay_summary(
-        _REPLAY_WORKER_STATE["cluster"],
-        batch_size,
-        policy,
-        _REPLAY_WORKER_STATE["replay"],
-    )
+    return _replay_summary(cluster, batch_size, policy, replay)
 
 
 def _run_replays(
@@ -152,21 +154,20 @@ def _run_replays(
                     continue
         todo.append(index)
 
-    if jobs > 1 and multiprocessing.current_process().daemon:
-        jobs = 1  # daemonic pool workers cannot fork their own pools
-    if todo and jobs > 1 and len(todo) > 1:
-        with multiprocessing.Pool(
-            processes=min(jobs, len(todo)),
-            initializer=_replay_worker_init,
-            initargs=((cluster_kwargs, replay),),
-        ) as pool:
-            computed = pool.map(_replay_worker, [points[i] for i in todo])
+    if todo:
+        # The serial path reuses the caller's already-built cluster (seeded
+        # into the context); pool workers each build their own deterministic
+        # copy from the kwargs, cached across points by the context token.
+        # Nested invocations (a pooled sweep point) run inline automatically.
+        context = TaskContext(
+            _build_replay_state, (cluster_kwargs, replay), value=(cluster, replay)
+        )
+        with pool_scope(jobs) as worker_pool:
+            computed = worker_pool.map(
+                _replay_point, [points[i] for i in todo], context=context
+            )
         for index, summary in zip(todo, computed):
             summaries[index] = summary
-    else:
-        for index in todo:
-            batch_size, policy = points[index]
-            summaries[index] = _replay_summary(cluster, batch_size, policy, replay)
 
     if cache is not None and todo:
         cache.mkdir(parents=True, exist_ok=True)

@@ -34,8 +34,16 @@ def run(
     num_queries: int = 500,
     capacity_iterations: int = 5,
     seed: int = 3,
+    jobs: int = 1,
+    capacity_cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
-    """Sweep QPS over batch sizes for several models and latency targets."""
+    """Sweep QPS over batch sizes for several models and latency targets.
+
+    ``jobs > 1`` evaluates each capacity search's speculative QPS candidates
+    on the invocation's shared worker pool and ``capacity_cache_dir`` replays
+    previously recorded searches — both return results bit-identical to a
+    cold serial run.
+    """
     result = ExperimentResult(
         experiment_id="figure-9",
         title="Latency-bounded throughput vs per-request batch size",
@@ -60,6 +68,8 @@ def run(
                     generator,
                     num_queries=num_queries,
                     iterations=capacity_iterations,
+                    jobs=jobs,
+                    warm_start_cache=capacity_cache_dir,
                 )
                 qps_values.append(outcome.max_qps)
             best_index = max(range(len(batch_sizes)), key=lambda i: qps_values[i])

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, KeysView, List
 
 from repro.experiments.result import ExperimentResult
 
@@ -37,3 +38,22 @@ def get_experiment(experiment_id: str) -> ExperimentFn:
 def available_experiments() -> List[str]:
     """All registered experiment identifiers, sorted."""
     return sorted(_REGISTRY)
+
+
+def experiment_parameters(experiment_id: str) -> KeysView[str]:
+    """Parameter names the driver registered under ``experiment_id`` accepts.
+
+    The runner uses this to route worker/cache settings (``jobs``,
+    ``capacity_cache_dir``) only into drivers that understand them, and the
+    CLI-routing tests use it to enumerate every driver that does.
+    """
+    return inspect.signature(get_experiment(experiment_id)).parameters.keys()
+
+
+def experiments_accepting(parameter: str) -> List[str]:
+    """Registered experiment ids whose drivers accept ``parameter``, sorted."""
+    return [
+        experiment_id
+        for experiment_id in available_experiments()
+        if parameter in experiment_parameters(experiment_id)
+    ]

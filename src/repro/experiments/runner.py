@@ -2,21 +2,26 @@
 
 Besides the serial helpers (:func:`run_experiment` / :func:`run_experiments`),
 this module provides :class:`SweepRunner`, a parallel sweep executor: it fans
-independent sweep points out over a ``multiprocessing`` pool (one Python
-process per host core by default) and memoises every completed point in an
-on-disk cache keyed by a stable hash of ``(experiment_id, kwargs)``.  Figure
-sweeps (fig9–fig15) are embarrassingly parallel across their grid points, so
-this turns an hours-long serial regeneration into minutes on a many-core
-host — and re-running a sweep with overlapping points only pays for the new
-ones.
+independent sweep points out over the invocation's shared
+:class:`~repro.runtime.pool.WorkerPool` (one Python process per host core by
+default) and memoises every completed point in an on-disk cache keyed by a
+stable hash of ``(experiment_id, kwargs)``.  Figure sweeps (fig9–fig15) are
+embarrassingly parallel across their grid points, so this turns an
+hours-long serial regeneration into minutes on a many-core host — and
+re-running a sweep with overlapping points only pays for the new ones.
+
+Parallelism is layered without oversubscription: when the sweep itself runs
+points in the pool, drivers are *not* handed a worker budget on top (and the
+pool's nesting detection would run any nested parallel call serially
+anyway); when a single experiment runs inline, the worker budget is instead
+routed into the driver as ``jobs`` so e.g. figure-15's capacity searches use
+the same shared pool the sweep would have.
 """
 
 from __future__ import annotations
 
 import hashlib
-import inspect
 import json
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
@@ -24,8 +29,13 @@ from enum import Enum
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.experiments.registry import available_experiments, get_experiment
+from repro.experiments.registry import (
+    available_experiments,
+    experiment_parameters,
+    get_experiment,
+)
 from repro.experiments.result import ExperimentResult
+from repro.runtime.pool import pool_scope
 
 
 def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
@@ -39,19 +49,25 @@ def _parallelism_overrides(
     existing: Dict[str, Any],
     processes: Optional[int],
     cache_dir: Union[str, Path, None],
+    pooled: bool = False,
 ) -> Dict[str, Any]:
     """Route worker/cache settings into a driver that understands them.
 
-    Cross-experiment parallelism is useless when only one experiment runs, so
-    for a single-experiment invocation the requested ``processes`` are handed
-    to the driver as ``jobs`` (drivers like figure-15 distribute their
-    capacity bisections over a pool) and ``cache_dir`` doubles as the
-    capacity warm-start directory.  Explicit overrides always win.
+    When the driver runs inline (a single-experiment invocation, or a serial
+    sweep), the requested ``processes`` are handed to it as ``jobs`` so its
+    internal parallel work (capacity bisections, replay fans) lands on the
+    invocation's shared pool.  When the driver itself runs *inside* the pool
+    (``pooled=True``), no ``jobs`` are injected — sweep-level parallelism
+    already owns the workers, and handing each pooled point a worker budget
+    on top would oversubscribe the host (nested calls would run serially by
+    nesting detection, but only after paying the speculative batching
+    overhead).  ``cache_dir`` doubles as the capacity warm-start / replay
+    memo directory either way.  Explicit overrides always win.
     """
-    parameters = inspect.signature(get_experiment(experiment_id)).parameters
+    parameters = experiment_parameters(experiment_id)
     extra = dict(existing)
     workers = processes if processes is not None else (os.cpu_count() or 1)
-    if workers > 1 and "jobs" in parameters and "jobs" not in extra:
+    if not pooled and workers > 1 and "jobs" in parameters and "jobs" not in extra:
         extra["jobs"] = workers
     if (
         cache_dir is not None
@@ -59,9 +75,7 @@ def _parallelism_overrides(
         and "capacity_cache_dir" not in extra
     ):
         # Resolve so the same directory hashes identically regardless of the
-        # working directory the sweep is launched from.  (Unlike `jobs`, the
-        # warm-start directory stays in the memo key: a warm-started search
-        # may bisect a different bracket than a cold one.)
+        # working directory the sweep is launched from.
         extra["capacity_cache_dir"] = str(Path(cache_dir).resolve())
     return extra
 
@@ -76,20 +90,23 @@ def run_experiments(
 
     ``overrides`` maps experiment ids to keyword arguments for their drivers,
     so callers can lower fidelity for quick runs.  With ``processes > 1`` the
-    experiments execute concurrently in worker processes; ``cache_dir``
-    additionally memoises each (experiment, kwargs) pair on disk.  When a
-    *single* experiment is requested, the worker budget is instead passed to
-    the driver itself (as ``jobs``) if it accepts one, so e.g. figure-15's
-    capacity searches scale with ``--jobs`` rather than wasting the pool on
-    a one-point sweep.
+    experiments execute concurrently on the invocation's shared worker pool;
+    ``cache_dir`` additionally memoises each (experiment, kwargs) pair on
+    disk and is forwarded to every driver that accepts a
+    ``capacity_cache_dir``.  When a *single* experiment is requested, the
+    worker budget is instead passed to the driver itself (as ``jobs``) if it
+    accepts one, so e.g. figure-15's capacity searches scale with ``--jobs``
+    rather than wasting the pool on a one-point sweep.
     """
     ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
     overrides = dict(overrides) if overrides else {}
-    if len(ids) == 1:
-        overrides[ids[0]] = _parallelism_overrides(
-            ids[0], overrides.get(ids[0], {}), processes, cache_dir
+    workers = processes if processes is not None else (os.cpu_count() or 1)
+    pooled = len(ids) > 1 and workers > 1
+    for eid in ids:
+        overrides[eid] = _parallelism_overrides(
+            eid, overrides.get(eid, {}), processes, cache_dir, pooled=pooled
         )
-    if (processes == 1 or len(ids) == 1) and cache_dir is None:
+    if (workers == 1 or len(ids) == 1) and cache_dir is None:
         return [run_experiment(eid, **overrides.get(eid, {})) for eid in ids]
     runner = SweepRunner(
         processes=1 if len(ids) == 1 else processes, cache_dir=cache_dir
@@ -131,22 +148,40 @@ def canonicalize(value: Any) -> Any:
 
 #: Driver kwargs that, by convention, cannot change an experiment's results —
 #: only how fast they are computed.  Excluded from the memo key so cached
-#: sweep points hit regardless of the worker budget of the run that wrote them.
-RESULT_NEUTRAL_KEYS = frozenset({"jobs"})
+#: sweep points hit regardless of the worker budget of the run that wrote
+#: them.  ``capacity_cache_dir`` qualifies since the unified capacity search
+#: made warm starts replay-exact: a warm-started search returns bit-identical
+#: results to the cold serial run, so the cache directory (and whether one
+#: was set at all) cannot change what a driver computes.
+RESULT_NEUTRAL_KEYS = frozenset({"jobs", "capacity_cache_dir"})
+
+#: Version of the sweep-memo key.  The memo is keyed on *kwargs*, so a change
+#: to a driver's defaults or semantics (new default policy swept, different
+#: reported columns) would otherwise serve stale entries recorded under the
+#: old behaviour.  Bump this whenever such a change lands; every old entry
+#: then misses by construction.  (v2: figure-13's default policy sweep grew
+#: ``weighted-least-outstanding``.)
+SWEEP_MEMO_SCHEMA = 2
 
 
 def config_hash(experiment_id: str, kwargs: Dict[str, Any]) -> str:
     """Stable hex digest identifying one (experiment, kwargs) sweep point.
 
-    Worker-count knobs (:data:`RESULT_NEUTRAL_KEYS`) are dropped before
-    hashing: a point computed with ``jobs=8`` is the same result as one
-    computed serially.
+    Result-neutral knobs (:data:`RESULT_NEUTRAL_KEYS`) are dropped before
+    hashing: a point computed with ``jobs=8`` against a warm-start cache is
+    the same result as one computed serially and cold.  The
+    :data:`SWEEP_MEMO_SCHEMA` version is folded in so entries recorded under
+    older driver semantics can never be served back.
     """
     meaningful = {
         key: value for key, value in kwargs.items() if key not in RESULT_NEUTRAL_KEYS
     }
     payload = json.dumps(
-        {"experiment_id": experiment_id.lower(), "kwargs": canonicalize(meaningful)},
+        {
+            "schema": SWEEP_MEMO_SCHEMA,
+            "experiment_id": experiment_id.lower(),
+            "kwargs": canonicalize(meaningful),
+        },
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -296,10 +331,26 @@ class SweepRunner:
         if execute:
             todo = [points[index] for index in execute]
             if workers == 1:
-                payloads = [_execute_point(point) for point in todo]
+                # Inline fallback: the sweep itself runs serially (one
+                # uncached point, or a serial budget).  If the *caller's*
+                # budget allows parallelism, re-grant it to each driver as
+                # ``jobs`` — otherwise a mostly-cached sweep would strand
+                # the invocation's shared pool while its one fresh point
+                # bisects serially.  The memo key is unaffected (``jobs`` is
+                # result-neutral) and the stored kwargs stay the caller's.
+                budget = self._processes if self._processes is not None else host_cores
+                payloads = [
+                    _execute_point(
+                        (eid, _parallelism_overrides(eid, kwargs, budget, None))
+                    )
+                    for eid, kwargs in todo
+                ]
             else:
-                with multiprocessing.Pool(processes=workers) as pool:
-                    payloads = pool.map(_execute_point, todo)
+                # The invocation's shared WorkerPool when one is active (the
+                # CLI owns one per invocation), else a private pool closed on
+                # exit; a nested sweep inside a pool worker runs inline.
+                with pool_scope(workers) as worker_pool:
+                    payloads = worker_pool.map(_execute_point, todo)
             for index, payload in zip(execute, payloads):
                 experiment_id, kwargs = points[index]
                 if use_cache:

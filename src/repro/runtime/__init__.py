@@ -1,0 +1,52 @@
+"""Shared runtime for parallel work: one worker pool, one capacity search.
+
+``repro.runtime`` is the subsystem every parallel consumer in the repository
+routes through:
+
+* :mod:`repro.runtime.pool` — :class:`WorkerPool`, a lazily-forked,
+  reusable, nesting-safe process pool; :func:`shared_pool` scopes one pool
+  to a whole CLI invocation and :func:`pool_scope` is how library code picks
+  it up.
+* :mod:`repro.runtime.capacity` — :class:`CapacitySearch`, the unified
+  single-server / fleet capacity search with speculative parallel bisection
+  and schema-versioned warm-start replay, both decision-identical to the
+  cold serial search.
+
+``repro.serving.capacity.find_max_qps``,
+``repro.serving.cluster.find_cluster_max_qps``, the experiment
+``SweepRunner``, and the figure drivers' replay fans are all thin layers
+over these two primitives.
+"""
+
+from repro.runtime.pool import (
+    TaskContext,
+    WorkerPool,
+    active_pool,
+    in_worker,
+    pool_forks,
+    pool_scope,
+    shared_pool,
+)
+
+__all__ = [
+    "TaskContext",
+    "WorkerPool",
+    "active_pool",
+    "in_worker",
+    "pool_forks",
+    "pool_scope",
+    "shared_pool",
+    "CapacitySearch",
+    "CAPACITY_SCHEMA_VERSION",
+]
+
+
+def __getattr__(name):
+    # CapacitySearch pulls in the serving stack; import it lazily so
+    # `repro.runtime.pool` stays importable from anywhere (including the
+    # serving modules themselves) without a cycle.
+    if name in ("CapacitySearch", "CAPACITY_SCHEMA_VERSION"):
+        from repro.runtime import capacity
+
+        return getattr(capacity, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,480 @@
+"""Unified capacity search: one entry point for single-server and fleet QPS.
+
+The paper's headline figures all reduce to the same question — the largest
+offered load whose p95 latency stays inside the SLA — asked of either one
+server or a fleet.  Historically the two searches lived in different modules
+with different capabilities: only the fleet search had speculative parallel
+bisection and warm-started brackets.  :class:`CapacitySearch` merges them:
+
+* ``CapacitySearch.for_server(...)`` and ``CapacitySearch.for_fleet(...)``
+  describe the search; :meth:`CapacitySearch.run` executes it;
+* with ``jobs > 1`` the bisection's candidate rates are evaluated
+  speculatively on the invocation's shared :class:`~repro.runtime.pool.WorkerPool`
+  (:func:`~repro.serving.capacity.bisect_max_qps_batched`), returning a
+  result **identical** to the serial search — evaluations are deterministic
+  functions of the rate, so speculation only buys wall-clock time;
+* ``warm_start_cache`` consults a :class:`~repro.serving.capacity.CapacityCache`
+  under a schema-versioned signature covering the engines, fleet shape,
+  SLA, workload and trace seed, and search fidelity.  Because the signature
+  pins everything the decision tree depends on, a cache hit *is* the value
+  the cold serial search would compute: the search verifies it with a single
+  evaluation at the cached rate and returns — bit-identical to the cold run,
+  an order of magnitude cheaper.  Bump :data:`CAPACITY_SCHEMA_VERSION`
+  whenever the search semantics change; old entries then miss by
+  construction instead of replaying stale answers.
+
+``repro.serving.capacity.find_max_qps`` and
+``repro.serving.cluster.find_cluster_max_qps`` are thin wrappers over this
+class, so every consumer — figure drivers, tuners, sweeps — shares one
+search implementation and one pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.execution.engine import EnginePair
+from repro.queries.generator import LoadGenerator
+from repro.runtime.pool import TaskContext, WorkerPool, pool_scope
+from repro.serving.capacity import (
+    CapacityCache,
+    CapacityResult,
+    bisect_max_qps,
+    bisect_max_qps_batched,
+    estimate_upper_bound_qps,
+    measurement_queries,
+    offload_size_stats,
+)
+from repro.serving.cluster import (
+    ClusterServer,
+    ClusterSimulator,
+    LoadBalancer,
+    estimate_fleet_upper_bound_qps,
+    warm_latency_tables,
+)
+from repro.serving.simulator import ServingConfig, ServingSimulator, pause_gc
+from repro.utils.validation import check_positive
+
+#: Version of the warm-start signature schema.  Folded into every signature,
+#: so entries written under a different schema can never be replayed; bump it
+#: whenever the search semantics or the signature's coverage change.
+CAPACITY_SCHEMA_VERSION = 2
+
+
+def _component_signature(component: Any) -> Dict[str, Any]:
+    """Type name plus instance parameters of a workload component.
+
+    Two distributions (or arrival processes) of the same class but different
+    parameters must not collide in the warm-start cache — a stale hint from
+    a different workload would replay a wrong capacity.  Raises for
+    components whose state is not plain data; the caller treats that as
+    "cannot sign, skip caching".
+    """
+    return {
+        "type": type(component).__name__,
+        "params": dict(sorted(vars(component).items())),
+    }
+
+
+def _platform_signature(platform: Any) -> Any:
+    """Full parameters of a hardware platform, not just its name.
+
+    The ablation drivers build modified platforms that *keep* the stock name
+    (e.g. Broadwell with the LLC contention slope zeroed); signing only the
+    name would collide their searches with the stock platform's and replay
+    the wrong capacity.  Platforms are frozen dataclasses of plain numbers,
+    so their full field dict is canonical; anything else falls back to the
+    name and relies on the serialisability probe to reject leftovers.
+    """
+    if dataclasses.is_dataclass(platform):
+        return dataclasses.asdict(platform)
+    return platform.name
+
+
+def _server_signature(server: ClusterServer) -> Dict[str, Any]:
+    """Canonical description of one server: engines plus scheduling config."""
+    return {
+        "model": server.engines.cpu.model.name,
+        "cpu": _platform_signature(server.engines.cpu.platform),
+        "gpu": (
+            _platform_signature(server.engines.gpu.platform)
+            if server.engines.gpu is not None
+            else None
+        ),
+        "batch_size": server.config.batch_size,
+        "num_cores": server.config.num_cores,
+        # Scaled nodes with different speed factors are different fleets; a
+        # collision would replay the wrong search's capacity.
+        "speed_factor": getattr(server.engines.cpu, "speed_factor", 1.0),
+        "offload_threshold": server.config.offload_threshold,
+        "warmup_fraction": server.config.warmup_fraction,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side evaluation (also the serial path, via TaskContext.build)
+# --------------------------------------------------------------------------- #
+
+
+def _evaluator_state(
+    simulator: Any,
+    sla_latency_s: float,
+    num_queries: int,
+    max_queries: int,
+    load_generator: LoadGenerator,
+) -> Dict[str, Any]:
+    """The state dict :func:`_evaluate_rate` consumes — defined in one place
+    so the serial/replay path (seeded with the parent's simulator) and the
+    pool-worker path (:func:`_build_evaluator`) can never drift apart."""
+    return {
+        "simulator": simulator,
+        "sla_latency_s": sla_latency_s,
+        "num_queries": num_queries,
+        "max_queries": max_queries,
+        "load_generator": load_generator,
+    }
+
+
+def _build_evaluator(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Construct the simulator and stream parameters one evaluator needs.
+
+    Runs once per pool worker (cached by context token); the serial path
+    seeds the same state shape with the parent's validated simulator, so
+    both paths evaluate rates through identical state.
+    """
+    if payload["kind"] == "fleet":
+        simulator: Any = ClusterSimulator(
+            payload["servers"],
+            balancer=payload["balancer"],
+            warmup_fraction=payload["warmup_fraction"],
+            balancer_seed=payload["balancer_seed"],
+        )
+    else:
+        simulator = ServingSimulator(payload["engines"], payload["config"])
+    return _evaluator_state(
+        simulator,
+        payload["sla_latency_s"],
+        payload["num_queries"],
+        payload["max_queries"],
+        payload["load_generator"],
+    )
+
+
+def _evaluate_rate(state: Dict[str, Any], rate_qps: float) -> Any:
+    """Run the simulator at one offered load and return its result."""
+    generator = state["load_generator"].with_rate(rate_qps)
+    count = measurement_queries(
+        rate_qps, state["sla_latency_s"], state["num_queries"], state["max_queries"]
+    )
+    with pause_gc():  # query generation is allocation-heavy, cycle-free
+        return state["simulator"].run(generator.generate(count))
+
+
+# --------------------------------------------------------------------------- #
+# The unified search
+# --------------------------------------------------------------------------- #
+
+
+class CapacitySearch:
+    """One latency-bounded capacity search over a server or a fleet.
+
+    Build with :meth:`for_server` or :meth:`for_fleet`, then :meth:`run`.
+    The parallel path (``jobs > 1``) and the warm-start replay are both
+    decision-identical to a cold serial search — callers choose them purely
+    on wall-clock grounds.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        sla_latency_s: float,
+        load_generator: LoadGenerator,
+        num_queries: int,
+        iterations: int,
+        headroom: float,
+        max_queries: int,
+        engines: Optional[EnginePair] = None,
+        config: Optional[ServingConfig] = None,
+        servers: Optional[Sequence[ClusterServer]] = None,
+        balancer: Union[str, LoadBalancer, None] = None,
+        warmup_fraction: Optional[float] = None,
+        balancer_seed: int = 0,
+    ) -> None:
+        check_positive("sla_latency_s", sla_latency_s)
+        check_positive("num_queries", num_queries)
+        check_positive("iterations", iterations)
+        self._kind = kind
+        self._sla_latency_s = sla_latency_s
+        self._load_generator = load_generator
+        self._num_queries = num_queries
+        self._iterations = iterations
+        self._headroom = headroom
+        self._max_queries = max_queries
+        self._engines = engines
+        self._config = config
+        self._servers = list(servers) if servers is not None else None
+        self._balancer = balancer
+        self._warmup_fraction = warmup_fraction
+        self._balancer_seed = balancer_seed
+        # Fail fast on an invalid fleet/config — in the parent, not mid-run
+        # inside a worker.  The validated simulator is kept and reused as
+        # the serial/replay evaluator, so a serial search builds it once.
+        if kind == "fleet":
+            assert self._servers is not None and balancer is not None
+            self._local_simulator: Any = ClusterSimulator(
+                self._servers,
+                balancer=balancer,
+                warmup_fraction=warmup_fraction,
+                balancer_seed=balancer_seed,
+            )
+        else:
+            assert engines is not None and config is not None
+            self._local_simulator = ServingSimulator(engines, config)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_server(
+        cls,
+        engines: EnginePair,
+        config: ServingConfig,
+        sla_latency_s: float,
+        load_generator: LoadGenerator,
+        *,
+        num_queries: int = 800,
+        iterations: int = 7,
+        headroom: float = 1.3,
+        max_queries: int = 8000,
+    ) -> "CapacitySearch":
+        """A single-server search (the :func:`find_max_qps` problem)."""
+        return cls(
+            kind="server",
+            engines=engines,
+            config=config,
+            sla_latency_s=sla_latency_s,
+            load_generator=load_generator,
+            num_queries=num_queries,
+            iterations=iterations,
+            headroom=headroom,
+            max_queries=max_queries,
+        )
+
+    @classmethod
+    def for_fleet(
+        cls,
+        servers: Sequence[ClusterServer],
+        balancer: Union[str, LoadBalancer],
+        sla_latency_s: float,
+        load_generator: LoadGenerator,
+        *,
+        num_queries: int = 600,
+        iterations: int = 6,
+        headroom: float = 1.3,
+        max_queries: int = 8000,
+        warmup_fraction: Optional[float] = None,
+        balancer_seed: int = 0,
+    ) -> "CapacitySearch":
+        """A fleet search (the :func:`find_cluster_max_qps` problem)."""
+        return cls(
+            kind="fleet",
+            servers=servers,
+            balancer=balancer,
+            sla_latency_s=sla_latency_s,
+            load_generator=load_generator,
+            num_queries=num_queries,
+            iterations=iterations,
+            headroom=headroom,
+            max_queries=max_queries,
+            warmup_fraction=warmup_fraction,
+            balancer_seed=balancer_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sla_latency_s(self) -> float:
+        """The p95 target the search holds rates to."""
+        return self._sla_latency_s
+
+    def _policy_name(self) -> Optional[str]:
+        if self._balancer is None:
+            return None
+        if isinstance(self._balancer, str):
+            return self._balancer
+        return self._balancer.name or type(self._balancer).__name__
+
+    def _fleet(self) -> List[ClusterServer]:
+        """The search's servers as a fleet (a single server is a fleet of one)."""
+        if self._servers is not None:
+            return self._servers
+        return [ClusterServer(engines=self._engines, config=self._config)]
+
+    def upper_bound_qps(self) -> float:
+        """Optimistic analytic throughput bound bracketing the bisection."""
+        if self._kind == "fleet":
+            return estimate_fleet_upper_bound_qps(self._servers, self._load_generator)
+        sizes = self._load_generator.sizes
+        large_fraction, mean_large = offload_size_stats(
+            sizes, self._config.offload_threshold
+        )
+        return estimate_upper_bound_qps(
+            self._engines, self._config, sizes.mean(), large_fraction, mean_large
+        )
+
+    def signature(self) -> Optional[Dict[str, Any]]:
+        """Schema-versioned canonical description of this search, or None.
+
+        Covers everything the bisection's decision tree depends on: the
+        fleet shape (engines, speed factors, scheduling configs), balancing
+        policy and seed, SLA, workload components and trace seed, and the
+        search fidelity knobs.  Returns None when any component cannot be
+        described canonically (e.g. a custom balancer instance or a size
+        distribution with unserialisable state), in which case warm-start
+        caching is silently skipped.
+        """
+        try:
+            signature: Dict[str, Any] = {
+                "kind": "capacity-search",
+                "schema": CAPACITY_SCHEMA_VERSION,
+                "search": self._kind,
+                "servers": [_server_signature(s) for s in self._fleet()],
+                "policy": self._policy_name(),
+                "sla_latency_s": self._sla_latency_s,
+                "arrival": _component_signature(self._load_generator.arrival),
+                "sizes": _component_signature(self._load_generator.sizes),
+                "seed": self._load_generator.seed,
+                "num_queries": self._num_queries,
+                "iterations": self._iterations,
+                "headroom": self._headroom,
+                "max_queries": self._max_queries,
+                "warmup_fraction": self._warmup_fraction,
+                "balancer_seed": self._balancer_seed,
+            }
+            json.dumps(signature, sort_keys=True)  # probe serialisability
+        except (TypeError, ValueError, AttributeError):
+            return None
+        return signature
+
+    # ------------------------------------------------------------------ #
+
+    def _payload(self) -> Dict[str, Any]:
+        shared = {
+            "sla_latency_s": self._sla_latency_s,
+            "num_queries": self._num_queries,
+            "max_queries": self._max_queries,
+            "load_generator": self._load_generator,
+        }
+        if self._kind == "fleet":
+            return {
+                "kind": "fleet",
+                "servers": self._servers,
+                "balancer": self._balancer,
+                "warmup_fraction": self._warmup_fraction,
+                "balancer_seed": self._balancer_seed,
+                **shared,
+            }
+        return {
+            "kind": "server",
+            "engines": self._engines,
+            "config": self._config,
+            **shared,
+        }
+
+    def run(
+        self,
+        jobs: int = 1,
+        warm_start_cache: Union[CapacityCache, str, Path, None] = None,
+        pool: Optional[WorkerPool] = None,
+    ) -> CapacityResult:
+        """Execute the search and return the best sustainable rate.
+
+        ``jobs > 1`` evaluates each bisection round's speculative candidates
+        on a worker pool — an explicitly passed ``pool``, else the
+        invocation's shared pool (:func:`~repro.runtime.pool.shared_pool`),
+        else a private pool closed before returning.  Inside a pool worker
+        the search runs serially (nested pools are never forked).  The
+        returned result is identical to the serial search's in all cases.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+        cache: Optional[CapacityCache] = None
+        signature: Optional[Dict[str, Any]] = None
+        if warm_start_cache is not None:
+            cache = (
+                warm_start_cache
+                if isinstance(warm_start_cache, CapacityCache)
+                else CapacityCache(warm_start_cache)
+            )
+            signature = self.signature()
+
+        # Serial/replay evaluations reuse the parent's validated simulator;
+        # pool workers build their own (deterministic) copy from the payload.
+        context = TaskContext(
+            _build_evaluator,
+            self._payload(),
+            value=_evaluator_state(
+                self._local_simulator,
+                self._sla_latency_s,
+                self._num_queries,
+                self._max_queries,
+                self._load_generator,
+            ),
+        )
+
+        if cache is not None and signature is not None:
+            hint = cache.load(signature)
+            if hint is not None:
+                # The signature pins every decision input, so the cached QPS
+                # is exactly what a cold serial search would return; one
+                # evaluation rebuilds its (deterministic) result object.
+                replay = _evaluate_rate(context.build(), hint)
+                if replay.acceptable(self._sla_latency_s):
+                    return CapacityResult(
+                        max_qps=hint,
+                        sla_latency_s=self._sla_latency_s,
+                        result=replay,
+                    )
+                # A hint the simulator no longer sustains is stale (e.g. a
+                # foreign file dropped into the directory): search cold.
+
+        upper = self._headroom * self.upper_bound_qps()
+        with pool_scope(jobs, pool) as worker_pool:
+            if jobs > 1 and worker_pool.parallelism > 1:
+                # Pre-fill the engines' latency tables so freshly forked
+                # workers inherit warm tables instead of each rebuilding
+                # them lazily mid-evaluation.
+                warm_latency_tables(
+                    self._fleet(),
+                    getattr(self._load_generator.sizes, "max_size", None),
+                )
+                lookahead = max(
+                    1, (min(jobs, worker_pool.max_workers) + 1).bit_length() - 1
+                )
+
+                def evaluate_batch(rates: Sequence[float]) -> List[Any]:
+                    return worker_pool.map(_evaluate_rate, rates, context=context)
+
+                result = bisect_max_qps_batched(
+                    evaluate_batch,
+                    upper,
+                    self._sla_latency_s,
+                    self._iterations,
+                    lookahead,
+                )
+            else:
+
+                def evaluate(rate_qps: float) -> Any:
+                    return _evaluate_rate(context.build(), rate_qps)
+
+                result = bisect_max_qps(
+                    evaluate, upper, self._sla_latency_s, self._iterations
+                )
+
+        if cache is not None and signature is not None and result.max_qps > 0:
+            cache.store(signature, result.max_qps)
+        return result

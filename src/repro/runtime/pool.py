@@ -1,0 +1,293 @@
+"""One process pool per invocation: a lazily-forked, reusable worker pool.
+
+Every parallel consumer in the repository — fleet capacity searches, the
+experiment sweep runner, the figure drivers' replay fans — historically
+forked its own ``multiprocessing.Pool`` and tore it down again, so a sweep
+of capacity searches paid a pool fork per search and a pooled sweep point
+that itself received a worker budget could oversubscribe the host.
+:class:`WorkerPool` replaces those ad-hoc pools with one shared runtime
+primitive:
+
+* **lazy** — the underlying pool is forked on the first parallel ``map``,
+  never at construction, so a serial run (or one whose batches are all
+  single-item) costs nothing;
+* **reusable** — the pool persists across ``map`` calls until ``close``;
+  a sweep of capacity searches shares one set of workers end to end;
+* **nesting-safe** — a worker never re-forks: ``map`` issued from inside a
+  pool worker (detected via the worker marker and the daemon flag) runs
+  inline, so accidental nested parallelism degrades to serial instead of
+  oversubscribing;
+* **context-managed** — ``with WorkerPool(8) as pool: ...`` bounds the
+  worker lifetime; :func:`shared_pool` extends that to a whole CLI
+  invocation, and :func:`pool_scope` is how library code picks up the
+  invocation's pool without threading it through every signature.
+
+Per-task shared state (a simulator, a cluster) is expressed as a
+:class:`TaskContext`: a builder plus its picklable payload, serialised once
+and *built* once per worker (cached by token).  The serial path builds the
+same context once locally, keeping the two paths decision-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+#: Set (in the child) by the pool initializer; belt to the daemon-flag braces.
+_IN_WORKER = False
+
+#: Pools actually forked by this process, cumulative.  Tests and the
+#: one-pool-per-invocation guarantee read this through :func:`pool_forks`.
+_FORK_COUNT = 0
+
+#: Worker-side cache of the most recently built task context, keyed by token.
+#: One entry only: consumers interleave batches of one context at a time, and
+#: bounding the cache keeps long-lived workers from accumulating simulators.
+_WORKER_CONTEXT: dict = {"token": None, "value": None}
+
+
+def _worker_initializer() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (where forking again is forbidden)."""
+    return _IN_WORKER or multiprocessing.current_process().daemon
+
+
+def pool_forks() -> int:
+    """Number of process pools this process has forked so far."""
+    return _FORK_COUNT
+
+
+class TaskContext:
+    """Shared setup for a batch of pool tasks, built once per worker.
+
+    ``builder(payload)`` must be a module-level callable with a picklable
+    payload; its return value is handed to the task function as the first
+    argument.  The same :class:`TaskContext` instance can back many ``map``
+    calls — workers cache the built value by the context's token, and the
+    serial path caches it locally — so e.g. a capacity search builds its
+    simulator once per worker no matter how many bisection rounds it runs.
+
+    Because a ``multiprocessing.Pool`` cannot address individual workers,
+    every task tuple carries the frozen payload bytes; serialisation cost is
+    paid once (the bytes are reused) but pipe bandwidth is per item.  That
+    is the price of sharing one long-lived pool across arbitrary consumers
+    instead of re-forking with per-search initargs — and it is small: a
+    warmed fleet search's payload measures ~40–190 KiB, a few MB per search
+    against simulations that run orders of magnitude longer.
+
+    ``value`` optionally seeds the *local* cache with an already-built
+    object (e.g. the cluster the caller constructed anyway), which the
+    serial path then reuses instead of building a duplicate.
+    """
+
+    _tokens = itertools.count()
+
+    def __init__(
+        self,
+        builder: Callable[[Any], Any],
+        payload: Any,
+        value: Any = None,
+    ) -> None:
+        self._builder = builder
+        self._payload = payload
+        self._value = value
+        self._built = value is not None
+        # The (builder, payload) pair is pickled once and the bytes reused in
+        # every task tuple, so a heavy payload (engines with dense latency
+        # tables) costs one serialisation per context, not one per item.
+        self._frozen: Optional[bytes] = None
+        # Unique per (process, context); workers key their cache on it.
+        self.token: Tuple[int, int] = (os.getpid(), next(TaskContext._tokens))
+
+    def build(self) -> Any:
+        """The built context value, constructing it on first use."""
+        if not self._built:
+            self._value = self._builder(self._payload)
+            self._built = True
+        return self._value
+
+    def pack(self, fn: Callable[[Any, Any], Any], item: Any) -> tuple:
+        """The picklable task tuple shipped to workers for one ``item``."""
+        if self._frozen is None:
+            self._frozen = pickle.dumps(
+                (self._builder, self._payload), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return (self.token, self._frozen, fn, item)
+
+
+def _run_contextual_task(task: tuple) -> Any:
+    """Worker entry: build/reuse the task's context, then run it on the item."""
+    token, frozen, fn, item = task
+    cache = _WORKER_CONTEXT
+    if cache["token"] != token:
+        builder, payload = pickle.loads(frozen)
+        cache["value"] = builder(payload)
+        cache["token"] = token
+    return fn(cache["value"], item)
+
+
+class WorkerPool:
+    """A lazily-forked, reusable, nesting-safe process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes to fork when parallel work first arrives; ``None``
+        means one per host core.  A pool of one never forks — every ``map``
+        runs inline — which is also the behaviour inside a pool worker
+        regardless of ``max_workers``.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = max_workers or os.cpu_count() or 1
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    @property
+    def max_workers(self) -> int:
+        """Worker budget this pool forks on first parallel use."""
+        return self._max_workers
+
+    @property
+    def parallelism(self) -> int:
+        """Effective width: 1 inside a worker (nested maps run inline)."""
+        return 1 if in_worker() else self._max_workers
+
+    @property
+    def forked(self) -> bool:
+        """Whether the underlying process pool has actually been forked."""
+        return self._pool is not None
+
+    # ------------------------------------------------------------------ #
+
+    def _ensure(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            global _FORK_COUNT
+            _FORK_COUNT += 1
+            self._pool = multiprocessing.Pool(
+                processes=self._max_workers, initializer=_worker_initializer
+            )
+        return self._pool
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        context: Optional[TaskContext] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item, forking the pool only when it pays.
+
+        Runs inline (deterministically, in order) when the pool is serial,
+        the call is nested inside a worker, or the batch has at most one
+        item.  With a ``context``, ``fn`` receives ``(context_value, item)``;
+        without one it receives ``(item)`` — in both cases ``fn`` and the
+        items must be picklable for the parallel path.
+        """
+        items = list(items)
+        serial = self.parallelism <= 1 or len(items) <= 1
+        if context is not None:
+            if serial:
+                value = context.build()
+                return [fn(value, item) for item in items]
+            return self._ensure().map(
+                _run_contextual_task, [context.pack(fn, item) for item in items]
+            )
+        if serial:
+            return [fn(item) for item in items]
+        return self._ensure().map(fn, items)
+
+    def close(self) -> None:
+        """Tear the forked pool down (a later ``map`` would fork afresh)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "forked" if self.forked else "lazy"
+        return f"WorkerPool(max_workers={self._max_workers}, {state})"
+
+
+# --------------------------------------------------------------------------- #
+# Invocation-wide shared pool
+# --------------------------------------------------------------------------- #
+
+#: The invocation's shared pool, owned by the outermost :func:`shared_pool`.
+_ACTIVE: Optional[WorkerPool] = None
+
+#: Serial singleton yielded by :func:`pool_scope` when the caller asked for
+#: one worker: it never forks, so ``jobs=1`` stays a true serial run even
+#: when an invocation-wide pool is active.
+_SERIAL_POOL = WorkerPool(max_workers=1)
+
+
+def active_pool() -> Optional[WorkerPool]:
+    """The invocation's shared pool, or None outside a :func:`shared_pool`."""
+    return _ACTIVE
+
+
+@contextmanager
+def shared_pool(max_workers: Optional[int] = None) -> Iterator[WorkerPool]:
+    """Own the invocation-wide shared pool for the duration of the block.
+
+    Entry points (the experiments CLI, benchmark harnesses) wrap their whole
+    run in this; every :func:`pool_scope` below then resolves to the same
+    pool, so the invocation forks at most one pool no matter how many sweeps
+    and capacity searches it performs.  Nested calls share the outer pool
+    (the outer owner closes it); the pool itself still forks lazily, so a
+    run whose work turns out serial never forks at all.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        yield _ACTIVE
+        return
+    pool = WorkerPool(max_workers)
+    _ACTIVE = pool
+    try:
+        yield pool
+    finally:
+        _ACTIVE = None
+        pool.close()
+
+
+@contextmanager
+def pool_scope(
+    max_workers: Optional[int] = None, pool: Optional[WorkerPool] = None
+) -> Iterator[WorkerPool]:
+    """Resolve the pool a parallel consumer should run on.
+
+    Preference order: an explicitly provided ``pool``; the serial singleton
+    when the caller asked for at most one worker (``jobs=1`` must stay
+    serial even under an active shared pool); the invocation's shared pool;
+    else a private single-use :class:`WorkerPool` closed on exit.  Library
+    code (capacity searches, sweep runners, replay fans) funnels every
+    parallel branch through this, which is what makes "one pool per CLI
+    invocation" a structural property rather than a convention.
+    """
+    if pool is not None:
+        yield pool
+        return
+    if max_workers is not None and max_workers <= 1:
+        yield _SERIAL_POOL
+        return
+    active = active_pool()
+    if active is not None:
+        yield active
+        return
+    with WorkerPool(max_workers) as own:
+        yield own

@@ -19,12 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
 from repro.queries.size_dist import QuerySizeDistribution
-from repro.serving.simulator import (
-    ServingConfig,
-    ServingSimulator,
-    SimulationResult,
-    pause_gc,
-)
+from repro.serving.simulator import ServingConfig, SimulationResult
 from repro.utils.validation import check_positive
 
 
@@ -146,7 +141,13 @@ def bisect_max_qps(
             break
         upper *= 1.6
     else:
-        return CapacityResult(max_qps=upper, sla_latency_s=sla_latency_s, result=at_upper)
+        # Even the top of the raised bracket sustains the SLA.  Measure at
+        # the rate actually reported, so ``result`` always corresponds to
+        # ``max_qps`` (and a warm-start replay of this search — one
+        # evaluation at the recorded rate — reproduces it bit-identically).
+        return CapacityResult(
+            max_qps=upper, sla_latency_s=sla_latency_s, result=evaluate(upper)
+        )
 
     lower = upper / 64.0
     at_lower = evaluate(lower)
@@ -206,7 +207,6 @@ def bisect_max_qps_batched(
         value *= 1.6
     upper_results = evaluate_batch(upper_candidates)
     upper = upper_qps
-    at_upper = upper_results[-1]
     bracketed = False
     for candidate, at_upper in zip(upper_candidates, upper_results):
         if not at_upper.acceptable(sla_latency_s):
@@ -215,7 +215,13 @@ def bisect_max_qps_batched(
             break
         upper = candidate * 1.6
     if not bracketed:
-        return CapacityResult(max_qps=upper, sla_latency_s=sla_latency_s, result=at_upper)
+        # Mirror of the serial unbracketed exit: measure at the reported
+        # rate so the result matches max_qps (and warm replay) exactly.
+        return CapacityResult(
+            max_qps=upper,
+            sla_latency_s=sla_latency_s,
+            result=evaluate_batch([upper])[0],
+        )
 
     # Phase 2 — lower bound, with the near-zero trickle probe speculated.
     lower = upper / 64.0
@@ -314,6 +320,9 @@ def find_max_qps(
     iterations: int = 7,
     headroom: float = 1.3,
     max_queries: int = 8000,
+    jobs: int = 1,
+    warm_start_cache: Union["CapacityCache", str, Path, None] = None,
+    pool: Optional[Any] = None,
 ) -> CapacityResult:
     """Bisection search for the maximum QPS meeting the p95 SLA.
 
@@ -323,23 +332,23 @@ def find_max_qps(
     and shows no sign of an unbounded backlog (``SimulationResult.acceptable``).
     Returns max_qps=0 and result=None when the SLA cannot be met at any load
     (e.g. a single large query already exceeds the target).
+
+    A thin wrapper over :class:`repro.runtime.capacity.CapacitySearch`:
+    ``jobs > 1`` evaluates each bisection round's speculative candidates on
+    the invocation's shared worker pool (or ``pool``, if given), and
+    ``warm_start_cache`` replays a previously recorded identical search
+    after one verifying evaluation.  Both paths return results
+    **bit-identical** to the serial cold search.
     """
-    check_positive("sla_latency_s", sla_latency_s)
-    check_positive("num_queries", num_queries)
+    from repro.runtime.capacity import CapacitySearch
 
-    sizes: QuerySizeDistribution = load_generator.sizes
-    mean_size = sizes.mean()
-    large_fraction, mean_large = offload_size_stats(sizes, config.offload_threshold)
-
-    upper = headroom * estimate_upper_bound_qps(
-        engines, config, mean_size, large_fraction, mean_large
-    )
-    simulator = ServingSimulator(engines, config)
-
-    def evaluate(rate_qps: float) -> SimulationResult:
-        generator = load_generator.with_rate(rate_qps)
-        count = measurement_queries(rate_qps, sla_latency_s, num_queries, max_queries)
-        with pause_gc():  # query generation is allocation-heavy, cycle-free
-            return simulator.run(generator.generate(count))
-
-    return bisect_max_qps(evaluate, upper, sla_latency_s, iterations)
+    return CapacitySearch.for_server(
+        engines,
+        config,
+        sla_latency_s,
+        load_generator,
+        num_queries=num_queries,
+        iterations=iterations,
+        headroom=headroom,
+        max_queries=max_queries,
+    ).run(jobs=jobs, warm_start_cache=warm_start_cache, pool=pool)

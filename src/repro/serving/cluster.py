@@ -14,13 +14,16 @@ runs the same event mechanics as :class:`ServingSimulator` from a shared
 event heap, a cluster of one server reproduces the single-server simulator's
 measurements exactly.
 
-Four balancing policies ship by default:
+Five balancing policies ship by default:
 
 * ``random`` — assign each query to a uniformly random server, blind to load
   (the pre-partitioning scheme the datacenter simulation historically used);
 * ``round-robin`` — cycle through servers regardless of load;
 * ``least-outstanding`` — send each query to the server with the least
   outstanding work (items queued or in flight);
+* ``weighted-least-outstanding`` — least outstanding work normalised by each
+  node's speed factor, so a slow node carrying the same item count as a fast
+  one is correctly seen as busier (weighted round-robin's load signal);
 * ``power-of-two`` — sample two distinct servers uniformly and pick the less
   loaded one (the classic "power of two choices" scheme, which captures most
   of least-outstanding's benefit with O(1) state probes).
@@ -30,8 +33,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import json
-import multiprocessing
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -47,10 +48,7 @@ from repro.queries.query import Query
 from repro.serving.capacity import (
     CapacityCache,
     CapacityResult,
-    bisect_max_qps,
-    bisect_max_qps_batched,
     estimate_upper_bound_qps,
-    measurement_queries,
     offload_size_stats,
 )
 from repro.serving.simulator import (
@@ -85,6 +83,15 @@ class LoadBalancer(ABC):
 
     #: Registry name of the policy (e.g. ``"round-robin"``).
     name: str = ""
+
+    def prepare(self, servers: Sequence["ClusterServer"]) -> None:
+        """Observe the fleet's static description before a run.
+
+        Called by :meth:`ClusterSimulator.run` before :meth:`reset` with the
+        fleet's :class:`ClusterServer` entries, so policies that weight their
+        load signal by static node properties (speed factors, core counts)
+        can precompute per-node weights.  The default is a no-op.
+        """
 
     def reset(self, num_servers: int) -> None:
         """Prepare for a fresh run over ``num_servers`` servers."""
@@ -159,6 +166,56 @@ class LeastOutstandingBalancer(LoadBalancer):
         return best_index
 
 
+class WeightedLeastOutstandingBalancer(LoadBalancer):
+    """Least outstanding work normalised by each node's speed factor.
+
+    ``outstanding_items`` counts *items*, but on a speed-heterogeneous fleet
+    the same item count represents different amounts of remaining service
+    time: a node whose ``speed_factor`` is 1.2 (20 % slower than nominal)
+    holding 100 items is busier than a nominal node holding 110.  This
+    policy weights each node's outstanding items by its service-time
+    multiplier — the fleet analogue of weighted round-robin's capacity-aware
+    load signal — and routes to the node with the least outstanding *work*.
+    Nodes without a ``speed_factor`` (unscaled engines) weigh 1.0, so on a
+    homogeneous fleet the policy degenerates to plain least-outstanding.
+    Ties break toward the lowest server index.
+    """
+
+    name = "weighted-least-outstanding"
+
+    def __init__(self) -> None:
+        self._costs: List[float] = []
+        self._prepared = False
+
+    def prepare(self, servers: Sequence["ClusterServer"]) -> None:
+        self._costs = [
+            float(getattr(server.engines.cpu, "speed_factor", 1.0))
+            for server in servers
+        ]
+        self._prepared = True
+
+    def reset(self, num_servers: int) -> None:
+        # Weights are valid for exactly one run: without a fresh prepare()
+        # (e.g. bare kernels, or a reused instance pointed at a different
+        # fleet) every node weighs 1.0 and the policy matches
+        # least-outstanding exactly, instead of applying a stale fleet's
+        # speed factors.
+        if not self._prepared or len(self._costs) != num_servers:
+            self._costs = [1.0] * num_servers
+        self._prepared = False
+
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        costs = self._costs
+        best_index = 0
+        best_load = servers[0].outstanding_items * costs[0]
+        for index in range(1, len(servers)):
+            load = servers[index].outstanding_items * costs[index]
+            if load < best_load:
+                best_index = index
+                best_load = load
+        return best_index
+
+
 class PowerOfTwoBalancer(LoadBalancer):
     """Probe two random servers, pick the less loaded (power-of-two-choices).
 
@@ -197,6 +254,7 @@ _BALANCER_REGISTRY = {
     RandomBalancer.name: RandomBalancer,
     RoundRobinBalancer.name: RoundRobinBalancer,
     LeastOutstandingBalancer.name: LeastOutstandingBalancer,
+    WeightedLeastOutstandingBalancer.name: WeightedLeastOutstandingBalancer,
     PowerOfTwoBalancer.name: PowerOfTwoBalancer,
 }
 
@@ -454,6 +512,7 @@ class ClusterSimulator:
             ServerKernel(server.engines, server.config, cores, events, counter, index)
             for index, (server, cores) in enumerate(zip(self._servers, self._cores))
         ]
+        self._balancer.prepare(self._servers)
         self._balancer.reset(len(kernels))
 
         first_arrival = ordered[0].arrival_time
@@ -621,118 +680,6 @@ def warm_latency_tables(
                 gpu_table.totals(max_query_size)
 
 
-def _component_signature(component: Any) -> Dict[str, Any]:
-    """Type name plus instance parameters of a workload component.
-
-    Two distributions (or arrival processes) of the same class but different
-    parameters must not collide in the warm-start cache — a stale hint from
-    a different workload would cap the bisection bracket and silently return
-    a wrong capacity.  Raises for components whose state is not plain data;
-    the caller treats that as "cannot sign, skip caching".
-    """
-    return {
-        "type": type(component).__name__,
-        "params": dict(sorted(vars(component).items())),
-    }
-
-
-def _capacity_search_signature(
-    servers: Sequence[ClusterServer],
-    policy: str,
-    sla_latency_s: float,
-    load_generator: LoadGenerator,
-    num_queries: int,
-    iterations: int,
-    headroom: float,
-    max_queries: int,
-    warmup_fraction: Optional[float],
-    balancer_seed: int,
-) -> Optional[Dict[str, Any]]:
-    """Canonical description of one fleet capacity search, or None.
-
-    Returns None when any component cannot be described canonically (e.g. a
-    custom balancer instance or size distribution with unserialisable state),
-    in which case warm-start caching is silently skipped.
-    """
-    try:
-        signature: Dict[str, Any] = {
-            "kind": "find_cluster_max_qps",
-            "servers": [
-                {
-                    "model": server.engines.cpu.model.name,
-                    "cpu": server.engines.cpu.platform.name,
-                    "gpu": (
-                        server.engines.gpu.platform.name
-                        if server.engines.gpu is not None
-                        else None
-                    ),
-                    "batch_size": server.config.batch_size,
-                    "num_cores": server.config.num_cores,
-                    # Scaled nodes with different speed factors are different
-                    # fleets; a collision would warm-start the wrong search.
-                    "speed_factor": getattr(server.engines.cpu, "speed_factor", 1.0),
-                    "offload_threshold": server.config.offload_threshold,
-                    "warmup_fraction": server.config.warmup_fraction,
-                }
-                for server in servers
-            ],
-            "policy": policy,
-            "sla_latency_s": sla_latency_s,
-            "arrival": _component_signature(load_generator.arrival),
-            "sizes": _component_signature(load_generator.sizes),
-            "seed": load_generator.seed,
-            "num_queries": num_queries,
-            "iterations": iterations,
-            "headroom": headroom,
-            "max_queries": max_queries,
-            "warmup_fraction": warmup_fraction,
-            "balancer_seed": balancer_seed,
-        }
-        json.dumps(signature, sort_keys=True)  # probe serialisability
-    except (TypeError, ValueError, AttributeError):
-        return None
-    return signature
-
-
-# Worker-process state for the parallel capacity search: one simulator and
-# stream parameters per worker, installed by the pool initializer so each
-# speculative evaluation only ships a float rate over the pipe.
-_CAPACITY_WORKER_STATE: Dict[str, Any] = {}
-
-
-def _capacity_worker_init(payload: tuple) -> None:
-    (
-        servers,
-        balancer,
-        warmup_fraction,
-        balancer_seed,
-        sla_latency_s,
-        num_queries,
-        max_queries,
-        load_generator,
-    ) = payload
-    _CAPACITY_WORKER_STATE["simulator"] = ClusterSimulator(
-        servers,
-        balancer=balancer,
-        warmup_fraction=warmup_fraction,
-        balancer_seed=balancer_seed,
-    )
-    _CAPACITY_WORKER_STATE["sla_latency_s"] = sla_latency_s
-    _CAPACITY_WORKER_STATE["num_queries"] = num_queries
-    _CAPACITY_WORKER_STATE["max_queries"] = max_queries
-    _CAPACITY_WORKER_STATE["load_generator"] = load_generator
-
-
-def _capacity_worker_evaluate(rate_qps: float) -> ClusterSimulationResult:
-    state = _CAPACITY_WORKER_STATE
-    generator = state["load_generator"].with_rate(rate_qps)
-    count = measurement_queries(
-        rate_qps, state["sla_latency_s"], state["num_queries"], state["max_queries"]
-    )
-    with pause_gc():
-        return state["simulator"].run(generator.generate(count))
-
-
 def find_cluster_max_qps(
     servers: Sequence[ClusterServer],
     balancer: Union[str, LoadBalancer],
@@ -746,6 +693,7 @@ def find_cluster_max_qps(
     balancer_seed: int = 0,
     jobs: int = 1,
     warm_start_cache: Union[CapacityCache, str, Path, None] = None,
+    pool: Optional[Any] = None,
 ) -> CapacityResult:
     """Bisection search for the fleet's maximum QPS under the p95 SLA.
 
@@ -754,101 +702,34 @@ def find_cluster_max_qps(
     balancer, so the measured capacity includes balancing losses (a skewed
     policy saturates one server before the fleet is nominally full).
 
+    A thin wrapper over :class:`repro.runtime.capacity.CapacitySearch`.
     With ``jobs > 1`` the candidate rates of each bisection round are
-    evaluated speculatively across a process pool
-    (:func:`~repro.serving.capacity.bisect_max_qps_batched`), returning a
-    result identical to the serial search in a fraction of the wall-clock
-    time; servers and balancer must then be picklable.  Inside a daemonic
-    worker (e.g. a sweep-runner process) the search silently falls back to
-    serial, since nested pools are not allowed.
+    evaluated speculatively on the invocation's shared worker pool (or
+    ``pool``, if given), returning a result identical to the serial search
+    in a fraction of the wall-clock time; servers and balancer must then be
+    picklable.  Inside a pool worker the search silently runs serially —
+    nested pools are never forked.
 
     ``warm_start_cache`` (a :class:`~repro.serving.capacity.CapacityCache`
     or a directory path, typically the sweep runner's cache directory)
-    tightens the initial upper bracket from the QPS a previous identical
-    search found and records this search's outcome for future runs.  A
-    warm-started search may bisect a different bracket than a cold one, so
-    enable it where throughput matters more than run-to-run bit equality.
+    replays a previously recorded identical search — verified by one
+    evaluation at the cached rate — and records this search's outcome for
+    future runs.  Because the schema-versioned signature pins every decision
+    input, a warm-started search returns **bit-identical** results to the
+    cold serial run.
     """
     check_positive("num_queries", num_queries)
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    upper = headroom * estimate_fleet_upper_bound_qps(servers, load_generator)
+    from repro.runtime.capacity import CapacitySearch
 
-    cache: Optional[CapacityCache] = None
-    signature: Optional[Dict[str, Any]] = None
-    if warm_start_cache is not None:
-        cache = (
-            warm_start_cache
-            if isinstance(warm_start_cache, CapacityCache)
-            else CapacityCache(warm_start_cache)
-        )
-        policy_name = (
-            balancer if isinstance(balancer, str) else (balancer.name or type(balancer).__name__)
-        )
-        signature = _capacity_search_signature(
-            servers, str(policy_name), sla_latency_s, load_generator, num_queries,
-            iterations, headroom, max_queries, warmup_fraction, balancer_seed,
-        )
-        if signature is not None:
-            hint = cache.load(signature)
-            if hint is not None:
-                # A previous identical search peaked at `hint`; bracketing
-                # just above it skips the optimistic analytic bound.
-                upper = min(upper, headroom * hint)
-
-    if jobs > 1 and multiprocessing.current_process().daemon:
-        jobs = 1  # daemonic pool workers cannot fork their own pools
-
-    if jobs <= 1:
-        simulator = ClusterSimulator(
-            servers,
-            balancer=balancer,
-            warmup_fraction=warmup_fraction,
-            balancer_seed=balancer_seed,
-        )
-
-        def evaluate(rate_qps: float) -> ClusterSimulationResult:
-            generator = load_generator.with_rate(rate_qps)
-            count = measurement_queries(
-                rate_qps, sla_latency_s, num_queries, max_queries
-            )
-            with pause_gc():  # query generation is allocation-heavy, cycle-free
-                return simulator.run(generator.generate(count))
-
-        result = bisect_max_qps(evaluate, upper, sla_latency_s, iterations)
-    else:
-        # Validate the fleet in the parent (fail fast) and pre-fill the
-        # latency tables so forked workers inherit warm engines.
-        ClusterSimulator(
-            servers,
-            balancer=balancer,
-            warmup_fraction=warmup_fraction,
-            balancer_seed=balancer_seed,
-        )
-        warm_latency_tables(
-            servers, getattr(load_generator.sizes, "max_size", None)
-        )
-        lookahead = max(1, (jobs + 1).bit_length() - 1)
-        payload = (
-            list(servers),
-            balancer,
-            warmup_fraction,
-            balancer_seed,
-            sla_latency_s,
-            num_queries,
-            max_queries,
-            load_generator,
-        )
-        with multiprocessing.Pool(
-            processes=jobs, initializer=_capacity_worker_init, initargs=(payload,)
-        ) as pool:
-            def evaluate_batch(rates: Sequence[float]) -> List[ClusterSimulationResult]:
-                return pool.map(_capacity_worker_evaluate, list(rates))
-
-            result = bisect_max_qps_batched(
-                evaluate_batch, upper, sla_latency_s, iterations, lookahead
-            )
-
-    if cache is not None and signature is not None and result.max_qps > 0:
-        cache.store(signature, result.max_qps)
-    return result
+    return CapacitySearch.for_fleet(
+        servers,
+        balancer,
+        sla_latency_s,
+        load_generator,
+        num_queries=num_queries,
+        iterations=iterations,
+        headroom=headroom,
+        max_queries=max_queries,
+        warmup_fraction=warmup_fraction,
+        balancer_seed=balancer_seed,
+    ).run(jobs=jobs, warm_start_cache=warm_start_cache, pool=pool)

@@ -3,11 +3,25 @@
 import pytest
 
 from repro.experiments.__main__ import build_parser, main
+from repro.experiments.registry import experiment_parameters, experiments_accepting
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import (
+    SweepRunner,
     _parallelism_overrides,
     render_report,
     run_experiments,
+)
+from repro.runtime.pool import active_pool, pool_forks, shared_pool
+
+#: Drivers the runtime unification gave a worker budget and a warm-start /
+#: replay cache; the CLI must route --jobs/--cache-dir into every one.
+PARALLEL_DRIVERS = (
+    "ablation-arrival",
+    "ablation-cache-contention",
+    "ablation-size-dist",
+    "figure-9",
+    "figure-13",
+    "figure-15",
 )
 
 
@@ -28,13 +42,30 @@ class TestRenderReport:
 
 
 class TestParallelismRouting:
-    """--jobs/--cache-dir must reach the drivers that understand them."""
+    """--jobs/--cache-dir must reach every driver that understands them."""
 
-    @pytest.mark.parametrize("experiment_id", ["figure-13", "figure-15"])
+    def test_expected_drivers_accept_jobs_and_cache_dir(self):
+        # The routing contract is keyed off driver signatures, so first pin
+        # which drivers participate: all of them accept both knobs.
+        assert set(PARALLEL_DRIVERS) <= set(experiments_accepting("jobs"))
+        assert set(PARALLEL_DRIVERS) <= set(
+            experiments_accepting("capacity_cache_dir")
+        )
+
+    @pytest.mark.parametrize("experiment_id", PARALLEL_DRIVERS)
     def test_jobs_and_cache_dir_reach_driver(self, experiment_id, tmp_path):
         extra = _parallelism_overrides(experiment_id, {}, 4, tmp_path)
         assert extra["jobs"] == 4
         assert extra["capacity_cache_dir"] == str(tmp_path.resolve())
+
+    @pytest.mark.parametrize("experiment_id", experiments_accepting("jobs"))
+    def test_every_jobs_accepting_driver_is_routed(self, experiment_id, tmp_path):
+        # Exhaustive over the registry: any driver that grows a jobs knob is
+        # picked up by the CLI routing automatically.
+        extra = _parallelism_overrides(experiment_id, {}, 4, tmp_path)
+        assert extra["jobs"] == 4
+        if "capacity_cache_dir" in experiment_parameters(experiment_id):
+            assert extra["capacity_cache_dir"] == str(tmp_path.resolve())
 
     @pytest.mark.parametrize("experiment_id", ["figure-13", "figure-15"])
     def test_explicit_overrides_win(self, experiment_id):
@@ -46,6 +77,14 @@ class TestParallelismRouting:
         extra = _parallelism_overrides("table-1", {}, 4, tmp_path)
         assert "jobs" not in extra
         assert "capacity_cache_dir" not in extra
+
+    def test_pooled_points_do_not_receive_jobs(self, tmp_path):
+        # When sweep points execute inside the pool, handing each one a
+        # worker budget on top would oversubscribe the host; only the cache
+        # directory is still routed.
+        extra = _parallelism_overrides("figure-15", {}, 4, tmp_path, pooled=True)
+        assert "jobs" not in extra
+        assert extra["capacity_cache_dir"] == str(tmp_path.resolve())
 
     def test_single_experiment_run_routes_jobs_and_cache(self, tmp_path):
         kwargs = {
@@ -70,6 +109,90 @@ class TestParallelismRouting:
             cache_dir=str(tmp_path),
         )
         assert rerun[0].rows == results[0].rows
+
+
+class TestOnePoolPerInvocation:
+    """The whole invocation forks at most one process pool."""
+
+    FIG15_KWARGS = dict(
+        fleet_sizes=(1, 2),
+        policies=("least-outstanding",),
+        num_queries=60,
+        capacity_iterations=2,
+        max_queries=600,
+    )
+
+    def test_figure15_run_forks_one_pool(self):
+        # Mirrors the CLI: the invocation owns a shared pool, figure-15's
+        # capacity searches (homogeneous sizes + the hetero fleet, jobs=2
+        # injected by the runner) all land on it.
+        before = pool_forks()
+        with shared_pool(2):
+            results = run_experiments(
+                ["figure-15"],
+                overrides={"figure-15": dict(self.FIG15_KWARGS)},
+                processes=2,
+            )
+        assert results[0].experiment_id == "figure-15"
+        assert pool_forks() == before + 1
+
+    def test_nested_sweep_points_with_jobs_stay_serial(self, tmp_path):
+        # The SweepRunner nested-parallelism wart, tested explicitly: sweep
+        # points that themselves carry jobs=2 run inside the pool, where
+        # nesting detection makes the inner parallelism serial — the parent
+        # forks exactly one pool and results match the serial run.
+        points = [
+            {
+                "num_nodes": 1,
+                "num_cores_per_node": 8,
+                "duration_s": 2.0,
+                "policies": ("random",),
+                "jobs": 2,
+                "seed": seed,
+            }
+            for seed in (29, 31)
+        ]
+        serial = SweepRunner(processes=1).run("figure-13", points)
+        before = pool_forks()
+        pooled = SweepRunner(processes=2).run("figure-13", points)
+        assert pool_forks() == before + 1
+        assert [r.rows for r in pooled.results] == [r.rows for r in serial.results]
+
+    def test_single_uncached_point_inherits_worker_budget(self, tmp_path):
+        # A mostly-cached sweep can leave one fresh point; it executes
+        # inline, and the sweep's worker budget is re-granted to the driver
+        # as jobs so its capacity searches use the shared pool instead of
+        # bisecting serially next to an idle pool.
+        runner = SweepRunner(processes=2, cache_dir=tmp_path)
+        with shared_pool(2):
+            before = pool_forks()
+            outcome = runner.run("figure-15", [dict(self.FIG15_KWARGS)])
+            assert pool_forks() == before + 1  # driver searches hit the pool
+        assert outcome.cache_misses == 1
+        # The memo key ignores the injected budget: a serial rerun hits.
+        rerun = SweepRunner(processes=1, cache_dir=tmp_path).run(
+            "figure-15", [dict(self.FIG15_KWARGS)]
+        )
+        assert rerun.cache_hits == 1
+        assert rerun.results[0].rows == outcome.results[0].rows
+
+    def test_cli_owns_a_shared_pool(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_run_experiments(ids, processes=None, cache_dir=None):
+            seen["active"] = active_pool()
+            seen["processes"] = processes
+            return []
+
+        monkeypatch.setattr(
+            "repro.experiments.__main__.run_experiments", fake_run_experiments
+        )
+        assert main(["figure-15", "--jobs", "3"]) == 0
+        capsys.readouterr()
+        assert seen["active"] is not None
+        assert seen["active"].max_workers == 3
+        assert seen["processes"] == 3
+        assert active_pool() is None  # released when the invocation ended
 
 
 class TestCLI:

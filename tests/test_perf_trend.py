@@ -1,0 +1,155 @@
+"""Tests for the perf-trend trajectory table and regression gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from perf_trend import (  # noqa: E402
+    build_table,
+    case_seconds,
+    check_regressions,
+    load_benches,
+    main,
+)
+
+
+def _write_bench(root, number, cases, mode="full"):
+    payload = {
+        "bench_id": f"BENCH_{number}",
+        "mode": mode,
+        "cases": {name: {"seconds": seconds} for name, seconds in cases.items()},
+    }
+    (root / f"BENCH_{number}.json").write_text(json.dumps(payload))
+
+
+class TestLoading:
+    def test_benches_sorted_by_number(self, tmp_path):
+        _write_bench(tmp_path, 10, {"a": 1.0})
+        _write_bench(tmp_path, 2, {"a": 2.0})
+        _write_bench(tmp_path, 3, {"a": 1.5})
+        assert [n for n, _ in load_benches(tmp_path)] == [2, 3, 10]
+
+    def test_case_seconds_skips_malformed_entries(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        payload = json.loads((tmp_path / "BENCH_2.json").read_text())
+        payload["cases"]["broken"] = {"no_seconds": True}
+        payload["cases"]["zero"] = {"seconds": 0.0}
+        assert case_seconds(payload) == {"a": 1.0}
+
+    def test_quick_mode_benches_excluded(self, tmp_path, capsys):
+        # Quick-mode seconds are a different workload; a committed quick
+        # recording must neither trip the gate nor mask a real regression.
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 0.2}, mode="quick")
+        _write_bench(tmp_path, 4, {"a": 1.1})
+        benches = load_benches(tmp_path)
+        assert [n for n, _ in benches] == [2, 4]
+        assert "skipping BENCH_3.json" in capsys.readouterr().out
+        assert check_regressions(benches, 1.25) == []
+
+    def test_unreadable_bench_fails_loudly(self, tmp_path):
+        (tmp_path / "BENCH_2.json").write_text("{not json")
+        with pytest.raises(SystemExit, match="unreadable"):
+            load_benches(tmp_path)
+
+    def test_repo_bench_files_load(self):
+        # The committed BENCH_*.json trajectory must stay parseable: CI runs
+        # the gate against exactly these files.
+        root = Path(__file__).resolve().parent.parent
+        benches = load_benches(root)
+        assert len(benches) >= 2
+        assert all(case_seconds(bench) for _, bench in benches)
+
+
+class TestTable:
+    def test_table_contains_all_benches_and_cases(self, tmp_path):
+        _write_bench(tmp_path, 2, {"fig9": 1.0, "fig15": 2.0})
+        _write_bench(tmp_path, 3, {"fig9": 0.5, "fig15": 1.0, "fresh": 0.3})
+        table = build_table(load_benches(tmp_path))
+        assert "BENCH_2 (s)" in table and "BENCH_3 (s)" in table
+        assert "| fig9 | 1.000 | 0.500 | 2.00x |" in table
+        assert "| fresh | — | 0.300 | new |" in table
+        assert "geomean" in table
+
+    def test_empty_root(self, tmp_path):
+        assert "no BENCH_" in build_table(load_benches(tmp_path))
+
+
+class TestRegressionGate:
+    def test_improvement_passes(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 0.9})
+        assert check_regressions(load_benches(tmp_path), 1.25) == []
+
+    def test_small_regression_within_threshold_passes(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 1.2})
+        assert check_regressions(load_benches(tmp_path), 1.25) == []
+
+    def test_large_regression_fails(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 1.6})
+        failures = check_regressions(load_benches(tmp_path), 1.25)
+        assert len(failures) == 1
+        assert "a:" in failures[0] and "1.60x" in failures[0]
+
+    def test_compared_against_best_prior_not_latest(self, tmp_path):
+        # BENCH_3 was slower than BENCH_2; BENCH_4 must still be held to
+        # BENCH_2's (best) number.
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 2.0})
+        _write_bench(tmp_path, 4, {"a": 1.5})
+        failures = check_regressions(load_benches(tmp_path), 1.25)
+        assert len(failures) == 1
+        assert "best prior 1.000s" in failures[0]
+
+    def test_new_case_never_flagged(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 1.0, "brand-new": 99.0})
+        assert check_regressions(load_benches(tmp_path), 1.25) == []
+
+    def test_dropped_case_fails_the_gate(self, tmp_path):
+        # Removing (or renaming) a tracked case must not silently un-track
+        # its regressions.
+        _write_bench(tmp_path, 2, {"a": 1.0, "b": 1.0})
+        _write_bench(tmp_path, 3, {"a": 1.0})
+        failures = check_regressions(load_benches(tmp_path), 1.25)
+        assert len(failures) == 1
+        assert "b: tracked by prior benches but missing" in failures[0]
+
+    def test_single_bench_passes(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        assert check_regressions(load_benches(tmp_path), 1.25) == []
+
+
+class TestMain:
+    def test_exit_zero_and_summary_written(self, tmp_path, monkeypatch, capsys):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 0.8})
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert main(["--root", str(tmp_path)]) == 0
+        assert "Benchmark trajectory" in summary.read_text()
+        assert "no case of BENCH_3 regresses" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        _write_bench(tmp_path, 3, {"a": 2.0})
+        assert main(["--root", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_threshold_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--root", str(tmp_path), "--threshold", "0.9"])
+
+    def test_committed_trajectory_passes_gate(self, monkeypatch, capsys):
+        # The gate CI runs: the committed BENCH_*.json must satisfy it.
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        root = Path(__file__).resolve().parent.parent
+        assert main(["--root", str(root)]) == 0
+        capsys.readouterr()

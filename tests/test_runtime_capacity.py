@@ -1,0 +1,225 @@
+"""Tests for the unified capacity search (repro.runtime.capacity).
+
+The contract under test: the parallel path and the warm-start replay are
+*decision-identical* to the cold serial search — same max QPS, same result
+object, bit for bit — so callers choose them purely on wall-clock grounds.
+"""
+
+import json
+
+import pytest
+
+from repro.execution.engine import build_engine_pair
+from repro.queries.generator import LoadGenerator
+from repro.runtime.capacity import CAPACITY_SCHEMA_VERSION, CapacitySearch
+from repro.runtime.pool import WorkerPool, pool_forks
+from repro.serving.capacity import CapacityCache, find_max_qps
+from repro.serving.cluster import find_cluster_max_qps, homogeneous_fleet
+from repro.serving.simulator import ServingConfig
+
+SEARCH_KWARGS = dict(num_queries=100, iterations=3, max_queries=1000)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return build_engine_pair("dlrm-rmc1", "skylake", None)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServingConfig(batch_size=256, num_cores=8)
+
+
+class TestSingleServerDecisionIdentity:
+    """Mirror of the cluster-side tests for the single-server search."""
+
+    def test_parallel_search_bit_identical_to_serial(self, engines, config):
+        generator = LoadGenerator(seed=7)
+        serial = find_max_qps(engines, config, 0.1, generator, **SEARCH_KWARGS)
+        parallel = find_max_qps(
+            engines, config, 0.1, generator, jobs=2, **SEARCH_KWARGS
+        )
+        assert parallel.max_qps == serial.max_qps
+        assert parallel.result.p95_latency_s == serial.result.p95_latency_s
+        assert parallel.result.measured_queries == serial.result.measured_queries
+        assert parallel.result.latencies_s == serial.result.latencies_s
+
+    def test_warm_start_bit_identical_to_cold_serial(self, engines, config, tmp_path):
+        generator = LoadGenerator(seed=7)
+        serial = find_max_qps(engines, config, 0.1, generator, **SEARCH_KWARGS)
+        cold = find_max_qps(
+            engines, config, 0.1, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        assert list(tmp_path.glob("capacity-*.json"))
+        warm = find_max_qps(
+            engines, config, 0.1, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        assert warm.max_qps == cold.max_qps == serial.max_qps
+        assert warm.result.p95_latency_s == serial.result.p95_latency_s
+        assert warm.result.latencies_s == serial.result.latencies_s
+
+    def test_warm_parallel_combination_bit_identical(self, engines, config, tmp_path):
+        generator = LoadGenerator(seed=7)
+        serial = find_max_qps(engines, config, 0.1, generator, **SEARCH_KWARGS)
+        first = find_max_qps(
+            engines, config, 0.1, generator, jobs=2, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        second = find_max_qps(
+            engines, config, 0.1, generator, jobs=2, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        assert first.max_qps == second.max_qps == serial.max_qps
+
+    def test_unbracketed_exit_replays_bit_identically(
+        self, engines, config, tmp_path
+    ):
+        # With a very relaxed SLA every bracket raise stays acceptable, so
+        # the search exits through the "unbracketed" path.  The reported
+        # result must still correspond to max_qps, and the warm replay must
+        # reproduce it bit for bit (regression: the unbracketed exit used to
+        # attach a result measured at max_qps / 1.6).
+        generator = LoadGenerator(seed=7)
+        serial = find_max_qps(engines, config, 30.0, generator, **SEARCH_KWARGS)
+        cold = find_max_qps(
+            engines, config, 30.0, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        warm = find_max_qps(
+            engines, config, 30.0, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        parallel = find_max_qps(
+            engines, config, 30.0, generator, jobs=2, **SEARCH_KWARGS
+        )
+        assert warm.max_qps == cold.max_qps == serial.max_qps
+        assert parallel.max_qps == serial.max_qps
+        assert warm.result.p95_latency_s == cold.result.p95_latency_s
+        assert warm.result.p95_latency_s == serial.result.p95_latency_s
+        assert parallel.result.p95_latency_s == serial.result.p95_latency_s
+        assert warm.result.measured_queries == serial.result.measured_queries
+
+    def test_invalid_jobs_rejected(self, engines, config):
+        with pytest.raises(ValueError, match="jobs"):
+            find_max_qps(
+                engines, config, 0.1, LoadGenerator(seed=7), jobs=0, **SEARCH_KWARGS
+            )
+
+    def test_stale_cache_entry_falls_back_to_cold_search(
+        self, engines, config, tmp_path
+    ):
+        generator = LoadGenerator(seed=7)
+        serial = find_max_qps(engines, config, 0.1, generator, **SEARCH_KWARGS)
+        find_max_qps(
+            engines, config, 0.1, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        (entry,) = tmp_path.glob("capacity-*.json")
+        # Corrupt the recorded capacity to an unsustainable rate: the replay
+        # verification must reject it and re-run the full cold search.
+        payload = json.loads(entry.read_text())
+        payload["max_qps"] = serial.max_qps * 50.0
+        entry.write_text(json.dumps(payload))
+        recovered = find_max_qps(
+            engines, config, 0.1, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        assert recovered.max_qps == serial.max_qps
+
+
+class TestSharedPoolReuse:
+    def test_explicit_pool_shared_across_searches(self, engines, config):
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 2)
+        serial = find_cluster_max_qps(
+            fleet, "least-outstanding", 0.1, generator, **SEARCH_KWARGS
+        )
+        before = pool_forks()
+        with WorkerPool(2) as pool:
+            first = find_cluster_max_qps(
+                fleet, "least-outstanding", 0.1, generator, jobs=2, pool=pool,
+                **SEARCH_KWARGS,
+            )
+            second = find_max_qps(
+                engines, config, 0.1, generator, jobs=2, pool=pool, **SEARCH_KWARGS
+            )
+        # One fork served both the fleet and the single-server search.
+        assert pool_forks() == before + 1
+        assert first.max_qps == serial.max_qps
+        assert second.feasible
+
+
+class TestSignatures:
+    def test_schema_version_recorded(self, engines, config):
+        signature = CapacitySearch.for_server(
+            engines, config, 0.1, LoadGenerator(seed=7), **SEARCH_KWARGS
+        ).signature()
+        assert signature is not None
+        assert signature["schema"] == CAPACITY_SCHEMA_VERSION
+        assert signature["search"] == "server"
+
+    def test_server_and_fleet_of_one_do_not_collide(self, engines, config):
+        generator = LoadGenerator(seed=7)
+        server = CapacitySearch.for_server(
+            engines, config, 0.1, generator, **SEARCH_KWARGS
+        ).signature()
+        fleet = CapacitySearch.for_fleet(
+            homogeneous_fleet(engines, config, 1), "round-robin", 0.1, generator,
+            **SEARCH_KWARGS,
+        ).signature()
+        assert CapacityCache.digest(server) != CapacityCache.digest(fleet)
+
+    def test_modified_platform_same_name_gets_distinct_signature(self, config):
+        # The cache-contention ablation builds a Broadwell with the LLC
+        # contention slope zeroed but the stock name; signing only the
+        # platform *name* would collide it with stock Broadwell and replay
+        # the wrong capacity.
+        from dataclasses import replace
+
+        from repro.execution.cpu_engine import CPUEngine
+        from repro.execution.engine import EnginePair
+        from repro.hardware.cache import CacheHierarchy
+        from repro.hardware.cpu import get_cpu
+
+        generator = LoadGenerator(seed=7)
+        stock = build_engine_pair("dlrm-rmc1", "broadwell", None)
+        cpu = get_cpu("broadwell")
+        modified_platform = replace(
+            cpu,
+            cache=CacheHierarchy(
+                policy=cpu.cache.policy,
+                llc_bytes=cpu.cache.llc_bytes,
+                contention_slope=0.0,
+            ),
+        )
+        modified = EnginePair(cpu=CPUEngine(stock.cpu.model, modified_platform))
+
+        def signature(pair):
+            return CapacitySearch.for_server(
+                pair, config, 0.1, generator, **SEARCH_KWARGS
+            ).signature()
+
+        assert signature(stock) != signature(modified)
+
+    def test_unserialisable_workload_skips_caching(self, engines, config, tmp_path):
+        class OpaqueSizes:
+            """A size distribution whose state defeats canonical signing."""
+
+            def __init__(self):
+                self.blob = object()
+
+            def mean(self):
+                return 170.0
+
+            def sample(self, count, rng=None):
+                import numpy as np
+
+                return np.full(count, 170)
+
+        search = CapacitySearch.for_server(
+            engines, config, 0.1,
+            LoadGenerator(seed=7, sizes=OpaqueSizes()), **SEARCH_KWARGS,
+        )
+        assert search.signature() is None

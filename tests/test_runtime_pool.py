@@ -1,0 +1,161 @@
+"""Tests for the shared worker-pool runtime (repro.runtime.pool)."""
+
+import os
+
+import pytest
+
+from repro.runtime.pool import (
+    TaskContext,
+    WorkerPool,
+    active_pool,
+    in_worker,
+    pool_forks,
+    pool_scope,
+    shared_pool,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _probe_worker(value):
+    """Runs inside a pool worker: report nesting state and a nested map."""
+    nested = WorkerPool(2)
+    result = nested.map(_square, [1, 2, 3])
+    return (in_worker(), nested.forked, os.getpid(), result)
+
+
+def _build_state(payload):
+    return {"payload": payload, "marker": object()}
+
+
+def _state_identity(state, item):
+    return (os.getpid(), id(state["marker"]), item * state["payload"])
+
+
+class TestWorkerPool:
+    def test_serial_pool_never_forks(self):
+        pool = WorkerPool(1)
+        before = pool_forks()
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert not pool.forked
+        assert pool_forks() == before
+
+    def test_single_item_batch_runs_inline(self):
+        pool = WorkerPool(4)
+        assert pool.map(_square, [5]) == [25]
+        assert not pool.forked
+
+    def test_lazy_fork_and_reuse_across_maps(self):
+        before = pool_forks()
+        with WorkerPool(2) as pool:
+            assert not pool.forked  # lazy: nothing forked at construction
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert pool.forked
+            assert pool.map(_square, [4, 5, 6]) == [16, 25, 36]
+            # Reuse: the second map did not fork a second pool.
+            assert pool_forks() == before + 1
+        assert not pool.forked  # context exit closed it
+
+    def test_results_in_order_and_equal_to_serial(self):
+        items = list(range(17))
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, items) == [_square(i) for i in items]
+
+    def test_nested_map_inside_worker_runs_inline(self):
+        # A worker never re-forks: the nested WorkerPool reports in_worker
+        # and serves its map inline without forking.
+        before = pool_forks()
+        with WorkerPool(2) as pool:
+            results = pool.map(_probe_worker, [0, 1])
+        assert pool_forks() == before + 1  # only the outer pool forked
+        for nested_in_worker, nested_forked, pid, nested_result in results:
+            assert nested_in_worker is True
+            assert nested_forked is False
+            assert pid != os.getpid()
+            assert nested_result == [1, 4, 9]
+
+    def test_invalid_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            WorkerPool(0)
+
+    def test_parallelism_property(self):
+        assert WorkerPool(1).parallelism == 1
+        assert WorkerPool(3).parallelism == 3
+        assert not in_worker()  # the test process is not a pool worker
+
+
+class TestTaskContext:
+    def test_serial_map_builds_once_and_reuses(self):
+        context = TaskContext(_build_state, 3)
+        pool = WorkerPool(1)
+        first = pool.map(_state_identity, [1, 2], context=context)
+        second = pool.map(_state_identity, [3], context=context)
+        markers = {marker for _, marker, _ in first + second}
+        assert len(markers) == 1  # one build across both maps
+        assert [value for _, _, value in first + second] == [3, 6, 9]
+
+    def test_seeded_value_is_used_serially(self):
+        seeded = {"payload": 10, "marker": object()}
+        context = TaskContext(_build_state, 3, value=seeded)
+        results = WorkerPool(1).map(_state_identity, [1, 2], context=context)
+        # The pre-built value (payload 10) served the map; the builder's
+        # payload (3) was never used.
+        assert [value for _, _, value in results] == [10, 20]
+        assert results[0][1] == id(seeded["marker"])
+
+    def test_parallel_map_builds_once_per_worker(self):
+        context = TaskContext(_build_state, 2)
+        with WorkerPool(2) as pool:
+            results = pool.map(_state_identity, [1, 2, 3, 4, 5, 6], context=context)
+        assert [value for _, _, value in results] == [2, 4, 6, 8, 10, 12]
+        by_pid = {}
+        for pid, marker, _ in results:
+            by_pid.setdefault(pid, set()).add(marker)
+        # Within one worker the context was built exactly once.
+        assert all(len(markers) == 1 for markers in by_pid.values())
+
+
+class TestSharedPool:
+    def test_shared_pool_sets_and_clears_active(self):
+        assert active_pool() is None
+        with shared_pool(2) as pool:
+            assert active_pool() is pool
+            assert pool.max_workers == 2
+        assert active_pool() is None
+
+    def test_nested_shared_pool_reuses_outer(self):
+        with shared_pool(2) as outer:
+            with shared_pool(4) as inner:
+                assert inner is outer  # the outer invocation owns the pool
+            assert active_pool() is outer  # inner exit did not close it
+
+    def test_pool_scope_prefers_explicit_pool(self):
+        explicit = WorkerPool(2)
+        with shared_pool(4):
+            with pool_scope(8, pool=explicit) as resolved:
+                assert resolved is explicit
+        explicit.close()
+
+    def test_pool_scope_serial_request_stays_serial(self):
+        # jobs=1 must stay a true serial run even under an active shared
+        # pool — and the serial singleton never forks.
+        with shared_pool(4):
+            with pool_scope(1) as resolved:
+                assert resolved.parallelism == 1
+                before = pool_forks()
+                assert resolved.map(_square, [1, 2, 3]) == [1, 4, 9]
+                assert pool_forks() == before
+
+    def test_pool_scope_picks_up_active_pool(self):
+        with shared_pool(2) as owner:
+            with pool_scope(8) as resolved:
+                assert resolved is owner
+
+    def test_pool_scope_private_pool_closed_on_exit(self):
+        assert active_pool() is None
+        with pool_scope(2) as private:
+            private.map(_square, [1, 2, 3])
+            assert private.forked
+        assert not private.forked  # closed when the scope ended

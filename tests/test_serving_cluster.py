@@ -14,6 +14,7 @@ from repro.serving.cluster import (
     PowerOfTwoBalancer,
     RandomBalancer,
     RoundRobinBalancer,
+    WeightedLeastOutstandingBalancer,
     available_balancers,
     estimate_fleet_upper_bound_qps,
     find_cluster_max_qps,
@@ -24,7 +25,13 @@ from repro.serving.cluster import (
 from repro.serving.simulator import ServingConfig, ServingSimulator
 from repro.serving.sla import SLATier, sla_target
 
-ALL_POLICIES = ("random", "round-robin", "least-outstanding", "power-of-two")
+ALL_POLICIES = (
+    "random",
+    "round-robin",
+    "least-outstanding",
+    "weighted-least-outstanding",
+    "power-of-two",
+)
 
 
 @pytest.fixture(scope="module")
@@ -43,13 +50,17 @@ def query_stream():
 
 
 class TestBalancerRegistry:
-    def test_four_policies_registered(self):
+    def test_five_policies_registered(self):
         assert available_balancers() == sorted(ALL_POLICIES)
 
     def test_get_balancer_by_name(self):
         assert isinstance(get_balancer("random"), RandomBalancer)
         assert isinstance(get_balancer("round-robin"), RoundRobinBalancer)
         assert isinstance(get_balancer("least-outstanding"), LeastOutstandingBalancer)
+        assert isinstance(
+            get_balancer("weighted-least-outstanding"),
+            WeightedLeastOutstandingBalancer,
+        )
         assert isinstance(get_balancer("POWER-OF-TWO"), PowerOfTwoBalancer)
 
     def test_get_balancer_passthrough_instance(self):
@@ -106,6 +117,78 @@ class TestClusterPolicies:
             s.num_queries for s in second.per_server
         ]
         assert first.p95_latency_s == second.p95_latency_s
+
+
+class TestWeightedLeastOutstanding:
+    def test_beats_unweighted_on_speed_spread_fleet(self):
+        # On a fleet with a wide per-node speed spread, weighting each node's
+        # outstanding items by its service-time multiplier routes less work
+        # to slow nodes; near saturation that directly shows up in the tail.
+        fleet = heterogeneous_fleet(
+            "dlrm-rmc1", ServingConfig(batch_size=128, num_cores=8), 4,
+            platform_mix={"skylake": 1.0}, speed_spread=0.3, rng=7,
+        )
+        stream = LoadGenerator(seed=11).with_rate(3600.0).generate(2000)
+        weighted = ClusterSimulator(fleet, "weighted-least-outstanding").run(stream)
+        unweighted = ClusterSimulator(fleet, "least-outstanding").run(stream)
+        assert weighted.p95_latency_s < unweighted.p95_latency_s
+        assert weighted.mean_latency_s < unweighted.mean_latency_s
+        # The slowest node absorbs a smaller share under the weighted policy.
+        slowest = max(
+            range(len(fleet)), key=lambda i: fleet[i].engines.cpu.speed_factor
+        )
+        assert (
+            weighted.per_server[slowest].query_share
+            < unweighted.per_server[slowest].query_share
+        )
+
+    def test_reset_without_prepare_drops_stale_weights(self):
+        # A prepared instance reused without a fresh prepare() (bare
+        # kernels, or pointed at a different same-size fleet) must fall back
+        # to all-1.0 weights, not silently apply the old fleet's speed
+        # factors.
+        class StubKernel:
+            def __init__(self, outstanding):
+                self.outstanding_items = outstanding
+
+        class StubEngine:
+            def __init__(self, speed_factor):
+                self.speed_factor = speed_factor
+
+        balancer = WeightedLeastOutstandingBalancer()
+        fleet = [
+            ClusterServer(
+                engines=type("P", (), {"cpu": StubEngine(factor)})(),
+                config=ServingConfig(batch_size=64),
+            )
+            for factor in (2.0, 1.0)
+        ]
+        balancer.prepare(fleet)
+        balancer.reset(2)
+        # Prepared run: node 0 is twice as slow, so equal outstanding items
+        # route to node 1.
+        assert balancer.choose(None, [StubKernel(10), StubKernel(10)]) == 1
+        # Reused without prepare(): stale weights are dropped; ties break to
+        # the lowest index exactly like least-outstanding.
+        balancer.reset(2)
+        assert balancer.choose(None, [StubKernel(10), StubKernel(10)]) == 0
+
+    def test_degenerates_to_least_outstanding_on_homogeneous_fleet(
+        self, engines, config, query_stream
+    ):
+        # Unscaled engines weigh 1.0 per node, so the weighted policy's
+        # decisions — and hence the whole run — match least-outstanding
+        # exactly.
+        fleet = homogeneous_fleet(engines, config, 4)
+        weighted = ClusterSimulator(fleet, "weighted-least-outstanding").run(
+            query_stream
+        )
+        plain = ClusterSimulator(fleet, "least-outstanding").run(query_stream)
+        assert [s.num_queries for s in weighted.per_server] == [
+            s.num_queries for s in plain.per_server
+        ]
+        assert weighted.p95_latency_s == plain.p95_latency_s
+        assert weighted.latencies_s == plain.latencies_s
 
 
 class TestRandomBalancer:
@@ -327,10 +410,14 @@ class TestParallelCapacitySearch:
                 **self.SEARCH_KWARGS,
             )
 
-    def test_warm_start_cache_records_and_reuses(self, engines, config, tmp_path):
+    def test_warm_start_cache_replays_bit_identically(self, engines, config, tmp_path):
         target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
         generator = LoadGenerator(seed=7)
         fleet = homogeneous_fleet(engines, config, 2)
+        serial = find_cluster_max_qps(
+            fleet, "least-outstanding", target.latency_s, generator,
+            **self.SEARCH_KWARGS,
+        )
         cold = find_cluster_max_qps(
             fleet, "least-outstanding", target.latency_s, generator,
             warm_start_cache=tmp_path, **self.SEARCH_KWARGS,
@@ -341,31 +428,33 @@ class TestParallelCapacitySearch:
             fleet, "least-outstanding", target.latency_s, generator,
             warm_start_cache=tmp_path, **self.SEARCH_KWARGS,
         )
-        # A warm-started search bisects a tighter bracket, so it may land on
-        # a (slightly) different rate — but it must stay a valid capacity.
-        assert warm.feasible
-        assert warm.max_qps == pytest.approx(cold.max_qps, rel=0.35)
+        # The schema-versioned signature pins every decision input, so the
+        # warm replay is exactly the cold serial search's outcome — not an
+        # approximation.
+        assert warm.max_qps == cold.max_qps == serial.max_qps
+        assert warm.result.p95_latency_s == serial.result.p95_latency_s
+        assert warm.result.measured_queries == serial.result.measured_queries
         assert warm.result.acceptable(target.latency_s)
 
     def test_warm_start_signature_distinguishes_workload_params(
         self, engines, config
     ):
         from repro.queries.size_dist import ProductionQuerySizes
-        from repro.serving.cluster import _capacity_search_signature
+        from repro.runtime.capacity import CapacitySearch
 
         fleet = homogeneous_fleet(engines, config, 2)
 
         def signature(sizes):
-            return _capacity_search_signature(
+            return CapacitySearch.for_fleet(
                 fleet, "round-robin", 0.1, LoadGenerator(seed=7, sizes=sizes),
-                100, 3, 1.3, 1000, None, 0,
-            )
+                num_queries=100, iterations=3, max_queries=1000,
+            ).signature()
 
         heavy = signature(ProductionQuerySizes(body_median=95.0))
         light = signature(ProductionQuerySizes(body_median=5.0))
         assert heavy is not None and light is not None
         # Same distribution class, different parameters -> different cache
-        # entries; a collision would warm-start against the wrong workload.
+        # entries; a collision would replay the wrong workload's capacity.
         assert heavy != light
         assert signature(ProductionQuerySizes(body_median=95.0)) == heavy
 
@@ -507,6 +596,13 @@ class TestSweepRunnerCache:
         assert config_hash("figure-15", {"jobs": 8, "seed": 5}) == config_hash(
             "figure-15", {"seed": 5}
         )
+
+    def test_config_hash_ignores_capacity_cache_dir(self):
+        # Warm starts replay bit-identical results, so the warm-start
+        # directory is result-neutral and must not splinter the memo either.
+        assert config_hash(
+            "figure-15", {"capacity_cache_dir": "/tmp/a", "seed": 5}
+        ) == config_hash("figure-15", {"seed": 5})
 
     def test_canonicalize_handles_enums_and_rejects_objects(self):
         assert canonicalize({"tier": SLATier.LOW}) == {"tier": "low"}
