@@ -15,13 +15,17 @@ Every PR that touches a hot path records a ``BENCH_N.json`` at the repo root
 
 The table is written as GitHub-flavoured markdown to the path in the
 ``GITHUB_STEP_SUMMARY`` environment variable when set (the Actions job
-summary), and always echoed to stdout.
+summary), and always echoed to stdout.  ``--chart out.svg`` additionally
+renders the same trajectory as a standalone SVG line chart (wall-clock
+seconds per case across the benches, log-scale y) that CI uploads as an
+artifact next to the table.
 
 Usage::
 
     python benchmarks/perf_trend.py                 # gate at 25 %
     python benchmarks/perf_trend.py --threshold 1.5 # allow up to 50 %
     python benchmarks/perf_trend.py --root path/    # read BENCH_*.json there
+    python benchmarks/perf_trend.py --chart perf_trend.svg
 """
 
 from __future__ import annotations
@@ -126,6 +130,184 @@ def build_table(benches: List[Tuple[int, Dict[str, Any]]]) -> str:
     return "\n".join(lines)
 
 
+# --------------------------------------------------------------------------- #
+# SVG trajectory chart
+# --------------------------------------------------------------------------- #
+
+#: Categorical series colors (fixed assignment order, light-mode steps) and
+#: the chart's surface/ink tokens.  The ordering is the colorblind-safety
+#: mechanism: this sequence passes the adjacent-pair CVD/normal-vision gates
+#: as validated; hues are assigned to cases in first-seen order and never
+#: cycled.  Three slots sit below 3:1 contrast on the surface, which is why
+#: every line also carries a direct end label (and the markdown table is the
+#: chart's table view).
+_SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+_SURFACE = "#fcfcfb"
+_TEXT_PRIMARY = "#0b0b0b"
+_TEXT_SECONDARY = "#52514e"
+_GRID = "#e8e7e4"
+
+#: Ink for cases beyond the 8 validated categorical slots.  Hues are never
+#: cycled (a 9th series sharing the 1st's blue would defeat the validated
+#: adjacent-pair separation), so overflow series all wear this neutral and
+#: rely on their direct end labels for identity.
+_OVERFLOW = "#8a8984"
+
+
+def _series_color(index: int) -> str:
+    """Fixed-order slot color, neutral past the validated palette."""
+    if index < len(_SERIES_COLORS):
+        return _SERIES_COLORS[index]
+    return _OVERFLOW
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """1–2–5 decade ticks covering [lo, hi] (log-scale y gridlines)."""
+    ticks = []
+    exponent = math.floor(math.log10(lo))
+    while 10 ** exponent <= hi:
+        for mantissa in (1.0, 2.0, 5.0):
+            value = mantissa * 10 ** exponent
+            if lo * 0.999 <= value <= hi * 1.001:
+                ticks.append(value)
+        exponent += 1
+    return ticks or [lo, hi]
+
+
+def build_chart_svg(benches: List[Tuple[int, Dict[str, Any]]]) -> str:
+    """Standalone SVG: per-case wall-clock trajectory across the benches.
+
+    Cases are series (fixed color order, direct-labeled at the line end —
+    the labels double as the legend), benches the x positions, seconds the
+    log-scale y.  Pure stdlib so the CI artifact needs no plotting stack.
+    """
+    from xml.sax.saxutils import escape
+
+    by_bench = {number: case_seconds(bench) for number, bench in benches}
+    numbers = [number for number, _ in benches]
+    cases = sorted({name for seconds in by_bench.values() for name in seconds})
+    if not numbers or not cases:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="400" height="80">'
+            f'<rect width="400" height="80" fill="{_SURFACE}"/>'
+            f'<text x="16" y="44" font-family="sans-serif" font-size="13" '
+            f'fill="{_TEXT_SECONDARY}">no BENCH_*.json recordings found</text></svg>'
+        )
+
+    width, height = 960, 520
+    left, right, top, bottom = 70, 250, 56, 46
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    values = [s for seconds in by_bench.values() for s in seconds.values()]
+    lo, hi = min(values) * 0.8, max(values) * 1.25
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+
+    def x_pos(index: int) -> float:
+        if len(numbers) == 1:
+            return left + plot_w / 2
+        return left + plot_w * index / (len(numbers) - 1)
+
+    def y_pos(seconds: float) -> float:
+        span = (math.log10(seconds) - log_lo) / (log_hi - log_lo)
+        return top + plot_h * (1.0 - span)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="Benchmark wall-clock trajectory per case">',
+        f'<rect width="{width}" height="{height}" fill="{_SURFACE}"/>',
+        f'<text x="{left}" y="26" font-family="sans-serif" font-size="15" '
+        f'font-weight="600" fill="{_TEXT_PRIMARY}">Benchmark trajectory — '
+        f'wall-clock seconds per case</text>',
+        f'<text x="{left}" y="43" font-family="sans-serif" font-size="12" '
+        f'fill="{_TEXT_SECONDARY}">committed BENCH_*.json recordings, '
+        f'log-scale seconds (lower is faster)</text>',
+    ]
+
+    for tick in _log_ticks(lo, hi):
+        y = y_pos(tick)
+        label = f"{tick:g}"
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" y2="{y:.1f}" '
+            f'stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{left - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="11" '
+            f'fill="{_TEXT_SECONDARY}">{label}s</text>'
+        )
+    for index, number in enumerate(numbers):
+        x = x_pos(index)
+        parts.append(
+            f'<text x="{x:.1f}" y="{top + plot_h + 20}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="11" '
+            f'fill="{_TEXT_SECONDARY}">BENCH_{number}</text>'
+        )
+
+    # End labels double as the legend; nudge apart so none collide.
+    labels = []
+    for series_index, case in enumerate(cases):
+        color = _series_color(series_index)
+        points = [
+            (x_pos(i), y_pos(by_bench[number][case]), by_bench[number][case])
+            for i, number in enumerate(numbers)
+            if case in by_bench[number]
+        ]
+        if not points:
+            continue
+        if len(points) > 1:
+            path = " ".join(
+                f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+                for i, (x, y, _) in enumerate(points)
+            )
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for x, y, _ in points:
+            # 2px surface ring separates overlapping markers.
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="{_SURFACE}" stroke-width="2"/>'
+            )
+        end_x, end_y, end_value = points[-1]
+        labels.append((end_y, end_x, color, case, end_value))
+
+    labels.sort()
+    min_gap, previous = 15.0, -1e9
+    for end_y, end_x, color, case, end_value in labels:
+        y = max(end_y, previous + min_gap)
+        y = min(max(y, top + 6), top + plot_h + 4)
+        previous = y
+        parts.append(
+            f'<line x1="{end_x + 6:.1f}" y1="{end_y:.1f}" '
+            f'x2="{left + plot_w + 14}" y2="{y:.1f}" stroke="{_GRID}" '
+            f'stroke-width="1"/>'
+        )
+        parts.append(
+            f'<rect x="{left + plot_w + 18}" y="{y - 5:.1f}" width="10" '
+            f'height="3" rx="1.5" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{left + plot_w + 34}" y="{y + 4:.1f}" '
+            f'font-family="sans-serif" font-size="12" fill="{_TEXT_PRIMARY}">'
+            f"{escape(case)} "
+            f'<tspan fill="{_TEXT_SECONDARY}">{end_value:.3f}s</tspan></text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def check_regressions(
     benches: List[Tuple[int, Dict[str, Any]]], threshold: float
 ) -> List[str]:
@@ -183,6 +365,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="Fail when the latest bench exceeds best-prior seconds by this "
         "factor on any shared case (default 1.25 = a 25%% regression).",
     )
+    parser.add_argument(
+        "--chart",
+        default="",
+        help="Also render the trajectory as a standalone SVG line chart at "
+        "this path (uploaded as a CI artifact next to the job summary).",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error(f"--threshold must be > 1.0, got {args.threshold}")
@@ -192,6 +380,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     table = build_table(benches)
     title = "## Benchmark trajectory\n\n"
     print(title + table)
+
+    if args.chart:
+        chart_path = Path(args.chart)
+        chart_path.write_text(build_chart_svg(benches) + "\n")
+        print(f"\nwrote trajectory chart to {chart_path}")
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:

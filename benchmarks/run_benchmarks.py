@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness for the serving/simulation fast path.
 
-Times six representative workloads end to end and writes ``BENCH_4.json``:
+Times seven representative workloads end to end and writes ``BENCH_5.json``:
 
 * ``fig9-batch-sweep`` — single-server capacity bisections across a batch-size
   grid (the Fig. 9 experiment at reduced fidelity);
@@ -12,6 +12,11 @@ Times six representative workloads end to end and writes ``BENCH_4.json``:
   against one warm-start cache under one shared worker pool: the workload
   the ``repro.runtime`` unification targets (pool reuse + replay-exact warm
   starts);
+* ``capacity-sweep-shared-j4`` — the same sweep workload on the
+  completion-driven runtime at ``jobs=4`` (regardless of ``--jobs``) with a
+  shared ``CapacityCache`` instance and the opt-in near-miss bracket-hint
+  tier: what a sweep caller gets from the futures-based scheduler.  Tracked
+  as its own case so the perf trend keeps the ``jobs=1`` trajectory clean;
 * ``fig13-production`` — the Fig. 13 diurnal fleet replay (fixed vs tuned
   batch size under random balancing), post-unification running through the
   shared-heap ``ClusterSimulator`` on scaled latency tables;
@@ -27,7 +32,7 @@ so the speedup column stays meaningful there too.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                # full run, BENCH_4.json
+    python benchmarks/run_benchmarks.py                # full run, BENCH_5.json
     python benchmarks/run_benchmarks.py --quick        # CI smoke sizes
     python benchmarks/run_benchmarks.py --jobs 4       # parallel capacity search
 """
@@ -58,7 +63,7 @@ from repro.serving.sla import SLATier, sla_target  # noqa: E402
 
 #: Pre-PR wall-clock seconds per case, measured on the recording host with
 #: the same script, same kwargs, best-of-3, jobs=1, at the commit in
-#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_4.json is computed
+#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_5.json is computed
 #: against these numbers.  (``capacity-sweep-shared`` was measured with the
 #: engine caches pre-warmed by the preceding cases, mirroring its position
 #: in the harness order, so its speedup isolates pool reuse + warm starts
@@ -69,6 +74,7 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "fig15-cluster-scaling": 1.90,
         "cluster-capacity-search": 0.24,
         "capacity-sweep-shared": 0.296,
+        "capacity-sweep-shared-j4": 0.296,
         "fig13-production": 0.513,
         "fig7-subsampling": 0.266,
     },
@@ -77,18 +83,23 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "fig15-cluster-scaling": 0.20,
         "cluster-capacity-search": 0.08,
         "capacity-sweep-shared": 0.066,
+        "capacity-sweep-shared-j4": 0.066,
         "fig13-production": 0.268,
         "fig7-subsampling": 0.064,
     },
 }
 
 #: Commit each case's baseline was measured at: the commit just before the PR
-#: that last rebuilt the case's hot path.
+#: that last rebuilt the case's hot path.  (``capacity-sweep-shared-j4`` runs
+#: the same sweep workload as ``capacity-sweep-shared``, so it shares that
+#: case's pre-runtime-unification baseline: the old runtime had no faster
+#: path for a jobs=4 request on the recording host than its serial one.)
 BASELINE_COMMIT: Dict[str, str] = {
     "fig9-batch-sweep": "cb22c24 (pre fast-path PR)",
     "fig15-cluster-scaling": "cb22c24 (pre fast-path PR)",
     "cluster-capacity-search": "cb22c24 (pre fast-path PR)",
     "capacity-sweep-shared": "56f3891 (pre runtime-unification PR)",
+    "capacity-sweep-shared-j4": "56f3891 (pre runtime-unification PR)",
     "fig13-production": "5baf554 (pre fleet-unification PR)",
     "fig7-subsampling": "5baf554 (pre fleet-unification PR)",
 }
@@ -182,6 +193,49 @@ def bench_capacity_sweep(quick: bool, jobs: int) -> None:
                         )
 
 
+def bench_capacity_sweep_j4(quick: bool, jobs: int) -> None:
+    # The capacity-sweep-shared workload on the completion-driven runtime at
+    # a fixed jobs=4 (tracked separately so the jobs=1 trajectory stays
+    # clean): one shared CapacityCache *instance* across both passes (its
+    # in-process memo replays pass 2 without re-verification) and the
+    # opt-in near-miss bracket-hint tier for pass 1's adjacent searches.
+    # On multi-core hosts the futures scheduler additionally overlaps each
+    # search's speculative evaluations; the in-flight budget is clamped by
+    # physical cores, so a one-core recording host measures the scheduling +
+    # warm-tier wins alone.
+    import tempfile
+
+    from repro.serving.capacity import CapacityCache
+
+    engines = build_engine_pair("dlrm-rmc1", "skylake", None)
+    config = ServingConfig(batch_size=256, num_cores=8)
+    target = sla_target("dlrm-rmc1", SLATier.MEDIUM)
+    if quick:
+        sizes, policies = (1, 2), ("least-outstanding",)
+        kwargs: Dict[str, Any] = dict(num_queries=80, iterations=3, max_queries=800)
+    else:
+        sizes, policies = (1, 2), ("least-outstanding", "power-of-two")
+        kwargs = dict(num_queries=200, iterations=5, max_queries=2500)
+    kwargs.update(jobs=4, bracket_hints=True)
+    kwargs = _accepted_kwargs(find_cluster_max_qps, kwargs)
+    from repro.runtime.pool import shared_pool
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = CapacityCache(cache_dir)
+        with shared_pool(4):
+            for _pass in range(2):
+                for size in sizes:
+                    for policy in policies:
+                        find_cluster_max_qps(
+                            homogeneous_fleet(engines, config, size),
+                            policy,
+                            target.latency_s,
+                            LoadGenerator(seed=5),
+                            warm_start_cache=cache,
+                            **kwargs,
+                        )
+
+
 def bench_fig13(quick: bool, jobs: int) -> None:
     # policies=("random",) replays exactly the pre-unification workload
     # (fixed + tuned batch under uniform-random assignment), so the speedup
@@ -212,6 +266,7 @@ CASES: Dict[str, Callable[[bool, int], None]] = {
     "fig15-cluster-scaling": bench_fig15,
     "cluster-capacity-search": bench_capacity_search,
     "capacity-sweep-shared": bench_capacity_sweep,
+    "capacity-sweep-shared-j4": bench_capacity_sweep_j4,
     "fig13-production": bench_fig13,
     "fig7-subsampling": bench_fig7,
 }
@@ -251,7 +306,7 @@ def build_report(
             speedups.append(baseline / seconds)
         cases[name] = entry
     report: Dict[str, Any] = {
-        "bench_id": "BENCH_4",
+        "bench_id": "BENCH_5",
         "mode": mode,
         "jobs": jobs,
         "repeats": repeats,
@@ -282,7 +337,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--output",
         default="",
-        help="Output JSON path (default: BENCH_4.json at the repo root for "
+        help="Output JSON path (default: BENCH_5.json at the repo root for "
         "full runs; bench_quick.json for --quick, so a quick run never "
         "overwrites the committed full-mode trajectory).",
     )
@@ -309,7 +364,7 @@ def main(argv: Optional[list] = None) -> int:
         # the perf-trend gate compares full-mode numbers across PRs.
         output = _REPO_ROOT / "bench_quick.json"
     else:
-        output = _REPO_ROOT / "BENCH_4.json"
+        output = _REPO_ROOT / "BENCH_5.json"
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     for name, entry in report["cases"].items():

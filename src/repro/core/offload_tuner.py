@@ -15,7 +15,8 @@ cluster's QPS-at-SLA capacity via coordinate descent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.hill_climber import (
     ClimbResult,
@@ -27,10 +28,74 @@ from repro.core.hill_climber import (
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
 from repro.queries.size_dist import MAX_QUERY_SIZE
+from repro.runtime.pool import Future, TaskContext, WorkerPool, pool_scope
 from repro.serving.capacity import find_max_qps
 from repro.serving.cluster import ClusterServer, available_balancers, find_cluster_max_qps
 from repro.serving.simulator import ServingConfig, SimulationResult
 from repro.utils.validation import check_positive
+
+
+def _tuner_fleet(
+    engines_per_server: Sequence[EnginePair],
+    num_cores: int,
+    batch_size: int,
+    threshold: Optional[int],
+) -> List[ClusterServer]:
+    """The fleet one knob assignment describes (shared by parent and workers)."""
+    servers = []
+    for index, engines in enumerate(engines_per_server):
+        config = ServingConfig(
+            batch_size=batch_size,
+            num_cores=num_cores,
+            offload_threshold=threshold if engines.has_accelerator else None,
+        )
+        servers.append(
+            ClusterServer(engines=engines, config=config, name=f"server-{index}")
+        )
+    return servers
+
+
+def _build_tuner_state(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-worker tuner evaluator state (the parent builds the same shape).
+
+    The warm-start cache is materialised here so each worker (and the
+    parent) holds one :class:`~repro.serving.capacity.CapacityCache`
+    instance across all of its evaluations — the in-process memo and
+    near-miss tiers need instance continuity to pay off.
+    """
+    from repro.serving.capacity import CapacityCache
+
+    state = dict(payload)
+    state["cache"] = (
+        CapacityCache(payload["warm_start_cache"])
+        if payload["warm_start_cache"] is not None
+        else None
+    )
+    return state
+
+
+def _evaluate_tuner_point(state: Dict[str, Any], knobs: Dict[str, Any]) -> float:
+    """Objective of one knob assignment: the fleet's capacity at the SLA.
+
+    Runs the capacity search serially (``jobs=1``) — parallelism lives at
+    the cross-point layer, where several assignments' searches share the
+    pool — so a pool worker and the parent compute identical values.
+    """
+    servers = _tuner_fleet(
+        state["engines"], state["num_cores"], knobs["batch_size"],
+        knobs.get("offload_threshold"),
+    )
+    outcome = find_cluster_max_qps(
+        servers,
+        knobs["policy"],
+        state["sla_latency_s"],
+        state["load_generator"],
+        num_queries=state["num_queries"],
+        iterations=state["capacity_iterations"],
+        warm_start_cache=state["cache"],
+        bracket_hints=state["bracket_hints"],
+    )
+    return outcome.max_qps
 
 
 def offload_threshold_candidates(max_threshold: int = MAX_QUERY_SIZE) -> List[int]:
@@ -167,6 +232,18 @@ class FleetKnobTuner:
     knob assignment is one :func:`~repro.serving.cluster.find_cluster_max_qps`
     search, so tuned knobs account for balancing losses, not just per-server
     throughput.
+
+    With ``jobs > 1`` the tuner keeps several upcoming knob assignments'
+    capacity searches in flight on the invocation's shared worker pool (the
+    hill climb walks its candidate ladder in a fixed order, so upcoming
+    assignments are known before their values are needed); each search runs
+    serially inside its worker.  The tuned knobs and every recorded
+    evaluation are identical to the serial tuner's — speculation past a
+    patience stop is the only wasted work.  ``warm_start_cache`` replays
+    identical searches bit-identically across tuner runs sharing the
+    directory; ``bracket_hints=True`` additionally tightens brackets from
+    adjacent assignments' entries (faster, result-identical only within the
+    cold search's bracket tolerance — opt-in).
     """
 
     def __init__(
@@ -181,6 +258,10 @@ class FleetKnobTuner:
         threshold_candidates: Optional[Sequence[int]] = None,
         sweeps: int = 2,
         patience: int = 2,
+        jobs: int = 1,
+        pool: Optional[WorkerPool] = None,
+        warm_start_cache: Union[str, Path, None] = None,
+        bracket_hints: bool = False,
     ) -> None:
         if not engines_per_server:
             raise ValueError("fleet tuning requires at least one server")
@@ -210,19 +291,29 @@ class FleetKnobTuner:
             self._threshold_candidates = None
         self._sweeps = sweeps
         self._patience = patience
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._jobs = jobs
+        self._pool = pool
+        self._warm_start_cache = (
+            str(warm_start_cache) if warm_start_cache is not None else None
+        )
+        self._bracket_hints = bracket_hints
 
     def _fleet(self, batch_size: int, threshold: Optional[int]) -> List[ClusterServer]:
-        servers = []
-        for index, engines in enumerate(self._engines):
-            config = ServingConfig(
-                batch_size=batch_size,
-                num_cores=self._num_cores,
-                offload_threshold=threshold if engines.has_accelerator else None,
-            )
-            servers.append(
-                ClusterServer(engines=engines, config=config, name=f"server-{index}")
-            )
-        return servers
+        return _tuner_fleet(self._engines, self._num_cores, batch_size, threshold)
+
+    def _evaluator_payload(self, sla_latency_s: float) -> Dict[str, Any]:
+        return {
+            "engines": self._engines,
+            "num_cores": self._num_cores,
+            "num_queries": self._num_queries,
+            "capacity_iterations": self._capacity_iterations,
+            "sla_latency_s": sla_latency_s,
+            "load_generator": self._load_generator,
+            "warm_start_cache": self._warm_start_cache,
+            "bracket_hints": self._bracket_hints,
+        }
 
     def tune(self, sla_latency_s: float) -> FleetTuningResult:
         """Co-tune the fleet knobs and return the best assignment found."""
@@ -234,21 +325,53 @@ class FleetKnobTuner:
         if self._threshold_candidates is not None:
             candidates["offload_threshold"] = self._threshold_candidates
 
-        def objective(knobs: Dict[str, Any]) -> float:
-            servers = self._fleet(knobs["batch_size"], knobs.get("offload_threshold"))
-            outcome = find_cluster_max_qps(
-                servers,
-                knobs["policy"],
-                sla_latency_s,
-                self._load_generator,
-                num_queries=self._num_queries,
-                iterations=self._capacity_iterations,
-            )
-            return outcome.max_qps
+        from repro.runtime.capacity import _parallel_budget
 
-        descent: DescentResult = coordinate_descent(
-            candidates, objective, sweeps=self._sweeps, patience=self._patience
-        )
+        context = TaskContext(_build_tuner_state, self._evaluator_payload(sla_latency_s))
+        with pool_scope(self._jobs, self._pool) as worker_pool:
+            budget = _parallel_budget(self._jobs, worker_pool)
+            pending: Dict[tuple, Future] = {}
+
+            def knob_key(knobs: Dict[str, Any]) -> tuple:
+                return tuple(sorted(knobs.items()))
+
+            def prefetch(assignments: Sequence[Dict[str, Any]]) -> None:
+                # Upcoming ladder assignments become whole capacity searches
+                # submitted into the shared pool (each runs serially in its
+                # worker).  Only futures still *running* count against the
+                # in-flight budget: a patience stop abandons its unconsumed
+                # futures, and once those complete they must not keep
+                # throttling later ladders' prefetches (their results stay
+                # available in ``pending`` in case the descent revisits the
+                # assignment).
+                if budget <= 1 or worker_pool.parallelism <= 1:
+                    return
+                in_flight = sum(
+                    1 for future in pending.values() if not future.done()
+                )
+                for knobs in assignments:
+                    if in_flight >= budget:
+                        break
+                    key = knob_key(knobs)
+                    if key not in pending:
+                        pending[key] = worker_pool.submit(
+                            _evaluate_tuner_point, dict(knobs), context=context
+                        )
+                        in_flight += 1
+
+            def objective(knobs: Dict[str, Any]) -> float:
+                future = pending.pop(knob_key(knobs), None)
+                if future is not None:
+                    return future.result()
+                return _evaluate_tuner_point(context.build(), knobs)
+
+            descent: DescentResult = coordinate_descent(
+                candidates,
+                objective,
+                sweeps=self._sweeps,
+                patience=self._patience,
+                prefetch=prefetch,
+            )
         return FleetTuningResult(
             best_batch_size=descent.best_knobs["batch_size"],
             best_policy=descent.best_knobs["policy"],

@@ -38,7 +38,7 @@ from repro.experiments.result import ExperimentResult
 from repro.infra.datacenter import DatacenterCluster
 from repro.queries.size_dist import ProductionQuerySizes
 from repro.queries.trace import DiurnalPattern
-from repro.runtime.pool import TaskContext, pool_scope
+from repro.runtime.pool import TaskContext, as_completed, pool_scope
 from repro.utils.validation import check_in_range, check_positive
 
 #: The paper's production protocol (uniform ``random`` assignment) plus the
@@ -136,8 +136,8 @@ def _run_replays(
     points: Sequence[Tuple[int, str]],
     jobs: int,
     cache_dir: Union[str, Path, None],
-) -> List[Dict[str, Any]]:
-    """Evaluate replay points, honouring the on-disk memo and the worker pool."""
+) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """Evaluate replay points (memo + worker pool); returns (summaries, stats)."""
     cache = Path(cache_dir) if cache_dir is not None else None
     summaries: List[Optional[Dict[str, Any]]] = [None] * len(points)
     todo: List[int] = []
@@ -159,28 +159,36 @@ def _run_replays(
         # into the context); pool workers each build their own deterministic
         # copy from the kwargs, cached across points by the context token.
         # Nested invocations (a pooled sweep point) run inline automatically.
+        # Completion-driven: each replay is memoised the moment it lands, so
+        # an interrupted run keeps its finished points.
         context = TaskContext(
             _build_replay_state, (cluster_kwargs, replay), value=(cluster, replay)
         )
+        if cache is not None:
+            cache.mkdir(parents=True, exist_ok=True)
         with pool_scope(jobs) as worker_pool:
-            computed = worker_pool.map(
-                _replay_point, [points[i] for i in todo], context=context
-            )
-        for index, summary in zip(todo, computed):
-            summaries[index] = summary
-
-    if cache is not None and todo:
-        cache.mkdir(parents=True, exist_ok=True)
-        for index in todo:
-            batch_size, policy = points[index]
-            path = cache / f"fig13-{_replay_digest(cluster_kwargs, replay, batch_size, policy)}.json"
-            scratch = path.with_suffix(f".tmp-{os.getpid()}")
-            scratch.write_text(json.dumps(summaries[index], sort_keys=True))
-            scratch.replace(path)
+            futures = {
+                worker_pool.submit(_replay_point, points[i], context=context): i
+                for i in todo
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                summaries[index] = future.result()
+                if cache is not None:
+                    batch_size, policy = points[index]
+                    path = cache / (
+                        "fig13-"
+                        f"{_replay_digest(cluster_kwargs, replay, batch_size, policy)}"
+                        ".json"
+                    )
+                    scratch = path.with_suffix(f".tmp-{os.getpid()}")
+                    scratch.write_text(json.dumps(summaries[index], sort_keys=True))
+                    scratch.replace(path)
     # Every slot is filled (cache hit or computed); the caller indexes the
     # list positionally, so dropping entries would mispair fixed/tuned runs.
     assert all(summary is not None for summary in summaries)
-    return summaries  # type: ignore[return-value]
+    stats = {"replay_hits": len(points) - len(todo), "replay_misses": len(todo)}
+    return summaries, stats  # type: ignore[return-value]
 
 
 @register_experiment("figure-13")
@@ -243,7 +251,7 @@ def run(
         for policy in policies
         for batch_size in (fixed_batch, tuned_batch_size)
     ]
-    summaries = _run_replays(
+    summaries, replay_stats = _run_replays(
         cluster, cluster_kwargs, replay, points, jobs, capacity_cache_dir
     )
 
@@ -288,6 +296,8 @@ def run(
     result.metadata["policies"] = list(policies)
     result.metadata["by_policy"] = by_policy
     result.metadata["scalar_fallbacks"] = total_fallbacks
+    if capacity_cache_dir is not None:
+        result.metadata["capacity_cache_stats"] = replay_stats
     result.notes = (
         f"p95 reduction {headline['p95_reduction']:.2f}x, "
         f"p99 reduction {headline['p99_reduction']:.2f}x under the "

@@ -25,8 +25,9 @@ from repro.execution.engine import build_engine_pair
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.queries.generator import LoadGenerator
+from repro.runtime.capacity import CapacitySearch, run_capacity_searches
 from repro.serving.capacity import CapacityCache
-from repro.serving.cluster import ClusterServer, find_cluster_max_qps, homogeneous_fleet
+from repro.serving.cluster import ClusterServer, homogeneous_fleet
 from repro.serving.simulator import ServingConfig
 from repro.serving.sla import SLATier, sla_target
 
@@ -52,6 +53,7 @@ def run(
     seed: int = 5,
     jobs: int = 1,
     capacity_cache_dir: Optional[str] = None,
+    bracket_hints: bool = False,
 ) -> ExperimentResult:
     """Sweep fleet size x balancing policy; add one heterogeneous fleet per policy.
 
@@ -59,10 +61,15 @@ def run(
     heterogeneous fleet attaches an accelerator (with DeepRecSched query-size
     offloading at ``offload_threshold``) to every other server.
 
-    ``jobs > 1`` evaluates each capacity search's speculative QPS candidates
-    across a process pool (identical results, less wall clock);
-    ``capacity_cache_dir`` warm-starts bisection brackets from previous runs
-    sharing that directory.
+    All of the sweep's capacity searches are submitted into the invocation's
+    shared worker pool *concurrently* (:func:`run_capacity_searches`), so
+    with ``jobs > 1`` the pool stays full even where one bisection's
+    speculative lookahead could not fill it — results stay identical to the
+    serial sweep.  ``capacity_cache_dir`` replays previously recorded
+    identical searches (bit-identical warm starts); ``bracket_hints=True``
+    additionally lets exact misses tighten their initial bracket from
+    near-miss entries (fewer evaluations, same capacities within the cold
+    search's bracket tolerance — not bit-identical, hence opt-in).
     """
     sizes = sorted(set(int(n) for n in fleet_sizes))
     if not sizes or sizes[0] < 1:
@@ -102,18 +109,42 @@ def run(
 
     warm_start = CapacityCache(capacity_cache_dir) if capacity_cache_dir else None
 
-    def search(servers, policy):
-        return find_cluster_max_qps(
-            servers,
-            policy,
-            target.latency_s,
-            generator,
-            num_queries=num_queries,
-            iterations=capacity_iterations,
-            max_queries=max_queries,
+    # One search description per (policy, fleet) point; the whole grid is
+    # submitted into the shared pool at once, so searches interleave their
+    # candidate evaluations instead of draining one bisection at a time.
+    searches = []
+    for policy in policies:
+        for size in sizes:
+            searches.append(
+                CapacitySearch.for_fleet(
+                    homogeneous_fleet(cpu_engines, config, size),
+                    policy,
+                    target.latency_s,
+                    generator,
+                    num_queries=num_queries,
+                    iterations=capacity_iterations,
+                    max_queries=max_queries,
+                )
+            )
+        searches.append(
+            CapacitySearch.for_fleet(
+                hetero_servers,
+                policy,
+                target.latency_s,
+                generator,
+                num_queries=num_queries,
+                iterations=capacity_iterations,
+                max_queries=max_queries,
+            )
+        )
+    outcomes = iter(
+        run_capacity_searches(
+            searches,
             jobs=jobs,
             warm_start_cache=warm_start,
-        ).max_qps
+            bracket_hints=bracket_hints,
+        )
+    )
 
     qps_by_policy: Dict[str, Dict[str, float]] = {}
     efficiency_by_policy: Dict[str, Dict[str, float]] = {}
@@ -123,8 +154,7 @@ def run(
         efficiency_by_policy[policy] = {}
         base_qps = 0.0
         for size in sizes:
-            fleet = homogeneous_fleet(cpu_engines, config, size)
-            qps = search(fleet, policy)
+            qps = next(outcomes).max_qps
             if size == sizes[0]:
                 base_qps = qps / sizes[0] if sizes[0] else 0.0
             scaling = qps / base_qps if base_qps else 0.0
@@ -135,7 +165,7 @@ def run(
                 policy, size, "homogeneous", round(qps, 1), round(scaling, 2),
                 round(efficiency, 3),
             )
-        qps = search(hetero_servers, policy)
+        qps = next(outcomes).max_qps
         hetero_qps[policy] = qps
         scaling = qps / base_qps if base_qps else 0.0
         result.add_row(
@@ -147,6 +177,8 @@ def run(
     result.metadata["scaling_efficiency"] = efficiency_by_policy
     result.metadata["hetero_qps"] = hetero_qps
     result.metadata["sla_latency_ms"] = target.latency_ms
+    if warm_start is not None:
+        result.metadata["capacity_cache_stats"] = dict(warm_start.stats)
     result.notes = (
         "Load-aware balancing (least-outstanding, power-of-two) preserves "
         "near-linear QPS-at-SLA scaling; heterogeneous fleets add accelerator "

@@ -17,7 +17,6 @@ from repro.execution.engine import build_engine_pair
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.queries.generator import LoadGenerator
-from repro.serving.capacity import find_max_qps
 from repro.serving.simulator import ServingConfig
 from repro.serving.sla import SLATier, sla_target
 
@@ -36,14 +35,23 @@ def run(
     seed: int = 3,
     jobs: int = 1,
     capacity_cache_dir: Optional[str] = None,
+    bracket_hints: bool = False,
 ) -> ExperimentResult:
     """Sweep QPS over batch sizes for several models and latency targets.
 
-    ``jobs > 1`` evaluates each capacity search's speculative QPS candidates
-    on the invocation's shared worker pool and ``capacity_cache_dir`` replays
-    previously recorded searches — both return results bit-identical to a
-    cold serial run.
+    Each (model, tier) row's batch-size searches are submitted into the
+    invocation's shared worker pool concurrently
+    (:func:`run_capacity_searches`), so ``jobs > 1`` keeps the pool full
+    across the whole row rather than within one bisection;
+    ``capacity_cache_dir`` replays previously recorded searches — both
+    return results bit-identical to a cold serial run.
+    ``bracket_hints=True`` lets exact cache misses tighten their bracket
+    from adjacent batch-size/SLA entries (fewer evaluations, same
+    capacities within bracket tolerance — opt-in, not bit-identical).
     """
+    from repro.runtime.capacity import CapacitySearch, run_capacity_searches
+    from repro.serving.capacity import CapacityCache
+
     result = ExperimentResult(
         experiment_id="figure-9",
         title="Latency-bounded throughput vs per-request batch size",
@@ -51,6 +59,7 @@ def run(
         + [f"qps@b{batch}" for batch in batch_sizes]
         + ["optimal-batch"],
     )
+    warm_start = CapacityCache(capacity_cache_dir) if capacity_cache_dir else None
     optima: Dict[str, Dict[str, int]] = {}
     for model in models:
         engines = build_engine_pair(model, cpu_platform, None)
@@ -58,20 +67,23 @@ def run(
         optima[model] = {}
         for tier in tiers:
             target = sla_target(model, tier)
-            qps_values = []
-            for batch in batch_sizes:
-                config = ServingConfig(batch_size=batch)
-                outcome = find_max_qps(
-                    engines,
-                    config,
-                    target.latency_s,
-                    generator,
-                    num_queries=num_queries,
-                    iterations=capacity_iterations,
-                    jobs=jobs,
-                    warm_start_cache=capacity_cache_dir,
-                )
-                qps_values.append(outcome.max_qps)
+            outcomes = run_capacity_searches(
+                [
+                    CapacitySearch.for_server(
+                        engines,
+                        ServingConfig(batch_size=batch),
+                        target.latency_s,
+                        generator,
+                        num_queries=num_queries,
+                        iterations=capacity_iterations,
+                    )
+                    for batch in batch_sizes
+                ],
+                jobs=jobs,
+                warm_start_cache=warm_start,
+                bracket_hints=bracket_hints,
+            )
+            qps_values = [outcome.max_qps for outcome in outcomes]
             best_index = max(range(len(batch_sizes)), key=lambda i: qps_values[i])
             optimal = batch_sizes[best_index]
             optima[model][tier.value] = optimal
@@ -83,6 +95,8 @@ def run(
                 optimal,
             )
     result.metadata["optimal_batch"] = optima
+    if warm_start is not None:
+        result.metadata["capacity_cache_stats"] = dict(warm_start.stats)
     result.notes = (
         "Optimal batch size grows with relaxed latency targets and is larger "
         "for embedding-dominated models than MLP/attention-dominated ones."

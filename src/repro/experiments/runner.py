@@ -35,7 +35,7 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.experiments.result import ExperimentResult
-from repro.runtime.pool import pool_scope
+from repro.runtime.pool import as_completed, pool_scope
 
 
 def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
@@ -116,8 +116,24 @@ def run_experiments(
 
 
 def render_report(results: Sequence[ExperimentResult]) -> str:
-    """Render a multi-experiment plain-text report."""
-    sections = [result.to_table() for result in results]
+    """Render a multi-experiment plain-text report.
+
+    Drivers that ran against a warm-start / replay cache record its per-tier
+    hit/miss counters under ``metadata["capacity_cache_stats"]``; the report
+    appends them under each table so cache behaviour is visible from the
+    CLI (``--cache-dir``) instead of only via a debugger.
+    """
+    sections = []
+    for result in results:
+        section = result.to_table()
+        stats = result.metadata.get("capacity_cache_stats")
+        if isinstance(stats, dict) and stats:
+            rendered = ", ".join(
+                f"{key.replace('_', ' ')}: {value}"
+                for key, value in sorted(stats.items())
+            )
+            section = f"{section}\n[cache] {rendered}"
+        sections.append(section)
     return "\n\n".join(sections)
 
 
@@ -160,8 +176,10 @@ RESULT_NEUTRAL_KEYS = frozenset({"jobs", "capacity_cache_dir"})
 #: reported columns) would otherwise serve stale entries recorded under the
 #: old behaviour.  Bump this whenever such a change lands; every old entry
 #: then misses by construction.  (v2: figure-13's default policy sweep grew
-#: ``weighted-least-outstanding``.)
-SWEEP_MEMO_SCHEMA = 2
+#: ``weighted-least-outstanding``.  v3: cache-aware drivers record
+#: ``capacity_cache_stats`` metadata, which entries recorded by older
+#: drivers lack.)
+SWEEP_MEMO_SCHEMA = 3
 
 
 def config_hash(experiment_id: str, kwargs: Dict[str, Any]) -> str:
@@ -345,17 +363,34 @@ class SweepRunner:
                     )
                     for eid, kwargs in todo
                 ]
+                for index, payload in zip(execute, payloads):
+                    experiment_id, kwargs = points[index]
+                    if use_cache:
+                        self._cache_store(
+                            digests[index], experiment_id, kwargs, payload
+                        )
+                    results[index] = ExperimentResult.from_dict(payload)
             else:
                 # The invocation's shared WorkerPool when one is active (the
                 # CLI owns one per invocation), else a private pool closed on
                 # exit; a nested sweep inside a pool worker runs inline.
+                # Completion-driven: each point's result is cached the moment
+                # it lands (an interrupted sweep keeps its finished points),
+                # while the remaining points keep the pool full.
                 with pool_scope(workers) as worker_pool:
-                    payloads = worker_pool.map(_execute_point, todo)
-            for index, payload in zip(execute, payloads):
-                experiment_id, kwargs = points[index]
-                if use_cache:
-                    self._cache_store(digests[index], experiment_id, kwargs, payload)
-                results[index] = ExperimentResult.from_dict(payload)
+                    futures = {
+                        worker_pool.submit(_execute_point, point): index
+                        for index, point in zip(execute, todo)
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        payload = future.result()
+                        experiment_id, kwargs = points[index]
+                        if use_cache:
+                            self._cache_store(
+                                digests[index], experiment_id, kwargs, payload
+                            )
+                        results[index] = ExperimentResult.from_dict(payload)
 
         if use_cache:
             # Resolve intra-run duplicates from their representative's result.

@@ -8,9 +8,11 @@ routes through:
   to a whole CLI invocation and :func:`pool_scope` is how library code picks
   it up.
 * :mod:`repro.runtime.capacity` — :class:`CapacitySearch`, the unified
-  single-server / fleet capacity search with speculative parallel bisection
-  and schema-versioned warm-start replay, both decision-identical to the
-  cold serial search.
+  single-server / fleet capacity search with completion-driven speculative
+  bisection and schema-versioned warm-start replay, both decision-identical
+  to the cold serial search; :func:`run_capacity_searches` interleaves many
+  searches' evaluations over the one pool (plus the opt-in near-miss
+  bracket-hint tier).
 
 ``repro.serving.capacity.find_max_qps``,
 ``repro.serving.cluster.find_cluster_max_qps``, the experiment
@@ -19,9 +21,11 @@ over these two primitives.
 """
 
 from repro.runtime.pool import (
+    Future,
     TaskContext,
     WorkerPool,
     active_pool,
+    as_completed,
     in_worker,
     pool_forks,
     pool_scope,
@@ -29,15 +33,18 @@ from repro.runtime.pool import (
 )
 
 __all__ = [
+    "Future",
     "TaskContext",
     "WorkerPool",
     "active_pool",
+    "as_completed",
     "in_worker",
     "pool_forks",
     "pool_scope",
     "shared_pool",
     "CapacitySearch",
     "CAPACITY_SCHEMA_VERSION",
+    "run_capacity_searches",
 ]
 
 
@@ -45,7 +52,7 @@ def __getattr__(name):
     # CapacitySearch pulls in the serving stack; import it lazily so
     # `repro.runtime.pool` stays importable from anywhere (including the
     # serving modules themselves) without a cycle.
-    if name in ("CapacitySearch", "CAPACITY_SCHEMA_VERSION"):
+    if name in ("CapacitySearch", "CAPACITY_SCHEMA_VERSION", "run_capacity_searches"):
         from repro.runtime import capacity
 
         return getattr(capacity, name)

@@ -8,11 +8,17 @@ bisection and warm-started brackets.  :class:`CapacitySearch` merges them:
 
 * ``CapacitySearch.for_server(...)`` and ``CapacitySearch.for_fleet(...)``
   describe the search; :meth:`CapacitySearch.run` executes it;
-* with ``jobs > 1`` the bisection's candidate rates are evaluated
-  speculatively on the invocation's shared :class:`~repro.runtime.pool.WorkerPool`
-  (:func:`~repro.serving.capacity.bisect_max_qps_batched`), returning a
-  result **identical** to the serial search — evaluations are deterministic
-  functions of the rate, so speculation only buys wall-clock time;
+* execution is **completion-driven**: the bisection's decision tree lives in
+  a :class:`~repro.serving.capacity.BisectionMachine`, and with ``jobs > 1``
+  up to ``jobs`` candidate rates stay in flight on the invocation's shared
+  :class:`~repro.runtime.pool.WorkerPool` — each completion advances the
+  tree immediately, invalidated speculation is cancelled/ignored, and the
+  pipeline refills.  Evaluations are deterministic functions of the rate, so
+  the result is **identical** to the serial search; speculation only buys
+  wall-clock time (and is never wider than the host's cores);
+* :func:`run_capacity_searches` drives *many* searches over the one pool
+  concurrently — a sweep's searches interleave their evaluations, keeping
+  the pool full even when a single bisection's lookahead cannot;
 * ``warm_start_cache`` consults a :class:`~repro.serving.capacity.CapacityCache`
   under a schema-versioned signature covering the engines, fleet shape,
   SLA, workload and trace seed, and search fidelity.  Because the signature
@@ -21,7 +27,14 @@ bisection and warm-started brackets.  :class:`CapacitySearch` merges them:
   evaluation at the cached rate and returns — bit-identical to the cold run,
   an order of magnitude cheaper.  Bump :data:`CAPACITY_SCHEMA_VERSION`
   whenever the search semantics change; old entries then miss by
-  construction instead of replaying stale answers.
+  construction instead of replaying stale answers;
+* ``bracket_hints=True`` adds the opt-in second tier: on an exact miss,
+  near-miss entries (same fleet and workload; adjacent SLA, batch size, or
+  policy; scaled homogeneous fleet sizes) tighten the *initial bracket
+  only*.  Hinted searches evaluate strictly fewer rates and converge to the
+  same capacity within the cold search's bracket tolerance, but are not
+  bit-identical — hence opt-in, with per-tier hit/miss counters on the
+  cache.
 
 ``repro.serving.capacity.find_max_qps`` and
 ``repro.serving.cluster.find_cluster_max_qps`` are thin wrappers over this
@@ -33,20 +46,27 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
-from repro.runtime.pool import TaskContext, WorkerPool, pool_scope
+from repro.runtime.pool import (
+    Future,
+    TaskContext,
+    WorkerPool,
+    as_completed,
+    pool_scope,
+)
 from repro.serving.capacity import (
+    BisectionMachine,
     CapacityCache,
     CapacityResult,
-    bisect_max_qps,
-    bisect_max_qps_batched,
     estimate_upper_bound_qps,
     measurement_queries,
     offload_size_stats,
+    speculative_rates,
 )
 from repro.serving.cluster import (
     ClusterServer,
@@ -55,13 +75,68 @@ from repro.serving.cluster import (
     estimate_fleet_upper_bound_qps,
     warm_latency_tables,
 )
-from repro.serving.simulator import ServingConfig, ServingSimulator, pause_gc
+from repro.serving.simulator import (
+    CertainRejection,
+    ServingConfig,
+    ServingSimulator,
+    pause_gc,
+)
 from repro.utils.validation import check_positive
 
 #: Version of the warm-start signature schema.  Folded into every signature,
 #: so entries written under a different schema can never be replayed; bump it
 #: whenever the search semantics or the signature's coverage change.
-CAPACITY_SCHEMA_VERSION = 2
+#: (v3: balancing policy and seed are normalised out of single-server fleet
+#: signatures — with one server every policy is pass-through and the run is
+#: event-identical, so policy variants of the same search now share entries.)
+CAPACITY_SCHEMA_VERSION = 3
+
+#: Over-capacity margins of the near-miss bracket probe, by donor-similarity
+#: penalty: a hinted search probes ``hint * margin`` expecting rejection and
+#: ``hint`` expecting acceptance, which brackets the boundary in two
+#: evaluations whenever the donor capacity is within ``margin`` of this
+#: search's.  Very near donors (an adjacent balancing policy on the same
+#: fleet) warrant a tight bracket; farther ones (another SLA, batch size, or
+#: a scaled homogeneous fleet size) a wider one that absorbs e.g. the
+#: superlinear part of fleet scaling.  A wrong-sided probe only costs a
+#: fallback into the cold phases.
+BRACKET_HINT_MARGINS = ((1.5, 1.06), (9.5, 1.15), (float("inf"), 1.3))
+
+
+def _hint_margin(penalty: float) -> float:
+    """Probe margin for a hint donor at the given similarity penalty."""
+    for threshold, margin in BRACKET_HINT_MARGINS:
+        if penalty <= threshold:
+            return margin
+    return BRACKET_HINT_MARGINS[-1][1]
+
+
+#: Sentinel for "signature not computed yet" (None is a valid signature
+#: outcome, so it cannot double as the marker).
+_UNCOMPUTED = object()
+
+
+def _memo_key(
+    signature: Dict[str, Any], search: "CapacitySearch", hinted: bool
+) -> Dict[str, Any]:
+    """In-process memo key: the signature *plus* presentation-only fields.
+
+    Single-server fleets normalise the balancing policy out of the shared
+    signature (any policy computes the identical run), which is safe for
+    the replay tier — its verifying evaluation runs under the search's own
+    policy and rebuilds the correctly-labelled result.  The memo tier
+    returns a stored result object verbatim, so it must not cross policies:
+    a least-outstanding result replayed for a power-of-two search would
+    carry the wrong policy label even though every measured number matches.
+    Hinted results get their own key for the same reason hinted disk
+    entries do.
+    """
+    return {
+        "signature": signature,
+        "memo_policy": search._policy_name(),
+        "memo_balancer_seed": search._balancer_seed,
+        "memo_hinted": hinted,
+    }
 
 
 def _component_signature(component: Any) -> Dict[str, Any]:
@@ -163,14 +238,29 @@ def _build_evaluator(payload: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
-def _evaluate_rate(state: Dict[str, Any], rate_qps: float) -> Any:
-    """Run the simulator at one offered load and return its result."""
+def _evaluate_rate(state: Dict[str, Any], rate_qps: float, reject: bool = True) -> Any:
+    """Run the simulator at one offered load and return its result.
+
+    By default the SLA target arms the simulators' exact early-rejection
+    exit: a run whose p95 provably cannot meet the target stops immediately
+    with a :class:`~repro.serving.simulator.CertainRejection`
+    (verdict-identical to the full run), while any run that meets the
+    target always completes and returns the ordinary bit-identical result.
+    Searches only ever report results of accepted evaluations, so early
+    exits shorten discarded probe runs without changing a single reported
+    number.  ``reject=False`` forces a run to completion — used when a
+    search must *report* the measurement at a rejected rate (the
+    unbracketed exit), where the early-exit stub has no statistics.
+    """
     generator = state["load_generator"].with_rate(rate_qps)
     count = measurement_queries(
         rate_qps, state["sla_latency_s"], state["num_queries"], state["max_queries"]
     )
     with pause_gc():  # query generation is allocation-heavy, cycle-free
-        return state["simulator"].run(generator.generate(count))
+        return state["simulator"].run(
+            generator.generate(count),
+            reject_above_sla_s=state["sla_latency_s"] if reject else None,
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -220,6 +310,7 @@ class CapacitySearch:
         self._balancer = balancer
         self._warmup_fraction = warmup_fraction
         self._balancer_seed = balancer_seed
+        self._signature_memo: Any = _UNCOMPUTED
         # Fail fast on an invalid fleet/config — in the parent, not mid-run
         # inside a worker.  The validated simulator is kept and reused as
         # the serial/replay evaluator, so a serial search builds it once.
@@ -334,15 +425,29 @@ class CapacitySearch:
         search fidelity knobs.  Returns None when any component cannot be
         described canonically (e.g. a custom balancer instance or a size
         distribution with unserialisable state), in which case warm-start
-        caching is silently skipped.
+        caching is silently skipped.  Computed once per search (the inputs
+        are frozen at construction) and memoised.
         """
+        if self._signature_memo is not _UNCOMPUTED:
+            return self._signature_memo
+        self._signature_memo = self._compute_signature()
+        return self._signature_memo
+
+    def _compute_signature(self) -> Optional[Dict[str, Any]]:
+        fleet = self._fleet()
+        # With a single server every balancing policy degenerates to
+        # pass-through and the run is event-identical (the balancer can only
+        # ever pick server 0), so policy and balancer seed are normalised
+        # out: policy variants of the same one-server search share a cache
+        # entry instead of recomputing identical answers.
+        single = len(fleet) == 1
         try:
             signature: Dict[str, Any] = {
                 "kind": "capacity-search",
                 "schema": CAPACITY_SCHEMA_VERSION,
                 "search": self._kind,
-                "servers": [_server_signature(s) for s in self._fleet()],
-                "policy": self._policy_name(),
+                "servers": [_server_signature(s) for s in fleet],
+                "policy": None if single else self._policy_name(),
                 "sla_latency_s": self._sla_latency_s,
                 "arrival": _component_signature(self._load_generator.arrival),
                 "sizes": _component_signature(self._load_generator.sizes),
@@ -352,7 +457,7 @@ class CapacitySearch:
                 "headroom": self._headroom,
                 "max_queries": self._max_queries,
                 "warmup_fraction": self._warmup_fraction,
-                "balancer_seed": self._balancer_seed,
+                "balancer_seed": 0 if single else self._balancer_seed,
             }
             json.dumps(signature, sort_keys=True)  # probe serialisability
         except (TypeError, ValueError, AttributeError):
@@ -384,37 +489,10 @@ class CapacitySearch:
             **shared,
         }
 
-    def run(
-        self,
-        jobs: int = 1,
-        warm_start_cache: Union[CapacityCache, str, Path, None] = None,
-        pool: Optional[WorkerPool] = None,
-    ) -> CapacityResult:
-        """Execute the search and return the best sustainable rate.
-
-        ``jobs > 1`` evaluates each bisection round's speculative candidates
-        on a worker pool — an explicitly passed ``pool``, else the
-        invocation's shared pool (:func:`~repro.runtime.pool.shared_pool`),
-        else a private pool closed before returning.  Inside a pool worker
-        the search runs serially (nested pools are never forked).  The
-        returned result is identical to the serial search's in all cases.
-        """
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-
-        cache: Optional[CapacityCache] = None
-        signature: Optional[Dict[str, Any]] = None
-        if warm_start_cache is not None:
-            cache = (
-                warm_start_cache
-                if isinstance(warm_start_cache, CapacityCache)
-                else CapacityCache(warm_start_cache)
-            )
-            signature = self.signature()
-
-        # Serial/replay evaluations reuse the parent's validated simulator;
-        # pool workers build their own (deterministic) copy from the payload.
-        context = TaskContext(
+    def _context(self) -> TaskContext:
+        """Evaluator context: serial/replay paths reuse the parent's validated
+        simulator; pool workers build their own (deterministic) copy."""
+        return TaskContext(
             _build_evaluator,
             self._payload(),
             value=_evaluator_state(
@@ -426,55 +504,517 @@ class CapacitySearch:
             ),
         )
 
-        if cache is not None and signature is not None:
-            hint = cache.load(signature)
+    def default_upper_qps(self) -> float:
+        """The cold search's initial bracket top (headroom × analytic bound)."""
+        return self._headroom * self.upper_bound_qps()
+
+    def convergence_width_qps(self) -> float:
+        """Bracket width the cold search guarantees after its iterations.
+
+        The cold bisection starts from ``[upper/64, upper]`` and halves the
+        bracket ``iterations`` times; a hinted search uses this width as its
+        early-stop tolerance, so it converges at least as tightly as the
+        cold search would while evaluating fewer rates.
+        """
+        upper = self.default_upper_qps()
+        return upper * (1.0 - 1.0 / 64.0) / (2.0 ** self._iterations)
+
+    def run(
+        self,
+        jobs: int = 1,
+        warm_start_cache: Union[CapacityCache, str, Path, None] = None,
+        pool: Optional[WorkerPool] = None,
+        bracket_hints: bool = False,
+    ) -> CapacityResult:
+        """Execute the search and return the best sustainable rate.
+
+        ``jobs > 1`` keeps up to ``jobs`` speculative rate evaluations in
+        flight on a worker pool — an explicitly passed ``pool``, else the
+        invocation's shared pool (:func:`~repro.runtime.pool.shared_pool`),
+        else a private pool closed before returning — reacting to each
+        completion as it lands (never more in-flight work than the host has
+        cores; inside a pool worker the search runs serially).  The returned
+        result is identical to the serial search's in all cases.
+
+        ``bracket_hints=True`` additionally lets a replay-exact cache miss
+        consult near-miss entries (same fleet and workload, adjacent
+        SLA/batch/policy, or a scaled homogeneous fleet size) to tighten the
+        *initial bracket only*.  Hinted searches evaluate fewer rates and
+        converge to the same capacity within the cold search's bracket
+        tolerance (:meth:`convergence_width_qps`), but are not bit-identical
+        to the cold search — which is why the tier is opt-in.
+        """
+        return run_capacity_searches(
+            [self],
+            jobs=jobs,
+            warm_start_cache=warm_start_cache,
+            pool=pool,
+            bracket_hints=bracket_hints,
+        )[0]
+
+
+# --------------------------------------------------------------------------- #
+# Completion-driven execution
+# --------------------------------------------------------------------------- #
+
+
+def _host_cores() -> int:
+    """Physical parallelism available to this process (monkeypatchable)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _parallel_budget(jobs: int, pool: WorkerPool) -> int:
+    """Concurrent evaluations worth keeping in flight.
+
+    Speculative evaluations beyond the host's cores cannot run anywhere —
+    they only add fork/IPC overhead and wasted work — so the budget is
+    clamped by the physical core count as well as the pool width.  On a
+    one-core host every search therefore degrades to the exact serial
+    search, no matter how large a ``jobs`` budget the caller requested.
+    """
+    return max(1, min(jobs, pool.max_workers, _host_cores()))
+
+
+class _SearchExecution:
+    """Live state of one capacity search inside the completion-driven driver.
+
+    Tracks the search's decision machine (or pending replay verification),
+    the results that have landed, and the futures still in flight.  The
+    same object drives the serial path (inline, zero speculation) and the
+    parallel path; only the scheduling around it differs.
+    """
+
+    __slots__ = (
+        "search",
+        "sla",
+        "cache",
+        "bracket_hints",
+        "signature",
+        "context",
+        "machine",
+        "replay_rate",
+        "results",
+        "pending",
+        "evaluations",
+        "cancelled",
+        "result",
+        "hinted",
+    )
+
+    def __init__(
+        self,
+        search: CapacitySearch,
+        cache: Optional[CapacityCache],
+        bracket_hints: bool,
+    ) -> None:
+        self.search = search
+        self.sla = search.sla_latency_s
+        self.cache = cache
+        self.bracket_hints = bracket_hints
+        self.signature = search.signature() if cache is not None else None
+        self.context = search._context()
+        self.machine: Optional[BisectionMachine] = None
+        self.replay_rate: Optional[float] = None
+        self.results: Dict[float, Any] = {}
+        self.pending: Dict[float, Future] = {}
+        self.evaluations = 0
+        self.cancelled = 0
+        self.result: Optional[CapacityResult] = None
+        # Whether this search's answer came through the (approximate)
+        # near-miss tier: such results are stored under a *tagged*
+        # signature so they can never be replayed as the cold search's
+        # bit-identical answer by a hints-off run.
+        self.hinted = False
+        if cache is not None and self.signature is not None:
+            memo = cache.memo_load(self._memo_signature(hinted=False))
+            if memo is not None:
+                # This process already ran the identical search against this
+                # cache instance: its full result replays without any
+                # re-verification (it *is* the earlier result).
+                self.result = dataclasses.replace(memo, evaluations=0)
+                return
+            hint = cache.load(self.signature)
             if hint is not None:
                 # The signature pins every decision input, so the cached QPS
                 # is exactly what a cold serial search would return; one
-                # evaluation rebuilds its (deterministic) result object.
-                replay = _evaluate_rate(context.build(), hint)
-                if replay.acceptable(self._sla_latency_s):
-                    return CapacityResult(
-                        max_qps=hint,
-                        sla_latency_s=self._sla_latency_s,
-                        result=replay,
-                    )
+                # verifying evaluation rebuilds its deterministic result.
+                self.replay_rate = hint
+                return
+            if bracket_hints:
+                # A hints-on run may also replay a previously *hinted*
+                # answer for this exact search — approximate in exactly the
+                # way the caller already opted into.  These probes are not
+                # the exact tier, so they do not touch its counters.
+                memo = cache.memo_load(self._memo_signature(hinted=True))
+                if memo is not None:
+                    # Mark the answer as hint-derived: batch dedupe reads
+                    # this flag to key follower results, which must never
+                    # memo-replay for a hints-off run.
+                    self.hinted = True
+                    self.result = dataclasses.replace(memo, evaluations=0)
+                    return
+                hinted_entry = cache.load(self._hinted_signature(), count=False)
+                if hinted_entry is not None:
+                    cache.stats["hinted_replays"] += 1
+                    self.replay_rate = hinted_entry
+                    self.hinted = True
+                    return
+        self._build_machine()
+
+    def _hinted_signature(self) -> Dict[str, Any]:
+        """The tagged store key for answers found via bracket hints.
+
+        Hinted searches converge within tolerance but are not bit-identical
+        to the cold search, so their entries live under a distinct key:
+        hints-off runs (which only consult the untagged signature) can
+        never replay them, preserving the exact tier's guarantee.
+        """
+        return {**self.signature, "hinted": True}
+
+    def _memo_signature(self, hinted: bool) -> Dict[str, Any]:
+        """This search's in-process memo key (see :func:`_memo_key`)."""
+        return _memo_key(self.signature, self.search, hinted)
+
+    def _build_machine(self) -> None:
+        # Reset on entry: a stale *hinted* replay that falls back here may
+        # end up running fully cold, and a cold answer must be stored under
+        # the untagged (bit-identical) keys.
+        self.hinted = False
+        search = self.search
+        upper = search.default_upper_qps()
+        if self.bracket_hints and self.cache is not None and self.signature is not None:
+            hint = self.cache.near_hint(self.signature)
+            if hint is not None:
+                machine = BisectionMachine.hinted(
+                    hint.max_qps,
+                    upper,
+                    search._iterations,
+                    margin=_hint_margin(hint.penalty),
+                    stop_width=search.convergence_width_qps(),
+                )
+                # A donor at or above the cold bracket top cannot tighten
+                # anything; `hinted` fell back to the cold machine, and the
+                # counters must say miss, not hit.
+                self.hinted = machine.phase == "hint-upper"
+                self.cache.count_hint(used=self.hinted)
+                self.machine = machine
+                return
+            self.cache.count_hint(used=False)
+        self.machine = BisectionMachine(upper, search._iterations)
+
+    # ------------------------------------------------------------------ #
+
+    def needed_rates(self, limit: int) -> List[float]:
+        """Rates to keep in flight: the needed one first, speculation after."""
+        if self.result is not None:
+            return []
+        if self.replay_rate is not None:
+            return [self.replay_rate]
+        return speculative_rates(self.machine, limit)
+
+    def absorb(self) -> None:
+        """Advance the decision state as far as landed results allow."""
+        while self.result is None:
+            if self.replay_rate is not None:
+                replay = self.results.get(self.replay_rate)
+                if replay is None:
+                    return
+                if replay.acceptable(self.sla):
+                    # The entry being replayed is already on disk; only the
+                    # in-process memo needs populating.
+                    self._finish(self.replay_rate, replay, store=False)
+                    return
                 # A hint the simulator no longer sustains is stale (e.g. a
                 # foreign file dropped into the directory): search cold.
+                self.replay_rate = None
+                self._build_machine()
+                continue
+            rate = self.machine.next_rate()
+            outcome = self.results.get(rate)
+            if outcome is None:
+                return
+            self.machine.advance(outcome.acceptable(self.sla))
+            if self.machine.done:
+                if self.machine.result_rate is None:
+                    self._finish(0.0, None)
+                else:
+                    self._finish(
+                        self.machine.max_qps,
+                        self._full_result(self.machine.result_rate),
+                    )
+                return
 
-        upper = self._headroom * self.upper_bound_qps()
-        with pool_scope(jobs, pool) as worker_pool:
-            if jobs > 1 and worker_pool.parallelism > 1:
-                # Pre-fill the engines' latency tables so freshly forked
-                # workers inherit warm tables instead of each rebuilding
-                # them lazily mid-evaluation.
-                warm_latency_tables(
-                    self._fleet(),
-                    getattr(self._load_generator.sizes, "max_size", None),
-                )
-                lookahead = max(
-                    1, (min(jobs, worker_pool.max_workers) + 1).bit_length() - 1
-                )
+    def _full_result(self, rate: float) -> Any:
+        """The complete simulation result backing ``CapacityResult.result``.
 
-                def evaluate_batch(rates: Sequence[float]) -> List[Any]:
-                    return worker_pool.map(_evaluate_rate, rates, context=context)
+        Accepted evaluations always ran to completion, so this is normally
+        the recorded outcome.  The one exception is the unbracketed exit,
+        whose reported rate may have been *rejected* — the serial contract
+        still attaches the full measurement at that rate, but the recorded
+        outcome is a :class:`CertainRejection` stub when the early exit
+        fired.  Re-run that single evaluation without the early exit (a
+        deterministic function of the rate, so bit-identical to what the
+        pre-exit search returned).
+        """
+        outcome = self.results[rate]
+        if isinstance(outcome, CertainRejection):
+            outcome = _evaluate_rate(self.context.build(), rate, reject=False)
+            self.results[rate] = outcome
+            self.evaluations += 1
+        return outcome
 
-                result = bisect_max_qps_batched(
-                    evaluate_batch,
-                    upper,
-                    self._sla_latency_s,
-                    self._iterations,
-                    lookahead,
+    def _finish(self, max_qps: float, outcome: Any, store: bool = True) -> None:
+        self.result = CapacityResult(
+            max_qps=max_qps,
+            sla_latency_s=self.sla,
+            result=outcome,
+            evaluations=self.evaluations,
+        )
+        if self.cache is not None and self.signature is not None:
+            if store and max_qps > 0:
+                self.cache.store(
+                    self._hinted_signature() if self.hinted else self.signature,
+                    max_qps,
                 )
+            self.cache.memo_store(self._memo_signature(self.hinted), self.result)
+
+    # ------------------------------------------------------------------ #
+
+    def run_serial(self) -> None:
+        """Drive this search to completion inline (the exact serial search)."""
+        state = self.context.build()
+        while self.result is None:
+            rates = self.needed_rates(1)
+            rate = rates[0]
+            self.results[rate] = _evaluate_rate(state, rate)
+            self.evaluations += 1
+            self.absorb()
+
+
+def run_capacity_searches(
+    searches: Sequence[CapacitySearch],
+    jobs: int = 1,
+    warm_start_cache: Union[CapacityCache, str, Path, None] = None,
+    pool: Optional[WorkerPool] = None,
+    bracket_hints: bool = False,
+) -> List[CapacityResult]:
+    """Run several capacity searches concurrently over one worker pool.
+
+    The cross-search form of :meth:`CapacitySearch.run`: every search's
+    candidate evaluations are submitted into the same pool and each search's
+    decision tree advances the moment one of *its* results lands, so the
+    pool stays full even when a single bisection's lookahead is narrower
+    than the worker budget (small fleets, tight brackets).  The in-flight
+    budget is shared — needed rates of all searches first, deeper
+    speculation after — and each search's outcome is exactly what
+    :meth:`CapacitySearch.run` would return with the same options (searches
+    are independent; with ``bracket_hints=True``, concurrent searches
+    consult hints from the cache as they start, not from siblings still in
+    flight).  Results are returned in input order.
+    """
+    searches = list(searches)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if not searches:
+        return []
+    cache: Optional[CapacityCache] = None
+    if warm_start_cache is not None:
+        cache = (
+            warm_start_cache
+            if isinstance(warm_start_cache, CapacityCache)
+            else CapacityCache(warm_start_cache)
+        )
+
+    # Dedupe identical searches within the batch by signature: fig15-style
+    # grids submit e.g. the size-1 fleet once *per policy*, and schema v3
+    # normalises the policy out of single-server signatures precisely
+    # because those runs are event-identical.  Followers replay the
+    # leader's answer after one verifying evaluation under their own
+    # simulator, so each still gets a correctly-labelled result.
+    leaders: Dict[str, int] = {}
+    followers: Dict[int, int] = {}
+    if len(searches) > 1:
+        for index, search in enumerate(searches):
+            signature = search.signature()
+            if signature is None:
+                continue
+            digest = CapacityCache.digest(signature)
+            if digest in leaders:
+                followers[index] = leaders[digest]
             else:
+                leaders[digest] = index
 
-                def evaluate(rate_qps: float) -> Any:
-                    return _evaluate_rate(context.build(), rate_qps)
-
-                result = bisect_max_qps(
-                    evaluate, upper, self._sla_latency_s, self._iterations
+    with pool_scope(jobs, pool) as worker_pool:
+        budget = _parallel_budget(jobs, worker_pool)
+        executions = {
+            index: _SearchExecution(search, cache, bracket_hints)
+            for index, search in enumerate(searches)
+            if index not in followers
+        }
+        pending_executions = [
+            execution for execution in executions.values() if execution.result is None
+        ]
+        if budget > 1 and worker_pool.parallelism > 1 and pending_executions:
+            # Pre-fill the engines' latency tables so freshly forked workers
+            # inherit warm tables instead of each rebuilding them lazily.
+            for execution in pending_executions:
+                warm_latency_tables(
+                    execution.search._fleet(),
+                    getattr(execution.search._load_generator.sizes, "max_size", None),
                 )
+            _drive_completion(list(executions.values()), worker_pool, budget)
+        else:
+            for execution in pending_executions:
+                execution.run_serial()
 
-        if cache is not None and signature is not None and result.max_qps > 0:
-            cache.store(signature, result.max_qps)
+        results: List[Optional[CapacityResult]] = [None] * len(searches)
+        for index, execution in executions.items():
+            results[index] = execution.result
+        for index, leader_index in followers.items():
+            leader_execution = executions[followers[index]]
+            results[index] = _replay_for_follower(
+                searches[index],
+                results[leader_index],
+                leader_execution.hinted,
+                cache,
+                bracket_hints,
+            )
+    return results
+
+
+def _replay_for_follower(
+    search: CapacitySearch,
+    leader: CapacityResult,
+    leader_hinted: bool,
+    cache: Optional[CapacityCache],
+    bracket_hints: bool,
+) -> CapacityResult:
+    """A duplicate search's result, replayed from its leader's answer.
+
+    Exactly the replay-exact tier's contract, without the disk round trip:
+    one verifying evaluation through the follower's own simulator rebuilds
+    the (deterministic, correctly-labelled) result at the leader's
+    capacity.  An infeasible leader is infeasible for the follower too.
+    The pathological case of a failed verification — possible only if the
+    two searches were not actually identical — falls back to running the
+    follower cold.
+    """
+    if leader.max_qps <= 0 or leader.result is None:
+        return CapacityResult(
+            max_qps=0.0,
+            sla_latency_s=search.sla_latency_s,
+            result=None,
+            evaluations=0,
+        )
+    state = search._context().build()
+    replay = _evaluate_rate(state, leader.max_qps)
+    if replay.acceptable(search.sla_latency_s):
+        result = CapacityResult(
+            max_qps=leader.max_qps,
+            sla_latency_s=search.sla_latency_s,
+            result=replay,
+            evaluations=1,
+        )
+        signature = search.signature()
+        if cache is not None and signature is not None:
+            # Keyed by the leader's hintedness: an answer derived from a
+            # hinted leader must never memo-replay for a hints-off run.
+            cache.memo_store(_memo_key(signature, search, leader_hinted), result)
         return result
+    return _run_follower_cold(search, cache, bracket_hints)
+
+
+def _run_follower_cold(
+    search: CapacitySearch,
+    cache: Optional[CapacityCache],
+    bracket_hints: bool,
+) -> CapacityResult:
+    """Safety net: run a follower as its own serial search."""
+    execution = _SearchExecution(search, cache, bracket_hints)
+    if execution.result is None:
+        execution.run_serial()
+    return execution.result
+
+
+def _drive_completion(
+    executions: List[_SearchExecution], pool: WorkerPool, budget: int
+) -> None:
+    """React to evaluation completions until every search concludes.
+
+    Each cycle: absorb landed results into every machine, refill the shared
+    in-flight budget breadth-first across searches (every active search's
+    *needed* rate before anyone's deeper speculation), mark speculation a
+    tighter bracket has invalidated as cancelled, then block until at least
+    one in-flight evaluation lands.
+    """
+    while True:
+        for execution in executions:
+            execution.absorb()
+        active = [e for e in executions if e.result is None]
+        if not active:
+            return
+
+        # Budget accounting spans *all* executions: a search that concluded
+        # with speculation still running leaves orphaned tasks occupying
+        # workers, and submitting past them would oversubscribe the
+        # core-clamped budget.  (Completed futures stop counting.)
+        total_pending = sum(
+            1
+            for execution in executions
+            for future in execution.pending.values()
+            if not future.done()
+        )
+        plans = {id(e): e.needed_rates(budget) for e in active}
+        for depth in range(budget):
+            if total_pending >= budget:
+                break
+            for execution in active:
+                if total_pending >= budget:
+                    break
+                plan = plans[id(execution)]
+                if depth >= len(plan):
+                    continue
+                rate = plan[depth]
+                if rate in execution.results or rate in execution.pending:
+                    continue
+                execution.pending[rate] = pool.submit(
+                    _evaluate_rate, rate, context=execution.context
+                )
+                execution.evaluations += 1
+                total_pending += 1
+
+        # Speculation outside the machine's still-reachable decision tree
+        # can never be consumed: mark it cancelled (the process task itself
+        # cannot be revoked; the result is simply ignored when it lands).
+        for execution in active:
+            if execution.replay_rate is not None:
+                continue
+            reachable = set(speculative_rates(execution.machine, 4 * budget))
+            for rate, future in execution.pending.items():
+                if rate not in reachable and future.cancel():
+                    execution.cancelled += 1
+
+        # Wait on every in-flight future, orphans of finished searches
+        # included: when orphans hold the whole budget, active searches have
+        # nothing pending, and waiting only on theirs would busy-spin.
+        in_flight = [
+            future
+            for execution in executions
+            for future in execution.pending.values()
+        ]
+        for _ in as_completed(in_flight):
+            break  # wake on the first completion, then harvest everything done
+        for execution in executions:  # finished searches' orphans drain too
+            landed = [
+                rate for rate, future in execution.pending.items() if future.done()
+            ]
+            for rate in landed:
+                future = execution.pending.pop(rate)
+                if execution.result is not None:
+                    # The search already concluded; the orphan's outcome —
+                    # including a worker error — is irrelevant.
+                    continue
+                execution.results[rate] = future.result()

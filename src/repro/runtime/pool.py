@@ -22,6 +22,13 @@ primitive:
   invocation, and :func:`pool_scope` is how library code picks up the
   invocation's pool without threading it through every signature.
 
+Work is dispatched either as a blocking batch (:meth:`WorkerPool.map`) or
+completion-driven: :meth:`WorkerPool.submit` returns a :class:`Future` and
+:func:`as_completed` yields futures in the order their results land, so a
+consumer can react to each result immediately — refill a speculation
+pipeline, tighten a search bracket — instead of synchronising on batch
+boundaries.  ``map`` is submit-and-gather over the same machinery.
+
 Per-task shared state (a simulator, a cluster) is expressed as a
 :class:`TaskContext`: a builder plus its picklable payload, serialised once
 and *built* once per worker (cached by token).  The serial path builds the
@@ -34,6 +41,8 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
@@ -44,10 +53,15 @@ _IN_WORKER = False
 #: one-pool-per-invocation guarantee read this through :func:`pool_forks`.
 _FORK_COUNT = 0
 
-#: Worker-side cache of the most recently built task context, keyed by token.
-#: One entry only: consumers interleave batches of one context at a time, and
-#: bounding the cache keeps long-lived workers from accumulating simulators.
-_WORKER_CONTEXT: dict = {"token": None, "value": None}
+#: Worker-side LRU of built task contexts, keyed by token.  Completion-driven
+#: consumers (several concurrent capacity searches submitting into one pool)
+#: interleave tasks from *all* live contexts round-robin — the worst access
+#: pattern for an undersized LRU — so the bound is sized to hold a full
+#: figure-grid's worth of concurrent searches (fig15's default grid is 12);
+#: it exists only to keep long-lived workers from accumulating simulators
+#: when thousands of distinct contexts stream through over a process's life.
+_WORKER_CONTEXT_SLOTS = 16
+_WORKER_CONTEXTS: "OrderedDict[Tuple[int, int], Any]" = OrderedDict()
 
 
 def _worker_initializer() -> None:
@@ -126,12 +140,116 @@ class TaskContext:
 def _run_contextual_task(task: tuple) -> Any:
     """Worker entry: build/reuse the task's context, then run it on the item."""
     token, frozen, fn, item = task
-    cache = _WORKER_CONTEXT
-    if cache["token"] != token:
+    cache = _WORKER_CONTEXTS
+    if token in cache:
+        cache.move_to_end(token)
+        value = cache[token]
+    else:
         builder, payload = pickle.loads(frozen)
-        cache["value"] = builder(payload)
-        cache["token"] = token
-    return fn(cache["value"], item)
+        value = builder(payload)
+        cache[token] = value
+        if len(cache) > _WORKER_CONTEXT_SLOTS:
+            cache.popitem(last=False)
+    return fn(value, item)
+
+
+# --------------------------------------------------------------------------- #
+# Futures
+# --------------------------------------------------------------------------- #
+
+#: One condition serves every Future: completions are rare (one per simulated
+#: workload) and the shared condition lets :func:`as_completed` wait on any
+#: subset of futures without per-future plumbing.  Pool callbacks notify it
+#: from the result-handler thread.
+_COMPLETION = threading.Condition()
+
+
+class Future:
+    """Result placeholder for one task submitted to a :class:`WorkerPool`.
+
+    Futures resolve either inline at submit time (serial pools, nested
+    submits inside a worker) or from the pool's result-handler thread when
+    the worker finishes.  ``cancel`` only *marks* the future: an in-flight
+    process task cannot be revoked, so a cancelled future still resolves —
+    callers use the mark to ignore speculation a tighter search bracket has
+    invalidated, and the mark is bookkeeping for wasted-work accounting.
+    """
+
+    __slots__ = ("item", "_done", "_value", "_error", "_cancelled")
+
+    def __init__(self, item: Any = None) -> None:
+        self.item = item
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+
+    def done(self) -> bool:
+        """True once a result (or error) has landed."""
+        return self._done
+
+    def cancelled(self) -> bool:
+        """True when the caller has marked this future's result as unwanted."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Mark the result as unwanted; returns False if it already landed."""
+        if self._done:
+            return False
+        self._cancelled = True
+        return True
+
+    def _resolve(self, value: Any) -> None:
+        with _COMPLETION:
+            self._value = value
+            self._done = True
+            _COMPLETION.notify_all()
+
+    def _reject(self, error: BaseException) -> None:
+        with _COMPLETION:
+            self._error = error
+            self._done = True
+            _COMPLETION.notify_all()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the task finishes; return its value or raise its error."""
+        if not self._done:
+            with _COMPLETION:
+                _COMPLETION.wait_for(lambda: self._done, timeout)
+        if not self._done:
+            raise TimeoutError(f"task did not complete within {timeout} s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        if self._cancelled:
+            state += ", cancelled"
+        return f"Future(item={self.item!r}, {state})"
+
+
+def as_completed(futures: Iterable[Future]) -> Iterator[Future]:
+    """Yield ``futures`` in completion order (already-done ones first).
+
+    The completion-driven analogue of gathering a ``map``: consumers react
+    to each result the moment it lands — advancing a bisection, refilling a
+    speculation pipeline — while the remaining tasks keep running.
+    Cancelled futures are still yielded when they resolve (a process task
+    cannot be revoked); callers skip them by the mark.
+    """
+    pending = list(futures)
+    while pending:
+        ready = [future for future in pending if future._done]
+        if not ready:
+            with _COMPLETION:
+                _COMPLETION.wait_for(
+                    lambda: any(future._done for future in pending)
+                )
+            continue
+        for future in ready:
+            pending.remove(future)
+            yield future
 
 
 class WorkerPool:
@@ -178,6 +296,44 @@ class WorkerPool:
             )
         return self._pool
 
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        item: Any,
+        context: Optional[TaskContext] = None,
+    ) -> Future:
+        """Dispatch one task and return a :class:`Future` for its result.
+
+        On a serial pool — or nested inside a pool worker, where forking is
+        forbidden — the task runs inline *now* and the returned future is
+        already resolved, so completion-driven consumers degrade to exact
+        serial execution with no special-casing.  With a ``context``, ``fn``
+        receives ``(context_value, item)``; without one, ``(item)``.
+        """
+        future = Future(item)
+        if self.parallelism <= 1:
+            try:
+                if context is not None:
+                    future._resolve(fn(context.build(), item))
+                else:
+                    future._resolve(fn(item))
+            except BaseException as error:  # delivered at .result()
+                future._reject(error)
+            return future
+        pool = self._ensure()
+        if context is not None:
+            pool.apply_async(
+                _run_contextual_task,
+                (context.pack(fn, item),),
+                callback=future._resolve,
+                error_callback=future._reject,
+            )
+        else:
+            pool.apply_async(
+                fn, (item,), callback=future._resolve, error_callback=future._reject
+            )
+        return future
+
     def map(
         self,
         fn: Callable[..., Any],
@@ -186,24 +342,22 @@ class WorkerPool:
     ) -> List[Any]:
         """Apply ``fn`` to every item, forking the pool only when it pays.
 
-        Runs inline (deterministically, in order) when the pool is serial,
-        the call is nested inside a worker, or the batch has at most one
-        item.  With a ``context``, ``fn`` receives ``(context_value, item)``;
-        without one it receives ``(item)`` — in both cases ``fn`` and the
-        items must be picklable for the parallel path.
+        Submit-and-gather over :meth:`submit`: runs inline (deterministically,
+        in order) when the pool is serial, the call is nested inside a
+        worker, or the batch has at most one item.  With a ``context``,
+        ``fn`` receives ``(context_value, item)``; without one it receives
+        ``(item)`` — in both cases ``fn`` and the items must be picklable
+        for the parallel path.
         """
         items = list(items)
         serial = self.parallelism <= 1 or len(items) <= 1
-        if context is not None:
-            if serial:
+        if serial:
+            if context is not None:
                 value = context.build()
                 return [fn(value, item) for item in items]
-            return self._ensure().map(
-                _run_contextual_task, [context.pack(fn, item) for item in items]
-            )
-        if serial:
             return [fn(item) for item in items]
-        return self._ensure().map(fn, items)
+        futures = [self.submit(fn, item, context=context) for item in items]
+        return [future.result() for future in futures]
 
     def close(self) -> None:
         """Tear the forked pool down (a later ``map`` would fork afresh)."""

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
@@ -31,11 +32,19 @@ class CapacityResult:
     :class:`SimulationResult` for single-server searches, or a
     :class:`~repro.serving.cluster.ClusterSimulationResult` for fleet
     searches (both expose the ``acceptable`` criterion the search uses).
+
+    ``evaluations`` counts the simulator evaluations performed on behalf of
+    this search: the rates the decision tree consumed plus any speculative
+    evaluations a parallel search dispatched (so it can exceed the serial
+    count), or 1 for a warm-start replay and 0 for an in-memory memo hit.
+    It is observability metadata — two results that differ only in
+    ``evaluations`` describe the same capacity.
     """
 
     max_qps: float
     sla_latency_s: float
     result: Optional[SimulationResult]
+    evaluations: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -131,12 +140,14 @@ def bisect_max_qps(
     check_positive("sla_latency_s", sla_latency_s)
     check_positive("iterations", iterations)
     check_positive("upper_qps", upper_qps)
+    evals = 0
 
     upper = upper_qps
     # Make sure the bracket actually contains the SLA boundary: if the upper
     # bound still meets the SLA, raise it.
     for _ in range(3):
         at_upper = evaluate(upper)
+        evals += 1
         if not at_upper.acceptable(sla_latency_s):
             break
         upper *= 1.6
@@ -146,136 +157,453 @@ def bisect_max_qps(
         # ``max_qps`` (and a warm-start replay of this search — one
         # evaluation at the recorded rate — reproduces it bit-identically).
         return CapacityResult(
-            max_qps=upper, sla_latency_s=sla_latency_s, result=evaluate(upper)
+            max_qps=upper,
+            sla_latency_s=sla_latency_s,
+            result=evaluate(upper),
+            evaluations=evals + 1,
         )
 
     lower = upper / 64.0
     at_lower = evaluate(lower)
+    evals += 1
     if not at_lower.acceptable(sla_latency_s):
         # Even a lightly loaded system misses the target: check near-zero load.
         trickle = max(lower / 16.0, 1e-3)
         at_trickle = evaluate(trickle)
+        evals += 1
         if not at_trickle.acceptable(sla_latency_s):
-            return CapacityResult(max_qps=0.0, sla_latency_s=sla_latency_s, result=None)
+            return CapacityResult(
+                max_qps=0.0, sla_latency_s=sla_latency_s, result=None,
+                evaluations=evals,
+            )
         lower, at_lower = trickle, at_trickle
 
     best_rate, best_result = lower, at_lower
     for _ in range(iterations):
         middle = 0.5 * (lower + upper)
         outcome = evaluate(middle)
+        evals += 1
         if outcome.acceptable(sla_latency_s):
             lower = middle
             best_rate, best_result = middle, outcome
         else:
             upper = middle
     return CapacityResult(
-        max_qps=best_rate, sla_latency_s=sla_latency_s, result=best_result
+        max_qps=best_rate, sla_latency_s=sla_latency_s, result=best_result,
+        evaluations=evals,
     )
 
 
-def bisect_max_qps_batched(
-    evaluate_batch: Callable[[Sequence[float]], List[SimulationResult]],
-    upper_qps: float,
-    sla_latency_s: float,
-    iterations: int,
-    lookahead: int = 2,
-) -> CapacityResult:
-    """Speculatively parallel bisection, decision-identical to :func:`bisect_max_qps`.
+class BisectionMachine:
+    """The capacity bisection's decision tree as an explicit state machine.
 
-    ``evaluate_batch(rates)`` evaluates several offered loads at once (e.g.
-    over a process pool) and returns their results in order.  The search
-    walks exactly the decision tree of the serial bisection: each batch
-    contains every rate the next ``lookahead`` serial rounds *could* evaluate
-    (``2**lookahead - 1`` midpoints), the bracket-raise phase evaluates its
-    up-to-three candidates in one batch, and the lower-bound probe evaluates
-    the trickle fallback speculatively.  Because evaluations are
-    deterministic functions of the rate, the returned ``CapacityResult`` is
-    identical to the serial search's — speculation only buys wall-clock time,
-    at the cost of some discarded evaluations.
+    :func:`bisect_max_qps` walks one path through a binary decision tree:
+    every evaluation's accept/reject verdict picks the next rate.  This
+    class factors that tree out of the execution loop — :meth:`next_rate`
+    is the rate the search needs now, :meth:`advance` consumes its verdict —
+    so the *same* decisions can be driven serially, speculatively (cloning
+    the machine down both branches enumerates every rate the next few
+    verdicts could require, see :func:`speculative_rates`), or
+    completion-driven over a pool of in-flight evaluations.  A cold machine
+    consumes exactly the rate sequence of :func:`bisect_max_qps` (property
+    tested), so however the evaluations are scheduled, the final bracket and
+    result are those of the serial search.
+
+    :meth:`hinted` builds a machine whose *initial bracket only* is
+    tightened around a near-miss warm-start hint: it probes
+    ``hint * margin`` (expected over capacity) and ``hint`` (expected
+    under), falling back to the cold phases whenever a probe disagrees, and
+    ``stop_width`` ends the bisection once the bracket is at least as tight
+    as the cold search's final bracket would be.  Hinted searches converge
+    to the same capacity within that bracket width in fewer evaluations —
+    they are *not* bit-identical to the cold search, which is why hints are
+    opt-in at the search layer.
     """
-    check_positive("sla_latency_s", sla_latency_s)
-    check_positive("iterations", iterations)
-    check_positive("upper_qps", upper_qps)
-    if lookahead < 1:
-        raise ValueError(f"lookahead must be >= 1, got {lookahead}")
 
-    # Phase 1 — bracket raise: serial evaluates at most three uppers.
-    upper_candidates = []
-    value = upper_qps
-    for _ in range(3):
-        upper_candidates.append(value)
-        value *= 1.6
-    upper_results = evaluate_batch(upper_candidates)
-    upper = upper_qps
-    bracketed = False
-    for candidate, at_upper in zip(upper_candidates, upper_results):
-        if not at_upper.acceptable(sla_latency_s):
-            upper = candidate
-            bracketed = True
-            break
-        upper = candidate * 1.6
-    if not bracketed:
-        # Mirror of the serial unbracketed exit: measure at the reported
-        # rate so the result matches max_qps (and warm replay) exactly.
-        return CapacityResult(
-            max_qps=upper,
-            sla_latency_s=sla_latency_s,
-            result=evaluate_batch([upper])[0],
-        )
-
-    # Phase 2 — lower bound, with the near-zero trickle probe speculated.
-    lower = upper / 64.0
-    trickle = max(lower / 16.0, 1e-3)
-    at_lower, at_trickle = evaluate_batch([lower, trickle])
-    if not at_lower.acceptable(sla_latency_s):
-        if not at_trickle.acceptable(sla_latency_s):
-            return CapacityResult(max_qps=0.0, sla_latency_s=sla_latency_s, result=None)
-        lower, at_lower = trickle, at_trickle
-
-    # Phase 3 — bisection, `lookahead` serial rounds per batch.
-    best_rate, best_result = lower, at_lower
-    remaining = iterations
-    while remaining > 0:
-        depth = min(lookahead, remaining)
-        candidates: List[float] = []
-
-        def collect(low: float, high: float, levels: int) -> None:
-            if not levels:
-                return
-            middle = 0.5 * (low + high)
-            candidates.append(middle)
-            collect(middle, high, levels - 1)
-            collect(low, middle, levels - 1)
-
-        collect(lower, upper, depth)
-        outcomes = dict(zip(candidates, evaluate_batch(candidates)))
-        for _ in range(depth):
-            middle = 0.5 * (lower + upper)
-            outcome = outcomes[middle]
-            if outcome.acceptable(sla_latency_s):
-                lower = middle
-                best_rate, best_result = middle, outcome
-            else:
-                upper = middle
-        remaining -= depth
-    return CapacityResult(
-        max_qps=best_rate, sla_latency_s=sla_latency_s, result=best_result
+    __slots__ = (
+        "phase",
+        "upper",
+        "lower",
+        "hint",
+        "cold_upper",
+        "known_lower",
+        "raise_attempts",
+        "best_rate",
+        "remaining",
+        "iterations",
+        "stop_width",
+        "trickle_rate",
+        "max_qps",
+        "result_rate",
     )
+
+    def __init__(
+        self, upper_qps: float, iterations: int, stop_width: float = 0.0
+    ) -> None:
+        check_positive("upper_qps", upper_qps)
+        check_positive("iterations", iterations)
+        if stop_width < 0:
+            raise ValueError(f"stop_width must be >= 0, got {stop_width}")
+        self.phase = "raise"
+        self.upper = upper_qps
+        self.lower = 0.0
+        self.hint = 0.0
+        self.cold_upper = upper_qps
+        self.known_lower: Optional[float] = None
+        self.raise_attempts = 0
+        self.best_rate: Optional[float] = None
+        self.remaining = 0
+        self.iterations = iterations
+        self.stop_width = stop_width
+        self.trickle_rate = 0.0
+        self.max_qps: Optional[float] = None
+        self.result_rate: Optional[float] = None
+
+    @classmethod
+    def hinted(
+        cls,
+        hint_qps: float,
+        upper_qps: float,
+        iterations: int,
+        margin: float = 1.15,
+        stop_width: float = 0.0,
+    ) -> "BisectionMachine":
+        """A machine whose initial bracket is tightened around ``hint_qps``.
+
+        Falls back to a cold machine when the hint cannot tighten anything
+        (non-positive, or so close to the default upper bound that the
+        probes would not help).  ``cold_upper`` is remembered: when the
+        ``hint * margin`` probe unexpectedly sustains the SLA, the machine
+        recovers by probing the cold upper bound directly — bracketing in
+        one step whenever the cold bound would have, instead of crawling up
+        in ×1.6 raises from the hinted top.
+        """
+        machine = cls(upper_qps, iterations, stop_width=stop_width)
+        if hint_qps <= 0 or margin <= 1.0 or hint_qps * margin >= upper_qps:
+            return machine
+        machine.cold_upper = upper_qps
+        machine.phase = "hint-upper"
+        machine.upper = hint_qps * margin
+        machine.hint = hint_qps
+        return machine
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> bool:
+        """True once the search has concluded (``max_qps`` is set)."""
+        return self.phase == "done"
+
+    @property
+    def infeasible(self) -> bool:
+        """True when the search concluded that no load meets the SLA."""
+        return self.done and self.result_rate is None
+
+    def clone(self) -> "BisectionMachine":
+        """An independent copy (used to enumerate speculative branches)."""
+        copy = BisectionMachine.__new__(BisectionMachine)
+        for slot in BisectionMachine.__slots__:
+            setattr(copy, slot, getattr(self, slot))
+        return copy
+
+    def next_rate(self) -> Optional[float]:
+        """The offered load whose verdict the decision tree needs next."""
+        phase = self.phase
+        if phase in ("raise", "unbracketed", "hint-upper"):
+            return self.upper
+        if phase == "hint-lower":
+            return self.hint
+        if phase == "lower":
+            return self.lower
+        if phase == "trickle":
+            return self.trickle_rate
+        if phase == "bisect":
+            return 0.5 * (self.lower + self.upper)
+        return None  # done
+
+    def advance(self, acceptable: bool) -> None:
+        """Consume the verdict of :meth:`next_rate`'s evaluation."""
+        phase = self.phase
+        if phase == "raise":
+            if acceptable:
+                self.raise_attempts += 1
+                self.upper *= 1.6
+                if self.raise_attempts >= 3:
+                    self.phase = "unbracketed"
+            elif self.known_lower is not None:
+                # A hinted probe already established an acceptable rate, so
+                # the cold lower-bound probe is redundant.
+                self.lower = self.known_lower
+                self._enter_bisect()
+            else:
+                self._enter_lower()
+        elif phase == "unbracketed":
+            # Whatever this measurement says, the serial search reports the
+            # raised upper (its result is measured at that same rate).
+            self._finish(self.upper, self.upper)
+        elif phase == "hint-upper":
+            if acceptable:
+                # The hinted top still sustains the SLA: keep it as a known
+                # lower bound and jump straight to the cold upper bound,
+                # which brackets in one probe whenever the cold search's
+                # initial bracket would have (further ×1.6 raises only if
+                # even that sustains the SLA).
+                self.known_lower = self.upper
+                self.best_rate = self.upper
+                self.upper = self.cold_upper
+                self.phase = "raise"
+            else:
+                self.phase = "hint-lower"
+        elif phase == "hint-lower":
+            if acceptable:
+                self.lower = self.hint
+                self.best_rate = self.hint
+                self._enter_bisect()
+            else:
+                # The hint itself is over capacity: it is a tighter upper
+                # bound than the probe; continue with the cold phases.
+                self.upper = self.hint
+                self._enter_lower()
+        elif phase == "lower":
+            if acceptable:
+                self.best_rate = self.lower
+                self._enter_bisect()
+            else:
+                self.trickle_rate = max(self.lower / 16.0, 1e-3)
+                self.phase = "trickle"
+        elif phase == "trickle":
+            if acceptable:
+                self.lower = self.trickle_rate
+                self.best_rate = self.trickle_rate
+                self._enter_bisect()
+            else:
+                self._finish(0.0, None)
+        elif phase == "bisect":
+            middle = 0.5 * (self.lower + self.upper)
+            if acceptable:
+                self.lower = middle
+                self.best_rate = middle
+            else:
+                self.upper = middle
+            self.remaining -= 1
+            if self.remaining <= 0 or (self.upper - self.lower) <= self.stop_width:
+                self._finish(self.best_rate, self.best_rate)
+        else:
+            raise RuntimeError("cannot advance a finished bisection")
+
+    # ------------------------------------------------------------------ #
+
+    def _enter_lower(self) -> None:
+        self.lower = self.upper / 64.0
+        self.phase = "lower"
+
+    def _enter_bisect(self) -> None:
+        self.remaining = self.iterations
+        if (self.upper - self.lower) <= self.stop_width:
+            self._finish(self.best_rate, self.best_rate)
+        else:
+            self.phase = "bisect"
+
+    def _finish(self, max_qps: Optional[float], result_rate: Optional[float]) -> None:
+        self.max_qps = max_qps
+        self.result_rate = result_rate
+        self.phase = "done"
+
+
+def speculative_rates(machine: BisectionMachine, limit: int) -> List[float]:
+    """Up to ``limit`` rates the machine's next few verdicts could require.
+
+    Breadth-first over the decision tree's branches: the first entry is
+    always the rate the machine needs *now*; later entries are rates that
+    become the needed one under some combination of pending verdicts, so a
+    parallel search keeps them in flight speculatively.  Shallower rates —
+    needed sooner, under fewer assumptions — come first, which is the order
+    a bounded pipeline should fill in.
+    """
+    if limit <= 0:
+        return []
+    rates: List[float] = []
+    seen: set = set()
+    frontier = [machine]
+    while frontier and len(rates) < limit:
+        next_frontier: List[BisectionMachine] = []
+        for state in frontier:
+            rate = state.next_rate()
+            if rate is None:
+                continue
+            if rate not in seen:
+                seen.add(rate)
+                rates.append(rate)
+                if len(rates) >= limit:
+                    break
+            for outcome in (False, True):
+                branch = state.clone()
+                branch.advance(outcome)
+                if not branch.done:
+                    next_frontier.append(branch)
+        frontier = next_frontier
+    return rates
+
+
+#: Top-level signature fields a near-miss bracket hint may disagree on, with
+#: the similarity penalty each disagreement adds.  Everything *not* listed
+#: here (and not handled by the per-server / fleet-size rules) must match
+#: exactly for an entry to qualify as a hint donor.
+_HINT_FLEXIBLE_FIELDS: Dict[str, float] = {
+    "sla_latency_s": 2.0,
+    "policy": 1.0,
+    "balancer_seed": 0.5,
+    "num_queries": 0.25,
+    "iterations": 0.25,
+    "max_queries": 0.25,
+    "headroom": 0.25,
+}
+
+#: Flexible fields whose values are magnitudes (so donor distance grows with
+#: the log ratio), as opposed to identity fields like a policy name or an
+#: RNG seed where the numeric "distance" between values is meaningless.
+_HINT_MAGNITUDE_FIELDS = frozenset(
+    {"sla_latency_s", "num_queries", "iterations", "max_queries", "headroom"}
+)
+
+#: Per-server signature fields a hint donor may disagree on (per server).
+_HINT_FLEXIBLE_SERVER_FIELDS: Dict[str, float] = {"batch_size": 2.0}
+
+#: Penalty for a homogeneous-fleet size mismatch (the hint is scaled by the
+#: size ratio) — deliberately the largest, so any same-size donor wins.
+_HINT_SIZE_SCALE_PENALTY = 8.0
+
+
+@dataclass(frozen=True)
+class BracketHint:
+    """A near-miss warm-start hint for the initial bisection bracket.
+
+    ``max_qps`` is the donor entry's capacity (scaled by the fleet-size
+    ratio when the donor is the same homogeneous fleet at another size);
+    ``penalty`` is the similarity distance it was selected at, which the
+    search uses to size its probe margin — near donors (an adjacent
+    balancing policy) get a tight bracket, farther ones (another SLA or a
+    scaled fleet size) a wider one.
+    """
+
+    max_qps: float
+    penalty: float
+
+
+def _hint_distance(
+    current: Dict[str, Any], entry: Dict[str, Any]
+) -> Optional[tuple]:
+    """``(penalty, scale)`` for using ``entry`` as a bracket hint, or None.
+
+    ``None`` means the entry is not a near miss at all (different workload,
+    schema, platform, ...).  ``scale`` multiplies the donor's capacity —
+    1.0 except for homogeneous fleets of a different size, where capacity
+    scales roughly linearly with the server count.  Entries tagged
+    ``hinted`` (answers themselves found via a hint) may still donate — a
+    bracket hint needs no exactness — at a small extra penalty.
+    """
+    penalty = 0.0
+    if entry.get("hinted"):
+        entry = {key: value for key, value in entry.items() if key != "hinted"}
+        penalty += 0.5
+    if current.keys() != entry.keys():
+        return None
+    for field_name, value in current.items():
+        if field_name in ("servers", *_HINT_FLEXIBLE_FIELDS):
+            continue
+        if entry[field_name] != value:
+            return None
+    for field_name, field_penalty in _HINT_FLEXIBLE_FIELDS.items():
+        mine, theirs = current.get(field_name), entry.get(field_name)
+        if theirs == mine:
+            continue
+        penalty += field_penalty
+        # Magnitude knobs (the SLA above all) are *adjacent*, not just
+        # different: rank donors by log-distance so the nearest SLA wins
+        # over a farther one instead of a filename tie-break.  Identity
+        # fields (a balancer seed, a policy name) carry no magnitude — for
+        # them the flat penalty is the whole story.
+        if (
+            field_name in _HINT_MAGNITUDE_FIELDS
+            and isinstance(mine, (int, float))
+            and isinstance(theirs, (int, float))
+            and mine > 0
+            and theirs > 0
+        ):
+            penalty += abs(math.log2(mine / theirs))
+
+    ours, theirs = current["servers"], entry["servers"]
+    scale = 1.0
+    if len(ours) == len(theirs):
+        for mine, other in zip(ours, theirs):
+            if mine.keys() != other.keys():
+                return None
+            for key, value in mine.items():
+                if other[key] == value:
+                    continue
+                per_server = _HINT_FLEXIBLE_SERVER_FIELDS.get(key)
+                if per_server is None:
+                    return None
+                penalty += per_server
+    else:
+        # A homogeneous fleet of a different size: capacity scales roughly
+        # linearly with the server count, so the donor's QPS (scaled by the
+        # ratio) still brackets the answer usefully.
+        if not ours or not theirs:
+            return None
+        if any(server != ours[0] for server in ours[1:]):
+            return None
+        if any(server != theirs[0] for server in theirs[1:]):
+            return None
+        if ours[0] != theirs[0]:
+            return None
+        penalty += _HINT_SIZE_SCALE_PENALTY
+        scale = len(ours) / len(theirs)
+    return penalty, scale
 
 
 class CapacityCache:
-    """On-disk warm-start store for capacity searches.
+    """Warm-start store for capacity searches, with two tiers plus a memo.
 
-    Maps a canonical search signature to the ``max_qps`` a previous search
-    found, so reruns (and sweeps sharing a cache directory) can start the
-    bisection from a bracket that is already close to the answer instead of
-    the optimistic analytic upper bound.  Entries are one JSON file per
-    signature, named by its SHA-256 digest — shareable and prunable with
-    ordinary file tools, like the sweep runner's result cache.
+    * **Replay-exact tier** (:meth:`load` / :meth:`store`): maps a canonical
+      search signature to the ``max_qps`` a previous search found.  Because
+      the signature pins every decision input, a hit replays the cold
+      search's answer after one verifying evaluation — bit-identical.
+    * **Near-miss tier** (:meth:`near_hint`): when the exact tier misses, an
+      entry for the *same fleet and workload* at an adjacent SLA, batch
+      size, or balancing policy (or a homogeneous fleet of a different
+      size, scaled by the size ratio) can still tighten the initial
+      bisection bracket.  Hints change the evaluation count, not the
+      converged capacity (within the cold search's bracket tolerance), and
+      are only consulted when the search opts in (``bracket_hints=True``).
+    * **In-process memo** (:meth:`memo_load` / :meth:`memo_store`): full
+      :class:`CapacityResult` objects keyed by digest, so one
+      :class:`CapacityCache` instance shared across a sweep serves repeated
+      identical searches without re-verification — the stored result *is*
+      the earlier run's, trivially bit-identical.
+
+    Entries are one JSON file per signature, named by its SHA-256 digest —
+    shareable and prunable with ordinary file tools, like the sweep runner's
+    result cache.  ``stats`` counts hits and misses per tier so sweep
+    reports can surface cache behaviour.  The near-miss tier scans the
+    directory (parsed entries are memoised per instance), so it is meant
+    for per-sweep cache directories with up to a few thousand entries, not
+    unbounded shared stores.
     """
 
     def __init__(self, cache_dir: Union[str, Path]) -> None:
         self._dir = Path(cache_dir)
+        self._memo: Dict[str, "CapacityResult"] = {}
+        self._entries: Dict[str, Optional[tuple]] = {}  # filename -> (sig, qps)
+        self.stats: Dict[str, int] = {
+            "exact_hits": 0,
+            "exact_misses": 0,
+            "memo_hits": 0,
+            "hint_hits": 0,
+            "hint_misses": 0,
+            "hinted_replays": 0,
+            "stores": 0,
+        }
 
     @property
     def cache_dir(self) -> Path:
@@ -291,15 +619,23 @@ class CapacityCache:
     def _path(self, signature: Dict[str, Any]) -> Path:
         return self._dir / f"capacity-{self.digest(signature)}.json"
 
-    def load(self, signature: Dict[str, Any]) -> Optional[float]:
-        """Return the cached max QPS for ``signature``, or None."""
+    def load(self, signature: Dict[str, Any], count: bool = True) -> Optional[float]:
+        """Return the cached max QPS for ``signature``, or None.
+
+        ``count=False`` leaves the exact-tier counters untouched — used by
+        lookups that are *not* the exact tier (the hinted-entry probe of a
+        hints-on run), whose outcomes are tallied by their own counters.
+        """
         path = self._path(signature)
         try:
             payload = json.loads(path.read_text())
             max_qps = float(payload["max_qps"])
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            return None  # missing/corrupt/foreign-shaped entries are misses
-        return max_qps if max_qps > 0 else None
+            max_qps = 0.0  # missing/corrupt/foreign-shaped entries are misses
+        hit = max_qps > 0
+        if count:
+            self.stats["exact_hits" if hit else "exact_misses"] += 1
+        return max_qps if hit else None
 
     def store(self, signature: Dict[str, Any], max_qps: float) -> None:
         """Record ``max_qps`` for ``signature`` (atomic write-then-rename)."""
@@ -309,6 +645,81 @@ class CapacityCache:
         scratch = path.with_suffix(f".tmp-{os.getpid()}")
         scratch.write_text(json.dumps(entry, sort_keys=True))
         scratch.replace(path)
+        self._entries[path.name] = (entry["signature"], max_qps)
+        self.stats["stores"] += 1
+
+    # ------------------------------------------------------------------ #
+
+    def memo_load(self, signature: Dict[str, Any]) -> Optional["CapacityResult"]:
+        """This instance's previously returned result for ``signature``."""
+        result = self._memo.get(self.digest(signature))
+        if result is not None:
+            self.stats["memo_hits"] += 1
+        return result
+
+    def memo_store(self, signature: Dict[str, Any], result: "CapacityResult") -> None:
+        """Remember a finished search's full result for this process."""
+        self._memo[self.digest(signature)] = result
+
+    # ------------------------------------------------------------------ #
+
+    def _iter_entries(self):
+        """Parsed ``(signature, max_qps)`` pairs, newly seen files included."""
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self._dir)
+                if name.startswith("capacity-") and name.endswith(".json")
+            )
+        except OSError:
+            names = []
+        for name in names:
+            if name not in self._entries:
+                try:
+                    payload = json.loads((self._dir / name).read_text())
+                    parsed = (dict(payload["signature"]), float(payload["max_qps"]))
+                except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    parsed = None
+                self._entries[name] = parsed
+            entry = self._entries[name]
+            if entry is not None:
+                yield name, entry
+
+    def near_hint(self, signature: Dict[str, Any]) -> Optional[BracketHint]:
+        """A bracket hint from the most similar near-miss entry, or None.
+
+        Deterministic: candidates are ranked by similarity penalty (see
+        :func:`_hint_distance`), ties broken by entry filename.  The exact
+        entry for ``signature`` itself never reaches this tier — the caller
+        consults :meth:`load` first.  Does *not* touch ``stats``: whether a
+        donor actually tightened a bracket is only known once the search
+        builds its machine, so the search layer records the hit or miss
+        (:meth:`count_hint`).
+        """
+        own = self._path(signature).name
+        best: Optional[tuple] = None  # (penalty, name, scaled_qps)
+        for name, (entry_signature, max_qps) in self._iter_entries():
+            if name == own or max_qps <= 0:
+                continue
+            scored = _hint_distance(signature, entry_signature)
+            if scored is None:
+                continue
+            penalty, scale = scored
+            candidate = (penalty, name, max_qps * scale)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            return None
+        return BracketHint(max_qps=best[2], penalty=best[0])
+
+    def count_hint(self, used: bool) -> None:
+        """Record whether a near-miss lookup actually tightened a bracket.
+
+        A donor whose capacity sits at or above the cold bracket top cannot
+        tighten anything and falls back to the cold search — that is a
+        *miss* in the counters, even though an entry was found.
+        """
+        self.stats["hint_hits" if used else "hint_misses"] += 1
 
 
 def find_max_qps(
@@ -323,6 +734,7 @@ def find_max_qps(
     jobs: int = 1,
     warm_start_cache: Union["CapacityCache", str, Path, None] = None,
     pool: Optional[Any] = None,
+    bracket_hints: bool = False,
 ) -> CapacityResult:
     """Bisection search for the maximum QPS meeting the p95 SLA.
 
@@ -334,11 +746,15 @@ def find_max_qps(
     (e.g. a single large query already exceeds the target).
 
     A thin wrapper over :class:`repro.runtime.capacity.CapacitySearch`:
-    ``jobs > 1`` evaluates each bisection round's speculative candidates on
-    the invocation's shared worker pool (or ``pool``, if given), and
-    ``warm_start_cache`` replays a previously recorded identical search
-    after one verifying evaluation.  Both paths return results
-    **bit-identical** to the serial cold search.
+    ``jobs > 1`` keeps speculative candidate evaluations in flight on the
+    invocation's shared worker pool (or ``pool``, if given), reacting to
+    each completion as it lands, and ``warm_start_cache`` replays a
+    previously recorded identical search after one verifying evaluation.
+    Both paths return results **bit-identical** to the serial cold search.
+    ``bracket_hints=True`` opts into the near-miss warm-start tier —
+    fewer evaluations, same capacity within the cold search's bracket
+    tolerance, *not* bit-identical (see
+    :meth:`repro.runtime.capacity.CapacitySearch.run`).
     """
     from repro.runtime.capacity import CapacitySearch
 
@@ -351,4 +767,9 @@ def find_max_qps(
         iterations=iterations,
         headroom=headroom,
         max_queries=max_queries,
-    ).run(jobs=jobs, warm_start_cache=warm_start_cache, pool=pool)
+    ).run(
+        jobs=jobs,
+        warm_start_cache=warm_start_cache,
+        pool=pool,
+        bracket_hints=bracket_hints,
+    )

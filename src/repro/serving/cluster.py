@@ -53,11 +53,13 @@ from repro.serving.capacity import (
 )
 from repro.serving.simulator import (
     EVT_CPU_DONE,
+    CertainRejection,
     SLACriteriaMixin,
     ServerKernel,
     ServingConfig,
     _INFINITY,
     _arrival_key,
+    certain_rejection_threshold,
     late_window_p95,
     pause_gc,
     resolve_num_cores,
@@ -487,8 +489,20 @@ class ClusterSimulator:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, queries: Sequence[Query]) -> ClusterSimulationResult:
-        """Serve ``queries`` across the fleet and return fleet measurements."""
+    def run(
+        self,
+        queries: Sequence[Query],
+        reject_above_sla_s: Optional[float] = None,
+    ) -> Union[ClusterSimulationResult, CertainRejection]:
+        """Serve ``queries`` across the fleet and return fleet measurements.
+
+        ``reject_above_sla_s`` arms the exact early-rejection exit shared
+        with :class:`~repro.serving.simulator.ServingSimulator`: the run
+        stops with a :class:`~repro.serving.simulator.CertainRejection` once
+        the full run's p95 provably exceeds the target, and always completes
+        (bit-identically) otherwise.  Capacity searches use it to cut short
+        overloaded probe evaluations whose results are discarded anyway.
+        """
         if not queries:
             raise ValueError("cannot simulate an empty query stream")
 
@@ -500,6 +514,9 @@ class ClusterSimulator:
         )
         warmup_count = int(len(ordered) * warmup_fraction)
         warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+        reject_sla = reject_above_sla_s if reject_above_sla_s is not None else _INFINITY
+        reject_needed = certain_rejection_threshold(len(ordered) - warmup_count)
+        over_sla = 0
 
         # Arrivals are consumed straight from the sorted list with a cursor
         # (the balancer assigns their server at that point); only completions
@@ -553,6 +570,14 @@ class ClusterSimulator:
                             record(latency)
                             if per_server_latencies is not None:
                                 per_server_latencies[server_index].append(latency)
+                            if latency > reject_sla:
+                                over_sla += 1
+                                if over_sla >= reject_needed:
+                                    return CertainRejection(
+                                        sla_latency_s=reject_sla,
+                                        measured_queries=len(measured_latencies),
+                                        over_sla_queries=over_sla,
+                                    )
                         continue
                 if cursor >= num_arrivals:
                     break
@@ -694,6 +719,7 @@ def find_cluster_max_qps(
     jobs: int = 1,
     warm_start_cache: Union[CapacityCache, str, Path, None] = None,
     pool: Optional[Any] = None,
+    bracket_hints: bool = False,
 ) -> CapacityResult:
     """Bisection search for the fleet's maximum QPS under the p95 SLA.
 
@@ -716,7 +742,11 @@ def find_cluster_max_qps(
     evaluation at the cached rate — and records this search's outcome for
     future runs.  Because the schema-versioned signature pins every decision
     input, a warm-started search returns **bit-identical** results to the
-    cold serial run.
+    cold serial run.  ``bracket_hints=True`` opts into the near-miss
+    warm-start tier: adjacent entries (SLA, batch size, policy, scaled
+    fleet size) tighten the initial bracket — fewer evaluations, same
+    capacity within the cold search's bracket tolerance, not bit-identical
+    (see :meth:`repro.runtime.capacity.CapacitySearch.run`).
     """
     check_positive("num_queries", num_queries)
     from repro.runtime.capacity import CapacitySearch
@@ -732,4 +762,9 @@ def find_cluster_max_qps(
         max_queries=max_queries,
         warmup_fraction=warmup_fraction,
         balancer_seed=balancer_seed,
-    ).run(jobs=jobs, warm_start_cache=warm_start_cache, pool=pool)
+    ).run(
+        jobs=jobs,
+        warm_start_cache=warm_start_cache,
+        pool=pool,
+        bracket_hints=bracket_hints,
+    )

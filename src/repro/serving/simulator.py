@@ -29,11 +29,12 @@ from __future__ import annotations
 import gc
 import heapq
 import itertools
+import math
 import operator
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -151,6 +152,58 @@ class SimulationResult(SLACriteriaMixin):
     drain_s: float = 0.0
     arrival_span_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list, repr=False)
+
+
+@dataclass(frozen=True)
+class CertainRejection:
+    """Early-exit outcome of a run whose SLA rejection became certain mid-run.
+
+    Returned (instead of a full result) when a simulation is given a
+    ``reject_above_sla_s`` target and enough measured latencies have already
+    exceeded it that the *complete* run's p95 would exceed it no matter how
+    the remaining queries fare (see :func:`certain_rejection_threshold`).
+    The verdict is exact — ``acceptable`` is False precisely when the full
+    run's would be — but the aggregate statistics of the full run were never
+    computed, so this object carries only the evidence.  Capacity searches
+    use it for rejected probe evaluations, whose result objects are
+    discarded; any evaluation that meets the SLA always runs to completion
+    and returns the ordinary full result.
+    """
+
+    sla_latency_s: float
+    measured_queries: int
+    over_sla_queries: int
+
+    def meets_sla(self, sla_latency_s: float) -> bool:
+        """False: the full run's p95 provably exceeds the rejection target."""
+        return False
+
+    def is_stable(self, sla_latency_s: float) -> bool:
+        """False: stability was not measured, and the run is rejected anyway."""
+        return False
+
+    def acceptable(self, sla_latency_s: float) -> bool:
+        """False, exactly as the completed run's ``acceptable`` would be."""
+        return False
+
+
+def certain_rejection_threshold(measured_total: int) -> int:
+    """Over-SLA measurements after which p95 > SLA holds for the full run.
+
+    With ``n`` measured latencies, the linear-interpolation p95 (numpy's
+    default, used by :class:`~repro.utils.stats.PercentileTracker`) sits at
+    virtual index ``0.95 * (n - 1)``: writing ``f = floor(0.95 * (n - 1))``,
+    the interpolated value is ``x[f] + frac * (x[f+1] - x[f]) >= x[f]`` on
+    the sorted samples.  Once at least ``n - f`` samples exceed the target,
+    at most ``f`` samples can be within it, so ``x[f]`` — and therefore the
+    p95 — exceeds the target regardless of every not-yet-measured latency.
+    Measured-so-far counts only grow, which makes ``n - f`` an exact early
+    rejection threshold, not a heuristic.  (The float product mirrors
+    numpy's own virtual-index arithmetic bit for bit.)
+    """
+    if measured_total <= 0:
+        return 1
+    return measured_total - math.floor((measured_total - 1) * 0.95)
 
 
 # Event kinds, ordered so that completions at time t are processed before
@@ -511,8 +564,20 @@ class ServingSimulator:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, queries: Sequence[Query]) -> SimulationResult:
-        """Simulate serving ``queries`` and return aggregate measurements."""
+    def run(
+        self,
+        queries: Sequence[Query],
+        reject_above_sla_s: Optional[float] = None,
+    ) -> Union[SimulationResult, CertainRejection]:
+        """Simulate serving ``queries`` and return aggregate measurements.
+
+        ``reject_above_sla_s`` arms the exact early-rejection exit: the run
+        stops and returns a :class:`CertainRejection` the moment enough
+        measured latencies exceed the target that the completed run's p95
+        would provably exceed it too (:func:`certain_rejection_threshold`).
+        Runs that meet the target always complete and return the ordinary
+        full result, so accepted measurements are unchanged bit for bit.
+        """
         if not queries:
             raise ValueError("cannot simulate an empty query stream")
         config = self._config
@@ -520,6 +585,9 @@ class ServingSimulator:
         ordered = sorted(queries, key=_arrival_key)
         warmup_count = int(len(ordered) * config.warmup_fraction)
         warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+        reject_sla = reject_above_sla_s if reject_above_sla_s is not None else _INFINITY
+        reject_needed = certain_rejection_threshold(len(ordered) - warmup_count)
+        over_sla = 0
 
         # Arrivals are consumed straight from the sorted list with a cursor;
         # only completions go through the event heap.  A completion at time t
@@ -560,7 +628,16 @@ class ServingSimulator:
                         if now > last_completion:
                             last_completion = now
                         if completed.query_id not in warmup_ids:
-                            record(now - completed.arrival_time)
+                            latency = now - completed.arrival_time
+                            record(latency)
+                            if latency > reject_sla:
+                                over_sla += 1
+                                if over_sla >= reject_needed:
+                                    return CertainRejection(
+                                        sla_latency_s=reject_sla,
+                                        measured_queries=len(measured_latencies),
+                                        over_sla_queries=over_sla,
+                                    )
                         continue
                 if cursor >= num_arrivals:
                     break

@@ -1,0 +1,507 @@
+"""Completion-driven capacity search: decision identity, hints, early exits.
+
+Three layers of coverage:
+
+* **Decision machine** (property-based): :class:`BisectionMachine` consumes
+  exactly the rate/verdict sequence of the serial :func:`bisect_max_qps`
+  for every randomized capacity/bracket/iteration combination, and
+  :func:`speculative_rates` always leads with the needed rate.
+* **Completion-driven driver** (randomized, threaded): the real
+  :func:`_drive_completion` loop fed by a fake pool whose futures resolve
+  in random order from a background thread still reproduces the serial
+  search's decisions, for any in-flight budget and number of concurrent
+  searches.
+* **Warm-start tiers and early rejection** (real simulators): near-miss
+  bracket hints converge within the cold search's bracket tolerance on
+  strictly fewer evaluations across an adjacent-SLA sweep; the in-process
+  memo replays without evaluations; single-server fleets share cache
+  entries across balancing policies; the certain-rejection exit is
+  verdict-identical to the full run.
+"""
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.engine import build_engine_pair
+from repro.queries.generator import LoadGenerator
+from repro.runtime.capacity import (
+    CapacitySearch,
+    _drive_completion,
+    _SearchExecution,
+    run_capacity_searches,
+)
+from repro.runtime.pool import Future, WorkerPool
+from repro.serving.capacity import (
+    BisectionMachine,
+    CapacityCache,
+    bisect_max_qps,
+    speculative_rates,
+)
+from repro.serving.cluster import (
+    ClusterSimulator,
+    find_cluster_max_qps,
+    homogeneous_fleet,
+)
+from repro.serving.simulator import (
+    CertainRejection,
+    ServingConfig,
+    certain_rejection_threshold,
+)
+
+SEARCH_KWARGS = dict(num_queries=100, iterations=3, max_queries=1000)
+
+
+class FakeOutcome:
+    """Deterministic stand-in for a simulation result: acceptable iff the
+    offered rate is at or under the scenario's capacity."""
+
+    __slots__ = ("rate", "capacity")
+
+    def __init__(self, rate, capacity):
+        self.rate = rate
+        self.capacity = capacity
+
+    def acceptable(self, sla_latency_s):
+        return self.rate <= self.capacity
+
+
+def drive_machine_serially(machine, capacity):
+    """Run a machine to completion; returns (max_qps, result_rate, rates)."""
+    rates = []
+    while not machine.done:
+        rate = machine.next_rate()
+        rates.append(rate)
+        machine.advance(FakeOutcome(rate, capacity).acceptable(1.0))
+    return machine.max_qps, machine.result_rate, rates
+
+
+class TestBisectionMachineProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        capacity=st.floats(min_value=1e-3, max_value=6000),
+        upper=st.floats(min_value=1e-2, max_value=9000),
+        iterations=st.integers(min_value=1, max_value=9),
+    )
+    def test_machine_decision_identical_to_serial_bisection(
+        self, capacity, upper, iterations
+    ):
+        serial = bisect_max_qps(
+            lambda rate: FakeOutcome(rate, capacity), upper, 1.0, iterations
+        )
+        machine = BisectionMachine(upper, iterations)
+        max_qps, result_rate, rates = drive_machine_serially(machine, capacity)
+        assert (max_qps or 0.0) == serial.max_qps
+        assert len(rates) == serial.evaluations
+        if serial.result is None:
+            assert result_rate is None
+        else:
+            assert result_rate == serial.max_qps or result_rate == rates[-1]
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        capacity=st.floats(min_value=1e-3, max_value=6000),
+        upper=st.floats(min_value=1e-2, max_value=9000),
+        iterations=st.integers(min_value=1, max_value=7),
+        limit=st.integers(min_value=1, max_value=12),
+    )
+    def test_speculative_rates_lead_with_needed_rate(
+        self, capacity, upper, iterations, limit
+    ):
+        machine = BisectionMachine(upper, iterations)
+        while not machine.done:
+            speculated = speculative_rates(machine, limit)
+            assert speculated[0] == machine.next_rate()
+            assert len(speculated) == len(set(speculated))  # deduplicated
+            assert len(speculated) <= limit
+            rate = machine.next_rate()
+            machine.advance(FakeOutcome(rate, capacity).acceptable(1.0))
+        assert speculative_rates(machine, limit) == []
+
+
+class FakeCompletionPool:
+    """Pool stub for the completion driver: futures resolve out of order.
+
+    ``submit`` registers an unresolved future; a background thread resolves
+    a *random* pending future every tick with the fake capacity verdict, so
+    the driver sees arbitrary completion interleavings while the decisions
+    must stay those of the serial search.
+    """
+
+    def __init__(self, capacity_by_context, seed):
+        self._capacity_by_context = capacity_by_context
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._pending = []
+        self._stop = False
+        self._thread = threading.Thread(target=self._resolver, daemon=True)
+        self._thread.start()
+
+    def submit(self, fn, rate, context=None):
+        future = Future(rate)
+        with self._lock:
+            self._pending.append((future, self._capacity_by_context[id(context)]))
+        return future
+
+    def _resolver(self):
+        while not self._stop:
+            with self._lock:
+                if self._pending:
+                    index = self._rng.randrange(len(self._pending))
+                    future, capacity = self._pending.pop(index)
+                    future._resolve(FakeOutcome(future.item, capacity))
+                    continue
+            threading.Event().wait(0.0005)
+
+    def close(self):
+        self._stop = True
+        self._thread.join()
+
+
+def build_fake_execution(upper, iterations, sla, capacity, pool_contexts):
+    """A bare _SearchExecution around a machine (no cache, no real search)."""
+    execution = _SearchExecution.__new__(_SearchExecution)
+    execution.search = None
+    execution.sla = sla
+    execution.cache = None
+    execution.bracket_hints = False
+    execution.signature = None
+    execution.context = object()
+    execution.machine = BisectionMachine(upper, iterations)
+    execution.replay_rate = None
+    execution.results = {}
+    execution.pending = {}
+    execution.evaluations = 0
+    execution.cancelled = 0
+    execution.result = None
+    pool_contexts[id(execution.context)] = capacity
+    return execution
+
+
+class TestCompletionDriverRandomOrder:
+    def test_driver_matches_serial_for_random_orders_and_budgets(self):
+        rng = random.Random(20260730)
+        for trial in range(30):
+            num_searches = rng.randint(1, 4)
+            budget = rng.randint(2, 6)
+            scenarios = [
+                (
+                    rng.uniform(1e-3, 6000),  # capacity
+                    rng.uniform(1e-2, 9000),  # upper
+                    rng.randint(1, 7),  # iterations
+                )
+                for _ in range(num_searches)
+            ]
+            contexts = {}
+            executions = [
+                build_fake_execution(upper, iterations, 1.0, capacity, contexts)
+                for capacity, upper, iterations in scenarios
+            ]
+            pool = FakeCompletionPool(contexts, seed=trial)
+            try:
+                _drive_completion(executions, pool, budget)
+            finally:
+                pool.close()
+            for execution, (capacity, upper, iterations) in zip(
+                executions, scenarios
+            ):
+                serial = bisect_max_qps(
+                    lambda rate: FakeOutcome(rate, capacity), upper, 1.0, iterations
+                )
+                assert execution.result is not None
+                assert execution.result.max_qps == serial.max_qps, (
+                    trial,
+                    capacity,
+                    upper,
+                    iterations,
+                )
+                # Speculation may evaluate extra rates, never fewer than the
+                # serial decision path consumed.
+                assert execution.evaluations >= serial.evaluations
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return build_engine_pair("dlrm-rmc1", "skylake", None)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServingConfig(batch_size=256, num_cores=8)
+
+
+class TestRealPoolCrossSearch:
+    def test_concurrent_searches_bit_identical_to_serial(
+        self, engines, config, monkeypatch
+    ):
+        import repro.runtime.capacity as runtime_capacity
+
+        monkeypatch.setattr(runtime_capacity, "_host_cores", lambda: 3)
+        generator = LoadGenerator(seed=7)
+        searches = [
+            CapacitySearch.for_fleet(
+                homogeneous_fleet(engines, config, size), policy, 0.1, generator,
+                **SEARCH_KWARGS,
+            )
+            for size in (1, 2)
+            for policy in ("least-outstanding", "power-of-two")
+        ]
+        serial = [search.run() for search in searches]
+        with WorkerPool(3) as pool:
+            concurrent = run_capacity_searches(searches, jobs=3, pool=pool)
+        for one, many in zip(serial, concurrent):
+            assert many.max_qps == one.max_qps
+            assert many.result.p95_latency_s == one.result.p95_latency_s
+            assert many.result.latencies_s == one.result.latencies_s
+
+
+class TestBracketHints:
+    def test_adjacent_sla_sweep_fewer_evaluations_same_capacity(
+        self, engines, config, tmp_path
+    ):
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 2)
+        # SLAs tight enough that the capacity boundary sits *inside* the
+        # analytic bracket — where a hint can tighten something.  (When the
+        # boundary is at or above the analytic bound, hints clamp to the
+        # cold search by design.)
+        slas = (0.05, 0.06, 0.07)
+
+        def search(sla):
+            return CapacitySearch.for_fleet(
+                fleet, "least-outstanding", sla, generator,
+                num_queries=150, iterations=4, max_queries=1500,
+            )
+
+        cold = {sla: search(sla).run() for sla in slas}
+        cache = CapacityCache(tmp_path)
+        hinted = {
+            sla: search(sla).run(warm_start_cache=cache, bracket_hints=True)
+            for sla in slas
+        }
+        assert cache.stats["hint_hits"] >= 1
+        total_cold = sum(result.evaluations for result in cold.values())
+        total_hinted = sum(result.evaluations for result in hinted.values())
+        assert total_hinted < total_cold
+        for sla in slas:
+            tolerance = 2.0 * search(sla).convergence_width_qps()
+            assert abs(hinted[sla].max_qps - cold[sla].max_qps) <= tolerance
+            assert hinted[sla].evaluations <= cold[sla].evaluations
+
+    def test_unusable_hint_falls_back_to_cold_machine(self):
+        cold = BisectionMachine(1000.0, 4)
+        fallback = BisectionMachine.hinted(999.0, 1000.0, 4)  # margin overflows
+        assert fallback.phase == cold.phase == "raise"
+        assert BisectionMachine.hinted(0.0, 1000.0, 4).phase == "raise"
+        hinted = BisectionMachine.hinted(100.0, 1000.0, 4)
+        assert hinted.phase == "hint-upper"
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        capacity=st.floats(min_value=1e-3, max_value=6000),
+        hint=st.floats(min_value=1e-3, max_value=9000),
+        upper=st.floats(min_value=1e-2, max_value=9000),
+        iterations=st.integers(min_value=1, max_value=7),
+    )
+    def test_hinted_machine_converges_near_serial(
+        self, capacity, hint, upper, iterations
+    ):
+        # Whatever the hint quality, the hinted machine terminates and lands
+        # within the wider of the two searches' final bracket widths of the
+        # serial result (or both report infeasible/unbracketed consistently).
+        serial = bisect_max_qps(
+            lambda rate: FakeOutcome(rate, capacity), upper, 1.0, iterations
+        )
+        stop_width = upper * (1.0 - 1.0 / 64.0) / (2.0 ** iterations)
+        machine = BisectionMachine.hinted(
+            hint, upper, iterations, stop_width=stop_width
+        )
+        max_qps, result_rate, rates = drive_machine_serially(machine, capacity)
+        assert machine.done
+        assert len(rates) <= 3 + 2 + 2 + iterations  # raises + probes + bisect
+        if serial.result is None or result_rate is None:
+            return  # infeasible paths may disagree only through bracket shape
+        if serial.max_qps >= capacity or (max_qps or 0.0) >= capacity:
+            return  # an unbracketed exit reports the probed upper, not capacity
+        # Both converged brackets contain the boundary; widths bound the gap.
+        assert abs((max_qps or 0.0) - serial.max_qps) <= max(
+            stop_width, upper * 1.6 ** 3
+        )
+
+
+class TestWarmTiers:
+    def test_memo_replays_without_evaluations(self, engines, config, tmp_path):
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 2)
+        cache = CapacityCache(tmp_path)
+        first = find_cluster_max_qps(
+            fleet, "least-outstanding", 0.1, generator,
+            warm_start_cache=cache, **SEARCH_KWARGS,
+        )
+        again = find_cluster_max_qps(
+            fleet, "least-outstanding", 0.1, generator,
+            warm_start_cache=cache, **SEARCH_KWARGS,
+        )
+        assert cache.stats["memo_hits"] == 1
+        assert again.evaluations == 0
+        assert again.max_qps == first.max_qps
+        assert again.result.latencies_s == first.result.latencies_s
+
+    def test_single_server_fleet_shares_entries_across_policies(
+        self, engines, config, tmp_path
+    ):
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 1)
+        cache = CapacityCache(tmp_path)
+        first = find_cluster_max_qps(
+            fleet, "least-outstanding", 0.1, generator,
+            warm_start_cache=cache, **SEARCH_KWARGS,
+        )
+        other_policy = find_cluster_max_qps(
+            fleet, "power-of-two", 0.1, generator,
+            warm_start_cache=cache, **SEARCH_KWARGS,
+        )
+        # The second policy replays the shared entry (one verifying
+        # evaluation) and still reports its own policy label.
+        assert cache.stats["exact_hits"] == 1
+        assert other_policy.evaluations == 1
+        assert other_policy.max_qps == first.max_qps
+        assert other_policy.result.policy == "power-of-two"
+        assert other_policy.result.latencies_s == first.result.latencies_s
+
+    def test_multi_server_fleets_do_not_share_across_policies(
+        self, engines, config
+    ):
+        generator = LoadGenerator(seed=7)
+
+        def signature(size, policy):
+            return CapacitySearch.for_fleet(
+                homogeneous_fleet(engines, config, size), policy, 0.1, generator,
+                **SEARCH_KWARGS,
+            ).signature()
+
+        assert signature(1, "least-outstanding") == signature(1, "power-of-two")
+        assert signature(2, "least-outstanding") != signature(2, "power-of-two")
+
+
+class TestHintedIsolation:
+    def test_hinted_answers_never_replay_for_hints_off_runs(
+        self, engines, config, tmp_path
+    ):
+        # A hinted search's answer is stored under a *tagged* signature: a
+        # later hints-off run sharing the cache must compute the cold
+        # answer, not replay the hinted one — while a hints-on rerun may
+        # replay it (that is what the caller opted into).
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 2)
+        kwargs = dict(num_queries=150, iterations=4, max_queries=1500)
+
+        def search(sla):
+            return CapacitySearch.for_fleet(
+                fleet, "least-outstanding", sla, generator, **kwargs
+            )
+
+        cold = search(0.06).run()
+        cache = CapacityCache(tmp_path)
+        search(0.05).run(warm_start_cache=cache)  # donor entry
+        hinted = search(0.06).run(warm_start_cache=cache, bracket_hints=True)
+        assert cache.stats["hint_hits"] == 1
+
+        hints_off = search(0.06).run(warm_start_cache=cache)
+        assert hints_off.max_qps == cold.max_qps
+        assert hints_off.result.latencies_s == cold.result.latencies_s
+
+        hints_on_again = search(0.06).run(
+            warm_start_cache=cache, bracket_hints=True
+        )
+        assert hints_on_again.max_qps == hinted.max_qps
+
+
+class TestBatchDedupe:
+    def test_identical_single_server_searches_share_one_bisection(
+        self, engines, config
+    ):
+        # Schema v3 normalises the policy out of single-server signatures;
+        # a batch submitting the same fleet-of-one under several policies
+        # runs the bisection once and replays followers with one verifying
+        # evaluation each — correctly relabelled, identical numbers.
+        generator = LoadGenerator(seed=7)
+        fleet = homogeneous_fleet(engines, config, 1)
+        searches = [
+            CapacitySearch.for_fleet(fleet, policy, 0.1, generator, **SEARCH_KWARGS)
+            for policy in ("least-outstanding", "power-of-two", "round-robin")
+        ]
+        leader, first_follower, second_follower = run_capacity_searches(searches)
+        assert first_follower.max_qps == leader.max_qps
+        assert second_follower.max_qps == leader.max_qps
+        assert first_follower.evaluations == 1
+        assert second_follower.evaluations == 1
+        assert first_follower.result.policy == "power-of-two"
+        assert second_follower.result.policy == "round-robin"
+        assert first_follower.result.latencies_s == leader.result.latencies_s
+
+
+class TestUnbracketedExitResult:
+    def test_rejected_unbracketed_measurement_reports_full_result(
+        self, engines, config
+    ):
+        # The unbracketed exit reports the final raised rate even when its
+        # measurement is rejected; with the early-rejection exit armed that
+        # measurement lands as a CertainRejection stub, and the search must
+        # re-measure it fully so CapacityResult.result keeps the complete
+        # statistics the serial contract promises (regression: ablation
+        # drivers read result.p95_latency_s).
+        search = CapacitySearch.for_server(
+            engines, config, 0.1, LoadGenerator(seed=7), **SEARCH_KWARGS
+        )
+        execution = _SearchExecution(search, None, False)
+        rate = 2000.0
+        execution.machine.phase = "unbracketed"
+        execution.machine.upper = rate
+        execution.results[rate] = CertainRejection(
+            sla_latency_s=0.1, measured_queries=10, over_sla_queries=10
+        )
+        execution.absorb()
+        assert execution.result is not None
+        assert execution.result.max_qps == rate
+        assert not isinstance(execution.result.result, CertainRejection)
+        assert execution.result.result.p95_latency_s > 0.0
+
+
+class TestCertainRejection:
+    def test_threshold_is_sound(self):
+        # With K = certain_rejection_threshold(n) over-SLA samples among n,
+        # the p95 exceeds the SLA for every arrangement of the rest.
+        import numpy as np
+
+        rng = random.Random(5)
+        for n in (1, 2, 3, 19, 20, 21, 40, 137):
+            threshold = certain_rejection_threshold(n)
+            for _ in range(20):
+                under = [rng.uniform(0.0, 1.0) for _ in range(n - threshold)]
+                over = [1.0 + rng.uniform(1e-6, 5.0) for _ in range(threshold)]
+                samples = under + over
+                rng.shuffle(samples)
+                assert float(np.percentile(samples, 95)) > 1.0, (n, threshold)
+
+    def test_verdicts_identical_to_full_run(self, engines, config):
+        sla = 0.1
+        fleet = homogeneous_fleet(engines, config, 1)
+        generator = LoadGenerator(seed=5)
+        for rate in (1500.0, 2400.0, 2500.0, 3000.0, 6000.0):
+            queries = generator.with_rate(rate).generate(600)
+            simulator = ClusterSimulator(fleet, balancer="least-outstanding")
+            full = simulator.run(queries)
+            fast = simulator.run(queries, reject_above_sla_s=sla)
+            assert fast.acceptable(sla) == full.acceptable(sla)
+            if isinstance(fast, CertainRejection):
+                assert not full.meets_sla(sla)
+                assert fast.over_sla_queries >= certain_rejection_threshold(
+                    len(queries) - int(len(queries) * 0.1)
+                )
+            else:
+                assert fast.p95_latency_s == full.p95_latency_s
+                assert fast.latencies_s == full.latencies_s

@@ -33,6 +33,7 @@ class TestExamplesImportable:
             "accelerator_offload.py",
             "production_fleet.py",
             "cluster_fleet.py",
+            "capacity_hints_sweep.py",
         ],
     )
     def test_example_imports_cleanly(self, name):
@@ -77,3 +78,12 @@ class TestClusterFleetExample:
         example.parallel_sweep_demo(batch_sizes=(256,), processes=1)
         output = capsys.readouterr().out
         assert "1/1 cache hits" in output
+
+
+class TestCapacityHintsSweepExample:
+    def test_sweep_reports_tiers_and_matching_capacities(self, capsys):
+        example = load_example("capacity_hints_sweep.py")
+        example.run_sweep()
+        output = capsys.readouterr().out
+        assert "bracket hints" in output
+        assert "hinted qps" in output

@@ -122,10 +122,15 @@ class TestOnePoolPerInvocation:
         max_queries=600,
     )
 
-    def test_figure15_run_forks_one_pool(self):
+    def test_figure15_run_forks_one_pool(self, monkeypatch):
         # Mirrors the CLI: the invocation owns a shared pool, figure-15's
         # capacity searches (homogeneous sizes + the hetero fleet, jobs=2
-        # injected by the runner) all land on it.
+        # injected by the runner) all land on it.  The searches' in-flight
+        # budget is clamped by physical cores, so force two so the parallel
+        # path engages even on a one-core host.
+        import repro.runtime.capacity as runtime_capacity
+
+        monkeypatch.setattr(runtime_capacity, "_host_cores", lambda: 2)
         before = pool_forks()
         with shared_pool(2):
             results = run_experiments(
@@ -158,11 +163,15 @@ class TestOnePoolPerInvocation:
         assert pool_forks() == before + 1
         assert [r.rows for r in pooled.results] == [r.rows for r in serial.results]
 
-    def test_single_uncached_point_inherits_worker_budget(self, tmp_path):
+    def test_single_uncached_point_inherits_worker_budget(self, tmp_path, monkeypatch):
         # A mostly-cached sweep can leave one fresh point; it executes
         # inline, and the sweep's worker budget is re-granted to the driver
         # as jobs so its capacity searches use the shared pool instead of
-        # bisecting serially next to an idle pool.
+        # bisecting serially next to an idle pool.  (Force two host cores so
+        # the searches' core-clamped budget engages the pool.)
+        import repro.runtime.capacity as runtime_capacity
+
+        monkeypatch.setattr(runtime_capacity, "_host_cores", lambda: 2)
         runner = SweepRunner(processes=2, cache_dir=tmp_path)
         with shared_pool(2):
             before = pool_forks()

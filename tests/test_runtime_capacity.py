@@ -130,7 +130,13 @@ class TestSingleServerDecisionIdentity:
 
 
 class TestSharedPoolReuse:
-    def test_explicit_pool_shared_across_searches(self, engines, config):
+    def test_explicit_pool_shared_across_searches(self, engines, config, monkeypatch):
+        # Force the parallel path regardless of the host's core count — the
+        # in-flight budget is clamped by physical cores, so a one-core host
+        # would (correctly) run these searches serially otherwise.
+        import repro.runtime.capacity as runtime_capacity
+
+        monkeypatch.setattr(runtime_capacity, "_host_cores", lambda: 2)
         generator = LoadGenerator(seed=7)
         fleet = homogeneous_fleet(engines, config, 2)
         serial = find_cluster_max_qps(
@@ -148,6 +154,7 @@ class TestSharedPoolReuse:
         # One fork served both the fleet and the single-server search.
         assert pool_forks() == before + 1
         assert first.max_qps == serial.max_qps
+        assert first.result.latencies_s == serial.result.latencies_s
         assert second.feasible
 
 
