@@ -40,6 +40,34 @@ bisection and warm-started brackets.  :class:`CapacitySearch` merges them:
 ``repro.serving.cluster.find_cluster_max_qps`` are thin wrappers over this
 class, so every consumer — figure drivers, tuners, sweeps — shares one
 search implementation and one pool.
+
+A complete (reduced-fidelity) single-server search, serial and cold:
+
+>>> from repro.execution.engine import EnginePair, build_cpu_engine
+>>> from repro.queries.generator import LoadGenerator
+>>> from repro.serving.simulator import ServingConfig
+>>> engines = EnginePair(cpu=build_cpu_engine("ncf", "broadwell"), gpu=None)
+>>> search = CapacitySearch.for_server(
+...     engines, ServingConfig(batch_size=128, num_cores=4),
+...     sla_latency_s=0.05, load_generator=LoadGenerator(seed=7),
+...     num_queries=120, iterations=4, max_queries=400)
+>>> result = search.run()
+>>> result.max_qps > 0 and result.result.acceptable(0.05)
+True
+>>> search.signature()["schema"] == CAPACITY_SCHEMA_VERSION
+True
+
+Re-running the identical search against a shared cache replays the answer
+(one verifying evaluation from disk, zero from the in-process memo):
+
+>>> import tempfile
+>>> from repro.serving.capacity import CapacityCache
+>>> with tempfile.TemporaryDirectory() as cache_dir:
+...     cache = CapacityCache(cache_dir)
+...     cold = search.run(warm_start_cache=cache)
+...     memo = search.run(warm_start_cache=cache)
+...     (memo.max_qps == cold.max_qps == result.max_qps, memo.evaluations)
+(True, 0)
 """
 
 from __future__ import annotations

@@ -33,6 +33,25 @@ Per-task shared state (a simulator, a cluster) is expressed as a
 :class:`TaskContext`: a builder plus its picklable payload, serialised once
 and *built* once per worker (cached by token).  The serial path builds the
 same context once locally, keeping the two paths decision-identical.
+
+A serial pool resolves futures inline at submit time and never forks — the
+cheapest way to see the submit/``as_completed`` surface end to end:
+
+>>> with WorkerPool(max_workers=1) as pool:
+...     futures = [pool.submit(abs, n) for n in (-2, 1, -3)]
+...     [future.result() for future in futures]
+...     pool.forked
+[2, 1, 3]
+False
+>>> [f.result() for f in as_completed(futures)]  # already-done yield first
+[2, 1, 3]
+
+``pool_scope`` is how library code resolves "which pool should this run
+on" — an explicit pool wins, ``jobs=1`` stays truly serial:
+
+>>> with pool_scope(max_workers=1) as scoped:
+...     scoped.max_workers
+1
 """
 
 from __future__ import annotations

@@ -1,0 +1,204 @@
+"""Ingest loop for the digital-twin service: a trivial line protocol.
+
+The broker is deliberately not the substance of the service — the windowing
+and dual-config re-simulation are — so ingest is a newline-delimited event
+protocol any producer can speak over TCP, stdin, or an in-process replay:
+
+* JSON object per line: ``{"query_id": 7, "arrival_time": 12.5, "size": 64}``
+* or bare CSV per line: ``7,12.5,64``
+* blank lines and ``#`` comments are ignored.
+
+Timestamps are **event time** (seconds on the trace's clock), exactly the
+``arrival_time`` the batch drivers feed the simulators — so a recorded
+:class:`~repro.queries.trace.QueryTrace` replays through the service and
+produces bit-identical cumulative measurements.
+
+:class:`IngestPipeline` is the glue: parse line → window manager → twin →
+report sink.  :func:`serve_tcp` and :func:`run_stdin` are thin asyncio /
+blocking front ends over it.
+
+>>> parse_event('{"query_id": 1, "arrival_time": 2.5, "size": 32}')
+Query(query_id=1, arrival_time=2.5, size=32)
+>>> parse_event("2, 3.75, 64")
+Query(query_id=2, arrival_time=3.75, size=64)
+>>> parse_event("# comment") is None
+True
+>>> parse_event("not an event")
+Traceback (most recent call last):
+    ...
+ValueError: unparseable event line: 'not an event'
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Callable, Iterable, List, Optional
+
+from repro.queries.query import Query
+from repro.service.twin import DigitalTwin, TwinWindowReport
+from repro.service.windows import Window, WindowManager
+
+#: Maximum accepted line length (a malformed producer must not buffer-bomb
+#: the service; real event lines are well under 200 bytes).
+MAX_LINE_BYTES = 64 * 1024
+
+
+def parse_event(line: str) -> Optional[Query]:
+    """Parse one protocol line into a :class:`~repro.queries.query.Query`.
+
+    Returns ``None`` for blank/comment lines; raises :class:`ValueError`
+    for anything else that does not parse (the pipeline counts those and
+    keeps going — one bad producer must not wedge the service).
+    """
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    try:
+        if text.startswith("{"):
+            payload = json.loads(text)
+            return Query(
+                query_id=int(payload["query_id"]),
+                arrival_time=float(payload["arrival_time"]),
+                size=int(payload["size"]),
+            )
+        fields = text.split(",")
+        if len(fields) == 3:
+            return Query(
+                query_id=int(fields[0]),
+                arrival_time=float(fields[1]),
+                size=int(fields[2]),
+            )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+        pass
+    raise ValueError(f"unparseable event line: {text!r}")
+
+
+class IngestPipeline:
+    """Parse → window → re-simulate → publish, as one reusable object.
+
+    Every transport (TCP connections, stdin, the example's in-process
+    replay) feeds the same pipeline, so the service behaves identically no
+    matter how events arrive.  ``sink`` is called once per closed window
+    with the twin's :class:`~repro.service.twin.TwinWindowReport`.
+    """
+
+    def __init__(
+        self,
+        windows: WindowManager,
+        twin: DigitalTwin,
+        sink: Optional[Callable[[TwinWindowReport], None]] = None,
+    ) -> None:
+        self.windows = windows
+        self.twin = twin
+        self._sink = sink
+        self.reports: List[TwinWindowReport] = []
+        self.malformed_lines = 0
+
+    # ------------------------------------------------------------------ #
+
+    def feed(self, query: Query) -> List[TwinWindowReport]:
+        """Ingest one already-parsed event."""
+        return self._observe_closed(self.windows.add(query))
+
+    def feed_line(self, line: str) -> List[TwinWindowReport]:
+        """Ingest one protocol line (malformed lines are counted, not fatal)."""
+        try:
+            query = parse_event(line)
+        except ValueError:
+            self.malformed_lines += 1
+            return []
+        if query is None:
+            return []
+        return self.feed(query)
+
+    def feed_lines(self, lines: Iterable[str]) -> List[TwinWindowReport]:
+        """Ingest many protocol lines; reports for every window they closed."""
+        reports: List[TwinWindowReport] = []
+        for line in lines:
+            reports.extend(self.feed_line(line))
+        return reports
+
+    def finish(self) -> List[TwinWindowReport]:
+        """End of stream: flush open windows and return their reports."""
+        return self._observe_closed(self.windows.flush())
+
+    def _observe_closed(self, closed: List[Window]) -> List[TwinWindowReport]:
+        reports = [self.twin.observe(window) for window in closed]
+        self.reports.extend(reports)
+        if self._sink is not None:
+            for report in reports:
+                self._sink(report)
+        return reports
+
+
+# --------------------------------------------------------------------------- #
+# Transports
+# --------------------------------------------------------------------------- #
+
+
+async def serve_tcp(
+    pipeline: IngestPipeline,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    one_shot: bool = False,
+    on_listening: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Accept event lines over TCP until cancelled (or, if ``one_shot``,
+    until the first client disconnects — the mode tests and demos use).
+
+    ``on_listening`` receives the bound port once the socket is ready,
+    which is how callers using ``port=0`` (an ephemeral port) learn where
+    to connect.  On shutdown the pipeline is flushed, so a final partial
+    window is still reported.
+    """
+    done = asyncio.Event()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded even the reader's buffer limit; the
+                    # reader drops the chunk and stays usable.
+                    pipeline.malformed_lines += 1
+                    continue
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    pipeline.malformed_lines += 1
+                    continue
+                for report in pipeline.feed_line(line.decode("utf-8", "replace")):
+                    writer.write((report.summary_line() + "\n").encode())
+                await writer.drain()
+        finally:
+            writer.close()
+            if one_shot:
+                done.set()
+
+    # The reader limit sits above MAX_LINE_BYTES so a barely-oversized line
+    # is read whole and rejected by the explicit length gate (counted once),
+    # rather than tripping the stream reader's buffer-limit ValueError.
+    server = await asyncio.start_server(handle, host, port, limit=4 * MAX_LINE_BYTES)
+    try:
+        bound_port = server.sockets[0].getsockname()[1]
+        if on_listening is not None:
+            on_listening(bound_port)
+        if one_shot:
+            await done.wait()
+        else:
+            await asyncio.Event().wait()  # run until cancelled
+    finally:
+        server.close()
+        await server.wait_closed()
+        pipeline.finish()
+
+
+def run_stdin(pipeline: IngestPipeline) -> List[TwinWindowReport]:
+    """Blocking front end: read event lines from stdin until EOF, flush."""
+    pipeline.feed_lines(sys.stdin)
+    pipeline.finish()
+    return pipeline.reports

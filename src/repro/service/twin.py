@@ -1,0 +1,391 @@
+"""The digital twin: cumulative windowed re-simulation of a live fleet.
+
+:class:`DigitalTwin` is the service's core loop body.  Fed one closed
+:class:`~repro.service.windows.Window` at a time, it
+
+1. appends the window's events to the cumulative history (window 0 through
+   the window just closed — the OpenDT ``sim-worker`` discipline, so every
+   report describes the *whole stream so far*, not an isolated slice);
+2. re-simulates the cumulative stream through the
+   :class:`~repro.serving.cluster.ClusterSimulator` fast path, once per
+   configured fleet (real, and the shadow what-if when present).  Because
+   the simulator is a deterministic function of the event multiset, the
+   final window's cumulative measurement is **bit-identical** to a one-shot
+   batch run over the same events — asserted in
+   ``tests/test_service_twin.py::TestCumulativeBitIdentity``;
+3. predicts each fleet's capacity with the unified
+   :class:`~repro.runtime.capacity.CapacitySearch` against a shared
+   :class:`~repro.serving.capacity.CapacityCache`.  The search's inputs are
+   window-independent, so the first window pays the cold bisection and every
+   later window replays through the in-process memo at ~0 evaluations (one
+   verifying evaluation when warm-starting from disk across restarts);
+4. emits a :class:`TwinWindowReport` carrying both
+   :class:`~repro.service.shadow.ConfigVerdict` s and the shadow-mode
+   :class:`~repro.service.shadow.ShadowVerdict`.
+
+Long-lived state (the worker pool, the capacity cache, the per-config
+simulators, the offered-rate tracker) is built once and reused across
+windows — the whole point of running as a service instead of a batch CLI.
+
+>>> from repro.queries.generator import LoadGenerator
+>>> from repro.service.shadow import FleetSpec
+>>> from repro.service.windows import WindowManager
+>>> twin = DigitalTwin(
+...     real=FleetSpec(name="real", model="ncf", platform="broadwell",
+...                    num_servers=2, batch_size=128, num_cores=4),
+...     sla_latency_s=0.08,
+...     load_generator=LoadGenerator(seed=11),
+...     search_num_queries=80, search_iterations=3, search_max_queries=200,
+... )
+>>> manager = WindowManager(window_s=5.0)
+>>> stream = LoadGenerator(seed=11).with_rate(60.0).generate(400)
+>>> windows = manager.extend(stream) + manager.flush()
+>>> reports = [twin.observe(window) for window in windows]
+>>> first, last = reports[0], reports[-1]
+>>> first.real.evaluations > 0      # cold capacity search on window 0
+True
+>>> last.real.evaluations           # later windows replay from the memo
+0
+>>> last.cumulative_queries == len(stream)
+True
+>>> twin.close()
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.execution.engine import EnginePair, build_cpu_engine
+from repro.experiments.result import ExperimentResult
+from repro.queries.generator import LoadGenerator
+from repro.queries.query import Query
+from repro.runtime.capacity import CapacitySearch, run_capacity_searches
+from repro.runtime.pool import WorkerPool
+from repro.serving.capacity import CapacityCache
+from repro.serving.cluster import ClusterSimulationResult, ClusterSimulator
+from repro.service.shadow import (
+    ConfigVerdict,
+    FleetSpec,
+    ShadowVerdict,
+    compare_verdicts,
+)
+from repro.service.windows import Window
+from repro.utils.stats import PercentileTracker
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TwinWindowReport:
+    """Everything the twin publishes when one window closes."""
+
+    window: Window
+    cumulative_queries: int
+    real: ConfigVerdict
+    what_if: Optional[ConfigVerdict]
+    shadow: Optional[ShadowVerdict]
+    #: Median offered rate across all closed windows so far (long-lived
+    #: tracker state — the service-side load trend).
+    median_window_rate_qps: float
+
+    def to_experiment_result(self) -> ExperimentResult:
+        """The window's verdicts as an :class:`ExperimentResult`.
+
+        Shaped like every batch driver's output so the existing reporting
+        stack (``render_report``, the sweep cache, the benchmark harness)
+        consumes twin windows unchanged.
+        """
+        result = ExperimentResult(
+            experiment_id=f"digital-twin-w{self.window.index:04d}",
+            title=(
+                f"window {self.window.index} "
+                f"[{self.window.start_s:.0f}s, {self.window.end_s:.0f}s) — "
+                f"{len(self.window.queries)} events, "
+                f"{self.cumulative_queries} cumulative"
+            ),
+            headers=[
+                "config",
+                "status",
+                "p95-ms",
+                "sla-ms",
+                "capacity-qps",
+                "offered-qps",
+                "headroom",
+                "evals",
+            ],
+        )
+        for verdict in filter(None, (self.real, self.what_if)):
+            result.add_row(
+                verdict.config,
+                verdict.status(),
+                verdict.p95_latency_s * 1e3,
+                verdict.sla_latency_s * 1e3,
+                verdict.capacity_qps,
+                verdict.offered_qps,
+                verdict.headroom,
+                verdict.evaluations,
+            )
+        if self.shadow is not None:
+            result.notes = self.shadow.describe()
+        result.metadata["window_index"] = self.window.index
+        result.metadata["median_window_rate_qps"] = self.median_window_rate_qps
+        if self.shadow is not None:
+            result.metadata["diverged"] = self.shadow.diverged
+        return result
+
+    def summary_line(self) -> str:
+        """Compact one-window log line for the streaming service output."""
+        parts = [
+            f"w{self.window.index:04d}",
+            f"events={len(self.window.queries)}",
+            f"cum={self.cumulative_queries}",
+            f"real={self.real.status()}"
+            f"(p95={self.real.p95_latency_s * 1e3:.1f}ms,"
+            f" cap={self.real.capacity_qps:.0f}qps,"
+            f" evals={self.real.evaluations})",
+        ]
+        if self.what_if is not None:
+            parts.append(
+                f"what-if={self.what_if.status()}"
+                f"(p95={self.what_if.p95_latency_s * 1e3:.1f}ms,"
+                f" cap={self.what_if.capacity_qps:.0f}qps)"
+            )
+        if self.shadow is not None and self.shadow.diverged:
+            parts.append("DIVERGED")
+        return "  ".join(parts)
+
+
+class _FleetState:
+    """One configured fleet's long-lived twin state (built once, reused)."""
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self.spec = spec
+        self.engines = EnginePair(
+            cpu=build_cpu_engine(spec.model, spec.platform), gpu=None
+        )
+        self.servers = spec.build_servers(self.engines)
+        # One simulator per config for the service's lifetime: kernels are
+        # rebuilt per run() and seeded balancers reset, so repeated runs are
+        # deterministic functions of the event multiset.
+        self.simulator = ClusterSimulator(self.servers, balancer=spec.policy)
+
+
+class DigitalTwin:
+    """Re-simulates a live stream window by window, real vs what-if.
+
+    Parameters
+    ----------
+    real:
+        The fleet configuration actually serving traffic.
+    sla_latency_s:
+        The p95 target both configs are held to.
+    load_generator:
+        Workload template for the capacity searches (arrival process shape,
+        query-size distribution, seed).  Window re-simulation uses the
+        *observed* events; only the capacity prediction needs a generator.
+    what_if:
+        Optional shadow configuration evaluated side by side.
+    jobs / pool:
+        Worker budget (and optionally an explicit long-lived
+        :class:`~repro.runtime.pool.WorkerPool`) for the capacity searches.
+    capacity_cache_dir:
+        Warm-start cache directory.  Defaults to a private temporary
+        directory owned (and cleaned up) by the twin; point it somewhere
+        persistent to warm-start across service restarts.
+    search_num_queries / search_iterations / search_max_queries:
+        Fidelity knobs forwarded to :class:`CapacitySearch.for_fleet`.
+    """
+
+    def __init__(
+        self,
+        real: FleetSpec,
+        sla_latency_s: float,
+        load_generator: LoadGenerator,
+        what_if: Optional[FleetSpec] = None,
+        *,
+        jobs: int = 1,
+        pool: Optional[WorkerPool] = None,
+        capacity_cache_dir: Union[str, Path, None] = None,
+        search_num_queries: int = 400,
+        search_iterations: int = 6,
+        search_max_queries: int = 4000,
+    ) -> None:
+        check_positive("sla_latency_s", sla_latency_s)
+        if what_if is not None and what_if.name == real.name:
+            raise ValueError(
+                f"real and what-if specs must have distinct names, "
+                f"both are {real.name!r}"
+            )
+        self._sla_latency_s = sla_latency_s
+        self._load_generator = load_generator
+        self._jobs = jobs
+        self._pool = pool
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if capacity_cache_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="twin-capacity-")
+            capacity_cache_dir = self._tempdir.name
+        self._capacity_cache = CapacityCache(capacity_cache_dir)
+        self._search_fidelity = {
+            "num_queries": search_num_queries,
+            "iterations": search_iterations,
+            "max_queries": search_max_queries,
+        }
+        self._fleets = [_FleetState(real)]
+        if what_if is not None:
+            self._fleets.append(_FleetState(what_if))
+        self._history: List[Query] = []
+        self._windows_observed = 0
+        # Long-lived across windows: the offered-rate tracker is queried
+        # (median) and then recorded into again on every window — the
+        # record-after-percentile pattern tests/test_utils_stats.py pins.
+        self._window_rates = PercentileTracker()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sla_latency_s(self) -> float:
+        """The p95 target the twin holds both configs to."""
+        return self._sla_latency_s
+
+    @property
+    def capacity_cache(self) -> CapacityCache:
+        """The twin's shared warm-start cache (its ``stats`` show the tiers)."""
+        return self._capacity_cache
+
+    @property
+    def windows_observed(self) -> int:
+        """Number of windows re-simulated so far."""
+        return self._windows_observed
+
+    @property
+    def cumulative_queries(self) -> int:
+        """Events accumulated across all observed windows."""
+        return len(self._history)
+
+    def specs(self) -> List[FleetSpec]:
+        """The configured fleet specs (real first, then the what-if)."""
+        return [state.spec for state in self._fleets]
+
+    # ------------------------------------------------------------------ #
+
+    def observe(self, window: Window) -> TwinWindowReport:
+        """Ingest one closed window: re-simulate cumulatively, re-predict.
+
+        Must be called in window order (the
+        :class:`~repro.service.windows.WindowManager` emits windows that
+        way); the cumulative history simply concatenates each window's
+        events, and the simulators sort by arrival time themselves.
+        """
+        if not window.queries:
+            raise ValueError(f"window {window.index} is empty; nothing to simulate")
+        self._history.extend(window.queries)
+        self._windows_observed += 1
+        offered_qps = window.mean_rate_qps
+        self._window_rates.add(offered_qps)
+
+        capacities = self._predict_capacities()
+        verdicts: List[ConfigVerdict] = []
+        for state, capacity in zip(self._fleets, capacities):
+            measured = self._resimulate(state)
+            verdicts.append(
+                ConfigVerdict(
+                    config=state.spec.name,
+                    p95_latency_s=measured.p95_latency_s,
+                    sla_latency_s=self._sla_latency_s,
+                    meets_sla=measured.meets_sla(self._sla_latency_s),
+                    stable=measured.is_stable(self._sla_latency_s),
+                    capacity_qps=capacity.max_qps,
+                    offered_qps=offered_qps,
+                    evaluations=capacity.evaluations,
+                )
+            )
+
+        real = verdicts[0]
+        what_if = verdicts[1] if len(verdicts) > 1 else None
+        shadow = compare_verdicts(real, what_if) if what_if is not None else None
+        return TwinWindowReport(
+            window=window,
+            cumulative_queries=len(self._history),
+            real=real,
+            what_if=what_if,
+            shadow=shadow,
+            median_window_rate_qps=self._window_rates.p50(),
+        )
+
+    def last_cumulative_result(self, config: Optional[str] = None) -> ClusterSimulationResult:
+        """Re-run the cumulative simulation for one config (default: real).
+
+        A deterministic replay of what the most recent :meth:`observe`
+        measured — the bit-identity tests compare this against a one-shot
+        batch run over the same events.
+        """
+        if not self._history:
+            raise ValueError("no windows observed yet")
+        return self._resimulate(self._state(config))
+
+    def close(self) -> None:
+        """Release twin-owned resources (the private cache directory)."""
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "DigitalTwin":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def _state(self, config: Optional[str]) -> _FleetState:
+        if config is None:
+            return self._fleets[0]
+        for state in self._fleets:
+            if state.spec.name == config:
+                return state
+        raise KeyError(
+            f"unknown config {config!r}; have {[s.spec.name for s in self._fleets]}"
+        )
+
+    def _resimulate(self, state: _FleetState) -> ClusterSimulationResult:
+        """One cumulative pass over the history for one fleet config."""
+        return state.simulator.run(self._history)
+
+    def _predict_capacities(self):
+        """Both fleets' capacity at the SLA, via the shared memoised search.
+
+        The searches' inputs are window-independent (fleet, SLA, workload
+        template), so window 0 runs them cold and every later window hits
+        the cache's in-process memo — ``evaluations == 0`` — keeping the
+        per-window cost at the cumulative re-simulation alone.
+        """
+        searches = [
+            CapacitySearch.for_fleet(
+                state.servers,
+                state.spec.policy,
+                self._sla_latency_s,
+                self._load_generator,
+                **self._search_fidelity,
+            )
+            for state in self._fleets
+        ]
+        # Both configs' searches drain one shared pool concurrently (the
+        # cross-search driver), exactly like a batch sweep would.
+        return run_capacity_searches(
+            searches,
+            jobs=self._jobs,
+            warm_start_cache=self._capacity_cache,
+            pool=self._pool,
+        )
+
+
+# --------------------------------------------------------------------------- #
+
+
+def render_window_reports(reports: List[TwinWindowReport]) -> str:
+    """Render a batch of window reports as the experiments report format."""
+    from repro.experiments.runner import render_report
+
+    return render_report([report.to_experiment_result() for report in reports])

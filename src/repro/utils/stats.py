@@ -112,8 +112,25 @@ class PercentileTracker:
             grown[: self._count] = self._buffer[: self._count]
             self._buffer = grown
 
+    def reset(self) -> None:
+        """Discard all samples; capacity is kept, the sort cache is dropped.
+
+        Long-lived consumers (the digital-twin service's per-window state)
+        reuse one tracker across event-time windows; dropping the cached
+        sort here is what keeps a percentile computed before the reset from
+        leaking into the next window's statistics.
+        """
+        self._count = 0
+        self._sorted = None
+
     def add(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample.
+
+        Invalidates the cached sort, so a percentile computed *before* this
+        call never masks samples recorded after it — the
+        record-after-percentile staleness contract pinned by
+        ``tests/test_utils_stats.py::TestTrackerSortCacheInvalidation``.
+        """
         count = self._count
         buffer = self._buffer
         if count == buffer.shape[0]:
@@ -124,7 +141,7 @@ class PercentileTracker:
         self._sorted = None
 
     def extend(self, values: Iterable[float]) -> None:
-        """Record many samples."""
+        """Record many samples (invalidates the cached sort, like :meth:`add`)."""
         arr = np.fromiter(values, dtype=np.float64)
         self._reserve(arr.shape[0])
         self._buffer[self._count : self._count + arr.shape[0]] = arr

@@ -1,0 +1,113 @@
+"""Tier-1 docs integrity: every intra-repo markdown link must resolve.
+
+Runs the same checker CI's docs job runs (``tools/check_docs.py``) over the
+repo's actual docs, plus unit tests for the checker's slug/anchor rules so
+a checker bug cannot silently wave broken docs through.
+"""
+
+import importlib.util
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestRepoDocs:
+    def test_docs_exist_and_are_linked_from_readme(self):
+        assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+        assert (REPO_ROOT / "docs" / "capacity-search.md").is_file()
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/capacity-search.md" in readme
+
+    def test_all_repo_doc_links_resolve(self):
+        files = check_docs.doc_files(REPO_ROOT)
+        assert len(files) >= 3  # README + the two docs pages
+        seen, problems = check_docs.check_paths(files)
+        assert problems == []
+        assert seen > 0
+
+    def test_docs_cite_only_existing_test_names(self):
+        """Every ``tests/...py::test_name`` citation in the docs is real."""
+        cited = set()
+        for doc in (REPO_ROOT / "docs").glob("*.md"):
+            for match in re.finditer(
+                r"(tests/\w+\.py)::(?:\w+::)?(test_\w+)", doc.read_text()
+            ):
+                cited.add(match.groups())
+        assert cited, "the contract docs lost their test citations"
+        for test_file, test_name in sorted(cited):
+            source = (REPO_ROOT / test_file).read_text()
+            assert f"def {test_name}(" in source, (
+                f"docs cite {test_file}::{test_name}, which does not exist"
+            )
+
+
+class TestCheckerRules:
+    def test_heading_slugs_follow_github_rules(self):
+        slug = check_docs.heading_slug
+        assert slug("The layer stack") == "the-layer-stack"
+        assert slug("Warm starts: two tiers") == "warm-starts-two-tiers"
+        assert slug("`CapacityCache.stats` counters") == "capacitycachestats-counters"
+        assert slug("**Result** neutrality") == "result-neutrality"
+
+    def test_broken_path_reported(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text("[gone](missing.md)")
+        seen, problems = check_docs.check_paths([doc])
+        assert seen == 1
+        assert len(problems) == 1
+        assert "missing.md" in problems[0]
+
+    def test_valid_relative_path_and_anchor_pass(self, tmp_path):
+        target = tmp_path / "sub" / "b.md"
+        target.parent.mkdir()
+        target.write_text("# Deep Dive\n\n## The Contract\n")
+        doc = tmp_path / "a.md"
+        doc.write_text("[ok](sub/b.md) and [anchor](sub/b.md#the-contract)")
+        _, problems = check_docs.check_paths([doc])
+        assert problems == []
+
+    def test_missing_anchor_reported(self, tmp_path):
+        target = tmp_path / "b.md"
+        target.write_text("# Only Heading\n")
+        doc = tmp_path / "a.md"
+        doc.write_text("[bad](b.md#no-such-heading)")
+        _, problems = check_docs.check_paths([doc])
+        assert len(problems) == 1
+        assert "no-such-heading" in problems[0]
+
+    def test_same_file_anchor_checked(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text("# Top\n\n[up](#top) [broken](#nope)\n")
+        _, problems = check_docs.check_paths([doc])
+        assert len(problems) == 1
+        assert "#nope" in problems[0]
+
+    def test_external_links_ignored(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text(
+            "[x](https://example.com/gone) [y](http://x.test) [z](mailto:a@b.c)"
+        )
+        seen, problems = check_docs.check_paths([doc])
+        assert seen == 3
+        assert problems == []
+
+    def test_fenced_code_blocks_do_not_contribute(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text(
+            "# Real\n\n```text\n[fake](nowhere.md)\n## Not A Heading\n```\n"
+        )
+        target = tmp_path / "b.md"
+        target.write_text("```\n# Fenced\n```\n# Actual\n")
+        doc2 = tmp_path / "c.md"
+        doc2.write_text("[bad](b.md#fenced) [good](b.md#actual)")
+        _, problems = check_docs.check_paths([doc, doc2])
+        assert len(problems) == 1
+        assert "#fenced" in problems[0]

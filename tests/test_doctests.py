@@ -1,0 +1,39 @@
+"""Tier-1 wiring for the documented runnable examples (doctests).
+
+The runtime and service modules carry ``>>>`` examples in their module
+docstrings — the documentation layer's executable half.  This test runs the
+same selection CI's docs-check step runs with ``pytest --doctest-modules``,
+so the examples are part of the ordinary test suite and cannot rot: an API
+change that breaks a documented example fails tier-1, not just the docs job.
+"""
+
+import doctest
+
+import pytest
+
+import repro.runtime.capacity
+import repro.runtime.pool
+import repro.service.ingest
+import repro.service.shadow
+import repro.service.twin
+import repro.service.windows
+
+#: The documented-module selection.  Every module here must carry at least
+#: one runnable example; keep in sync with the docs-check CI step.
+DOCUMENTED_MODULES = [
+    repro.runtime.pool,
+    repro.runtime.capacity,
+    repro.service.windows,
+    repro.service.twin,
+    repro.service.shadow,
+    repro.service.ingest,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its runnable examples"
+    assert results.failed == 0

@@ -34,6 +34,7 @@ class TestExamplesImportable:
             "production_fleet.py",
             "cluster_fleet.py",
             "capacity_hints_sweep.py",
+            "digital_twin.py",
         ],
     )
     def test_example_imports_cleanly(self, name):
@@ -78,6 +79,18 @@ class TestClusterFleetExample:
         example.parallel_sweep_demo(batch_sizes=(256,), processes=1)
         output = capsys.readouterr().out
         assert "1/1 cache hits" in output
+
+
+class TestDigitalTwinExample:
+    def test_replay_shows_shadow_divergence(self, capsys):
+        example = load_example("digital_twin.py")
+        pipeline = example.replay()  # the demo's own sizing (~1 s)
+        output = capsys.readouterr().out
+        assert "shadow mode:" in output
+        assert "DIVERGED" in output  # the under-provisioned what-if flagged
+        assert "memo replays" in output
+        assert pipeline.reports, "no windows closed during the replay"
+        assert all(r.real.green for r in pipeline.reports)
 
 
 class TestCapacityHintsSweepExample:

@@ -1,0 +1,317 @@
+"""Tests for the digital twin: cumulative re-simulation and shadow mode."""
+
+import json
+
+import pytest
+
+from repro.queries.generator import LoadGenerator
+from repro.queries.trace import DiurnalPattern, generate_diurnal_trace
+from repro.service.shadow import (
+    ConfigVerdict,
+    FleetSpec,
+    compare_verdicts,
+    load_fleet_spec,
+)
+from repro.service.twin import DigitalTwin, render_window_reports
+from repro.service.windows import WindowManager
+
+#: Low-fidelity search knobs: the capacity answer only needs to be
+#: deterministic for these tests, not paper-accurate.
+FAST_SEARCH = dict(search_num_queries=80, search_iterations=3, search_max_queries=240)
+
+REAL = FleetSpec(
+    name="real",
+    model="ncf",
+    platform="broadwell",
+    num_servers=3,
+    batch_size=128,
+    num_cores=4,
+)
+UNDER_PROVISIONED = FleetSpec(
+    name="what-if",
+    model="ncf",
+    platform="broadwell",
+    num_servers=1,
+    batch_size=128,
+    num_cores=2,
+)
+
+
+def make_twin(what_if=None, **kwargs):
+    params = dict(
+        real=REAL,
+        sla_latency_s=0.05,
+        load_generator=LoadGenerator(seed=7),
+        what_if=what_if,
+        **FAST_SEARCH,
+    )
+    params.update(kwargs)
+    return DigitalTwin(**params)
+
+
+def windowed_stream(num_queries=500, rate_qps=80.0, window_s=2.0, seed=7):
+    queries = LoadGenerator(seed=seed).with_rate(rate_qps).generate(num_queries)
+    manager = WindowManager(window_s=window_s)
+    windows = manager.extend(queries) + manager.flush()
+    return queries, windows
+
+
+class TestCumulativeBitIdentity:
+    """Windowed cumulative re-simulation == one-shot batch, bit for bit."""
+
+    def test_final_window_matches_one_shot_batch(self):
+        queries, windows = windowed_stream()
+        assert len(windows) >= 3  # the slicing has to actually happen
+        with make_twin() as twin:
+            for window in windows:
+                twin.observe(window)
+            windowed = twin.last_cumulative_result()
+        batch_servers = REAL.build_servers()
+        from repro.serving.cluster import ClusterSimulator
+
+        batch = ClusterSimulator(batch_servers, balancer=REAL.policy).run(queries)
+        assert windowed.latencies_s == batch.latencies_s  # bit-identical
+        assert windowed.p95_latency_s == batch.p95_latency_s
+        assert windowed.per_server == batch.per_server
+
+    def test_what_if_side_is_also_bit_identical(self):
+        queries, windows = windowed_stream(num_queries=300)
+        with make_twin(what_if=UNDER_PROVISIONED) as twin:
+            for window in windows:
+                twin.observe(window)
+            windowed = twin.last_cumulative_result("what-if")
+        from repro.serving.cluster import ClusterSimulator
+
+        batch = ClusterSimulator(
+            UNDER_PROVISIONED.build_servers(), balancer=UNDER_PROVISIONED.policy
+        ).run(queries)
+        assert windowed.latencies_s == batch.latencies_s
+
+    def test_identity_is_independent_of_window_size(self):
+        queries, coarse = windowed_stream(num_queries=300, window_s=5.0)
+        _, fine = windowed_stream(num_queries=300, window_s=1.0)
+        assert len(fine) > len(coarse)
+        results = []
+        for windows in (coarse, fine):
+            with make_twin() as twin:
+                for window in windows:
+                    twin.observe(window)
+                results.append(twin.last_cumulative_result())
+        assert results[0].latencies_s == results[1].latencies_s
+
+    def test_out_of_order_stream_within_lateness_matches_batch(self):
+        queries, _ = windowed_stream(num_queries=200)
+        # Swap adjacent events: mild disorder a real feed would show.
+        shuffled = list(queries)
+        for i in range(0, len(shuffled) - 1, 2):
+            shuffled[i], shuffled[i + 1] = shuffled[i + 1], shuffled[i]
+        manager = WindowManager(window_s=2.0, allowed_lateness_s=1.0)
+        windows = manager.extend(shuffled) + manager.flush()
+        assert manager.late_events == 0
+        with make_twin() as twin:
+            for window in windows:
+                twin.observe(window)
+            windowed = twin.last_cumulative_result()
+        from repro.serving.cluster import ClusterSimulator
+
+        batch = ClusterSimulator(REAL.build_servers(), balancer=REAL.policy).run(
+            queries
+        )
+        assert windowed.latencies_s == batch.latencies_s
+
+
+class TestCapacityMemoEconomics:
+    def test_first_window_cold_then_memo_replays(self):
+        _, windows = windowed_stream(num_queries=400)
+        with make_twin(what_if=UNDER_PROVISIONED) as twin:
+            reports = [twin.observe(window) for window in windows]
+            stats = twin.capacity_cache.stats
+        assert reports[0].real.evaluations > 0
+        assert reports[0].what_if.evaluations > 0
+        for report in reports[1:]:
+            assert report.real.evaluations == 0
+            assert report.what_if.evaluations == 0
+        assert stats["stores"] == 2  # one cold search per config
+        assert stats["memo_hits"] == 2 * (len(reports) - 1)
+
+    def test_capacity_prediction_stable_across_windows(self):
+        _, windows = windowed_stream(num_queries=400)
+        with make_twin() as twin:
+            capacities = {twin.observe(w).real.capacity_qps for w in windows}
+        assert len(capacities) == 1  # the memo replays the same answer
+
+    def test_cumulative_counters_track_history(self):
+        _, windows = windowed_stream(num_queries=200)
+        with make_twin() as twin:
+            for expected, window in enumerate(windows, start=1):
+                report = twin.observe(window)
+                assert twin.windows_observed == expected
+            assert report.cumulative_queries == sum(
+                len(w.queries) for w in windows
+            )
+            assert twin.cumulative_queries == report.cumulative_queries
+
+
+class TestShadowMode:
+    def test_under_provisioned_what_if_diverges_on_diurnal_replay(self):
+        trace = generate_diurnal_trace(
+            700.0,
+            20.0,
+            pattern=DiurnalPattern(amplitude=0.5, period_s=20.0),
+            seed=17,
+            time_step_s=2.0,
+        )
+        manager = WindowManager(window_s=4.0)
+        windows = manager.extend(trace.queries) + manager.flush()
+        with make_twin(
+            what_if=UNDER_PROVISIONED, search_max_queries=400
+        ) as twin:
+            reports = [twin.observe(window) for window in windows]
+        # The real fleet holds the SLA throughout; the what-if cannot.
+        assert all(r.real.green for r in reports)
+        diverged = [r for r in reports if r.shadow.diverged]
+        assert diverged, "under-provisioned what-if never flagged"
+        final = reports[-1]
+        assert not final.what_if.green
+        assert final.shadow.diverged
+        assert "DIVERGED" in final.shadow.describe()
+        assert final.what_if.config in final.shadow.describe()
+        assert "DIVERGED" in final.summary_line()
+
+    def test_identical_configs_never_diverge(self):
+        twin_spec = FleetSpec(**{**REAL.to_dict(), "name": "candidate"})
+        _, windows = windowed_stream(num_queries=300)
+        with make_twin(what_if=twin_spec) as twin:
+            reports = [twin.observe(window) for window in windows]
+        for report in reports:
+            assert not report.shadow.diverged
+            assert report.shadow.p95_delta_s == 0.0
+            assert report.shadow.capacity_delta_qps == 0.0
+            assert "aligned" in report.shadow.describe()
+
+    def test_no_what_if_means_no_shadow_verdict(self):
+        _, windows = windowed_stream(num_queries=120)
+        with make_twin() as twin:
+            report = twin.observe(windows[0])
+        assert report.what_if is None
+        assert report.shadow is None
+        assert "what-if" not in report.summary_line()
+
+    def test_shadow_verdict_directions(self):
+        def verdict(name, p95, green):
+            return ConfigVerdict(
+                config=name,
+                p95_latency_s=p95,
+                sla_latency_s=0.1,
+                meets_sla=green,
+                stable=green,
+                capacity_qps=1000.0,
+                offered_qps=500.0,
+                evaluations=0,
+            )
+
+        recovering = compare_verdicts(
+            verdict("real", 0.4, False), verdict("what-if", 0.05, True)
+        )
+        assert recovering.diverged
+        assert "meets the 100.0 ms SLA" in recovering.describe()
+        aligned_red = compare_verdicts(
+            verdict("real", 0.4, False), verdict("what-if", 0.5, False)
+        )
+        assert not aligned_red.diverged
+        assert "both RED" in aligned_red.describe()
+
+
+class TestTwinReports:
+    def test_to_experiment_result_shape(self):
+        _, windows = windowed_stream(num_queries=300)
+        with make_twin(what_if=UNDER_PROVISIONED) as twin:
+            report = twin.observe(windows[0])
+        result = report.to_experiment_result()
+        assert result.experiment_id == "digital-twin-w0000"
+        assert [row[0] for row in result.rows] == ["real", "what-if"]
+        assert len(result.rows[0]) == len(result.headers)
+        assert result.metadata["window_index"] == 0
+        assert "diverged" in result.metadata
+
+    def test_render_window_reports_produces_report_text(self):
+        _, windows = windowed_stream(num_queries=300)
+        with make_twin() as twin:
+            reports = [twin.observe(window) for window in windows[:2]]
+        text = render_window_reports(reports)
+        assert "digital-twin-w0000" in text
+        assert "digital-twin-w0001" in text
+        assert "capacity-qps" in text
+
+    def test_median_window_rate_tracks_closed_windows(self):
+        _, windows = windowed_stream(num_queries=300)
+        with make_twin() as twin:
+            reports = [twin.observe(window) for window in windows]
+        rates = [w.mean_rate_qps for w in windows]
+        assert reports[0].median_window_rate_qps == rates[0]
+        assert reports[-1].median_window_rate_qps == pytest.approx(
+            sorted(rates)[len(rates) // 2], rel=0.5
+        )
+
+
+class TestTwinGuards:
+    def test_empty_window_rejected(self):
+        from repro.service.windows import Window
+
+        with make_twin() as twin:
+            with pytest.raises(ValueError, match="empty"):
+                twin.observe(Window(index=0, start_s=0.0, end_s=1.0, queries=()))
+
+    def test_no_history_rejected(self):
+        with make_twin() as twin:
+            with pytest.raises(ValueError, match="no windows"):
+                twin.last_cumulative_result()
+
+    def test_unknown_config_rejected(self):
+        _, windows = windowed_stream(num_queries=120)
+        with make_twin() as twin:
+            twin.observe(windows[0])
+            with pytest.raises(KeyError, match="unknown config"):
+                twin.last_cumulative_result("nope")
+
+    def test_duplicate_config_names_rejected(self):
+        with pytest.raises(ValueError, match="distinct names"):
+            make_twin(what_if=FleetSpec(**{**UNDER_PROVISIONED.to_dict(), "name": "real"}))
+
+    def test_explicit_cache_dir_is_not_deleted_on_close(self, tmp_path):
+        _, windows = windowed_stream(num_queries=120)
+        twin = make_twin(capacity_cache_dir=tmp_path)
+        twin.observe(windows[0])
+        twin.close()
+        assert tmp_path.exists()
+        assert list(tmp_path.iterdir())  # the cold search was persisted
+
+
+class TestFleetSpec:
+    def test_round_trip_and_loading(self, tmp_path):
+        path = tmp_path / "what_if.json"
+        path.write_text(json.dumps(UNDER_PROVISIONED.to_dict()))
+        assert load_fleet_spec(path) == UNDER_PROVISIONED
+
+    def test_name_default_applied_when_missing(self, tmp_path):
+        payload = UNDER_PROVISIONED.to_dict()
+        del payload["name"]
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        assert load_fleet_spec(path, name="candidate").name == "candidate"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet-spec keys"):
+            FleetSpec.from_dict({**UNDER_PROVISIONED.to_dict(), "gpus": 4})
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_fleet_spec(path)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown balancing policy"):
+            FleetSpec(
+                name="x", model="ncf", num_servers=1, batch_size=8, policy="psychic"
+            )

@@ -1,0 +1,185 @@
+"""Tests for the service's event-time window manager."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.query import Query
+from repro.service.windows import Window, WindowManager
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def make_queries(times):
+    return [Query(i, t, 16) for i, t in enumerate(times)]
+
+
+class TestWindowAssignment:
+    def test_window_index_and_bounds(self):
+        manager = WindowManager(window_s=10.0)
+        assert manager.window_index(0.0) == 0
+        assert manager.window_index(9.999) == 0
+        assert manager.window_index(10.0) == 1
+        assert manager.window_bounds(2) == (20.0, 30.0)
+
+    def test_start_offset_shifts_windows(self):
+        manager = WindowManager(window_s=5.0, start_s=100.0)
+        assert manager.window_index(101.0) == 0
+        assert manager.window_bounds(1) == (105.0, 110.0)
+        with pytest.raises(ValueError):
+            manager.window_index(99.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WindowManager(window_s=0.0)
+        with pytest.raises(ValueError):
+            WindowManager(window_s=1.0, allowed_lateness_s=-0.1)
+
+    def test_in_order_stream_closes_windows_on_boundary_crossing(self):
+        manager = WindowManager(window_s=10.0)
+        assert manager.add(Query(0, 1.0, 16)) == []
+        assert manager.add(Query(1, 9.0, 16)) == []
+        closed = manager.add(Query(2, 10.0, 16))
+        assert [w.index for w in closed] == [0]
+        assert [q.query_id for q in closed[0].queries] == [0, 1]
+        assert closed[0].mean_rate_qps == pytest.approx(0.2)
+
+    def test_flush_closes_remaining_windows_in_order(self):
+        manager = WindowManager(window_s=5.0, allowed_lateness_s=100.0)
+        # The generous watermark keeps every window open until flush.
+        assert manager.extend(make_queries([1.0, 7.0, 13.0])) == []
+        flushed = manager.flush()
+        assert [w.index for w in flushed] == [0, 1, 2]
+        assert manager.open_windows == []
+
+    def test_gap_windows_never_materialise(self):
+        manager = WindowManager(window_s=1.0)
+        closed = manager.extend(make_queries([0.5, 10.5]))
+        assert [w.index for w in closed] == [0]  # windows 1..9 had no events
+
+
+class TestLatenessPolicy:
+    def test_strict_watermark_drops_late_event(self):
+        manager = WindowManager(window_s=10.0)
+        manager.extend(make_queries([1.0, 12.0]))  # window 0 closed
+        assert manager.add(Query(9, 2.0, 16)) == []
+        assert manager.late_events == 1
+        assert manager.accepted_events == 2
+
+    def test_allowed_lateness_holds_window_open(self):
+        manager = WindowManager(window_s=10.0, allowed_lateness_s=5.0)
+        # Event at 12 leaves the watermark at 7: window 0 stays open and
+        # the out-of-order event at 2.0 still lands in its true window.
+        assert manager.extend(make_queries([1.0, 12.0])) == []
+        assert manager.add(Query(2, 2.0, 16)) == []
+        closed = manager.add(Query(3, 16.0, 16))  # watermark 11 passes 10
+        assert [w.index for w in closed] == [0]
+        assert sorted(q.query_id for q in closed[0].queries) == [0, 2]
+        assert manager.late_events == 0
+
+    def test_event_into_skipped_window_behind_watermark_still_accepted(self):
+        manager = WindowManager(window_s=10.0)
+        # First event opens window 2 only; windows 0/1 never existed, so an
+        # event for window 0 is not late — it closes immediately instead.
+        assert manager.add(Query(0, 25.0, 16)) == []
+        closed = manager.add(Query(1, 5.0, 16))
+        assert [w.index for w in closed] == [0]
+        # ...but once something at or below that index has been emitted,
+        # the region is sealed.
+        assert manager.add(Query(2, 6.0, 16)) == []
+        assert manager.late_events == 1
+
+
+class TestWindowingProperties:
+    @SETTINGS
+    @given(
+        times=st.lists(
+            st.floats(0.0, 500.0, allow_nan=False, width=32), min_size=1, max_size=80
+        ),
+        window_s=st.floats(0.5, 60.0, allow_nan=False),
+    )
+    def test_every_event_lands_in_its_event_time_window(self, times, window_s):
+        manager = WindowManager(window_s=window_s, allowed_lateness_s=1e9)
+        queries = make_queries(sorted(times))
+        closed = manager.extend(queries) + manager.flush()
+        slack = 4 * math.ulp(max(max(times), window_s) + window_s)
+        for window in closed:
+            assert (window.start_s, window.end_s) == manager.window_bounds(
+                window.index
+            )
+            for query in window.queries:
+                assert window.index == manager.window_index(query.arrival_time)
+                # Bounds hold up to float rounding in index * window_s.
+                assert window.start_s - slack <= query.arrival_time
+                assert query.arrival_time < window.end_s + slack
+
+    @SETTINGS
+    @given(
+        times=st.lists(
+            st.floats(0.0, 300.0, allow_nan=False, width=32), min_size=1, max_size=80
+        ),
+        window_s=st.floats(0.5, 30.0, allow_nan=False),
+        lateness_s=st.floats(0.0, 400.0, allow_nan=False),
+    )
+    def test_conservation_and_ordering(self, times, window_s, lateness_s):
+        """No event is lost or duplicated, and windows close in index order."""
+        manager = WindowManager(window_s=window_s, allowed_lateness_s=lateness_s)
+        queries = make_queries(times)
+        closed = manager.extend(queries) + manager.flush()
+        emitted = [q.query_id for w in closed for q in w.queries]
+        assert len(emitted) == len(set(emitted))  # never duplicated
+        assert len(emitted) + manager.late_events == len(queries)
+        assert manager.accepted_events == len(emitted)
+        indices = [w.index for w in closed]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices))
+
+    @SETTINGS
+    @given(
+        times=st.lists(
+            st.floats(0.0, 300.0, allow_nan=False, width=32), min_size=1, max_size=80
+        ),
+        window_s=st.floats(0.5, 30.0, allow_nan=False),
+    )
+    def test_in_order_streams_never_drop_events(self, times, window_s):
+        manager = WindowManager(window_s=window_s)  # strictest watermark
+        closed = manager.extend(make_queries(sorted(times))) + manager.flush()
+        assert sum(len(w.queries) for w in closed) == len(times)
+        assert manager.late_events == 0
+
+    @SETTINGS
+    @given(
+        times=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False, width=32), min_size=2, max_size=60
+        ),
+        window_s=st.floats(0.5, 20.0, allow_nan=False),
+    )
+    def test_lateness_covering_disorder_drops_nothing(self, times, window_s):
+        """With the watermark lagging by the stream's true disorder, the
+        out-of-order stream emits exactly the in-order stream's windows."""
+        disorder = max(
+            (max(times[: i + 1]) - t for i, t in enumerate(times)), default=0.0
+        )
+        manager = WindowManager(window_s=window_s, allowed_lateness_s=disorder)
+        closed = manager.extend(make_queries(times)) + manager.flush()
+        assert manager.late_events == 0
+        ordered = WindowManager(window_s=window_s)
+        ordered_closed = (
+            ordered.extend(make_queries(sorted(times))) + ordered.flush()
+        )
+        got = {w.index: sorted(q.arrival_time for q in w.queries) for w in closed}
+        want = {
+            w.index: sorted(q.arrival_time for q in w.queries)
+            for w in ordered_closed
+        }
+        assert got == want
+
+
+class TestWindowDataclass:
+    def test_window_is_immutable(self):
+        window = Window(index=0, start_s=0.0, end_s=5.0, queries=(Query(0, 1.0, 8),))
+        with pytest.raises(AttributeError):
+            window.index = 1
+        assert window.duration_s == 5.0

@@ -122,6 +122,71 @@ class TestPercentileTracker:
         assert tracker.count == 1
 
 
+class TestTrackerSortCacheInvalidation:
+    """The cached sort must never survive a mutation.
+
+    The digital-twin service keeps trackers alive across event-time windows
+    and interleaves percentile queries with further recording; a stale sort
+    cache would silently report the *previous* window's statistics.  These
+    regression tests pin the record-after-percentile contract for every
+    mutating entry point (``add``, ``extend``, ``reset``).
+    """
+
+    def test_add_after_percentile_refreshes_statistics(self):
+        tracker = PercentileTracker()
+        tracker.extend([1.0, 2.0, 3.0])
+        assert tracker.p95() == pytest.approx(2.9)  # caches the sort
+        tracker.add(1000.0)
+        fresh = PercentileTracker()
+        fresh.extend([1.0, 2.0, 3.0, 1000.0])
+        assert tracker.p95() == fresh.p95()
+        assert tracker.p50() == fresh.p50()
+
+    def test_extend_after_percentile_refreshes_statistics(self):
+        tracker = PercentileTracker()
+        tracker.extend(range(10))
+        before = tracker.p95()
+        tracker.extend([500.0, 600.0])
+        fresh = PercentileTracker()
+        fresh.extend(list(range(10)) + [500.0, 600.0])
+        assert tracker.p95() == fresh.p95()
+        assert tracker.p95() > before
+
+    def test_interleaved_window_loop_matches_batch(self):
+        # The service's actual access pattern: query, record, query, record.
+        tracker = PercentileTracker()
+        window_rates = [120.0, 90.0, 240.0, 60.0, 180.0]
+        medians = []
+        for rate in window_rates:
+            tracker.add(rate)
+            medians.append(tracker.p50())
+        expected = [
+            percentile(window_rates[: i + 1], 50) for i in range(len(window_rates))
+        ]
+        assert medians == pytest.approx(expected)
+
+    def test_reset_drops_samples_and_sort_cache(self):
+        tracker = PercentileTracker()
+        tracker.extend([5.0, 6.0, 7.0])
+        assert tracker.p50() == 6.0  # caches the sort
+        tracker.reset()
+        assert tracker.count == 0
+        with pytest.raises(ValueError):
+            tracker.p50()
+        tracker.extend([1.0, 2.0])
+        assert tracker.p50() == pytest.approx(1.5)
+        assert tracker.samples() == [1.0, 2.0]
+
+    def test_reset_respects_warmup(self):
+        tracker = PercentileTracker(warmup=1)
+        tracker.extend([99.0, 1.0, 2.0])
+        assert tracker.count == 2
+        tracker.reset()
+        tracker.extend([50.0, 3.0, 4.0])
+        assert tracker.count == 2
+        assert tracker.mean() == pytest.approx(3.5)
+
+
 class TestStreamingStats:
     def test_mean_and_variance(self):
         stats = StreamingStats()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Validate intra-repo markdown links (paths and heading anchors).
+
+Scans ``README.md`` and everything under ``docs/`` for markdown links,
+resolves each relative target against the linking file, and fails on:
+
+* links to files that do not exist in the checkout;
+* ``#fragment`` anchors that do not match any heading in the target
+  markdown file (GitHub slug rules: lowercase, punctuation stripped,
+  spaces to dashes).
+
+External links (``http(s)://``, ``mailto:``) are ignored — CI must not
+depend on the network.  Run from anywhere inside the repo::
+
+    python tools/check_docs.py
+
+Exit status is the number of broken links (0 = docs are sound).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: ``[text](target)`` — target captured up to the closing paren (markdown
+#: titles after a space are not used in this repo's docs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+#: Fenced code blocks must not contribute headings or links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The markdown files whose links the repo guarantees."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def iter_content_lines(text: str) -> Iterable[str]:
+    """Markdown lines with fenced code blocks blanked out."""
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield line
+
+
+def heading_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)  # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    slugs = []
+    for line in iter_content_lines(path.read_text(encoding="utf-8")):
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.append(heading_slug(match.group(1)))
+    return slugs
+
+
+def extract_links(path: Path) -> List[str]:
+    return [
+        target
+        for line in iter_content_lines(path.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(line)
+    ]
+
+
+def check_link(source: Path, target: str) -> List[str]:
+    """Problems (possibly none) with one link from ``source``."""
+    if target.startswith(EXTERNAL_PREFIXES):
+        return []
+    path_part, _, fragment = target.partition("#")
+    if not path_part:  # same-file anchor
+        resolved = source
+    else:
+        resolved = (source.parent / path_part).resolve()
+        if not resolved.exists():
+            return [f"{source}: broken link target {target!r}"]
+    if fragment:
+        if resolved.suffix != ".md":
+            return []  # anchors into non-markdown files are out of scope
+        if heading_slug(fragment) not in heading_slugs(resolved):
+            return [f"{source}: no heading for anchor {target!r}"]
+    return []
+
+
+def check_paths(paths: Iterable[Path]) -> Tuple[int, List[str]]:
+    """Check every link in ``paths``; return (links seen, problems)."""
+    seen = 0
+    problems: List[str] = []
+    for path in paths:
+        links = extract_links(path)
+        seen += len(links)
+        for target in links:
+            problems.extend(check_link(path, target))
+    return seen, problems
+
+
+def main() -> int:
+    root = repo_root()
+    files = doc_files(root)
+    seen, problems = check_paths(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {seen} links across {len(files)} files: {len(problems)} broken")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
