@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness for the serving/simulation fast path.
 
-Times seven representative workloads end to end and writes ``BENCH_5.json``:
+Times eight representative workloads end to end and writes ``BENCH_6.json``:
 
 * ``fig9-batch-sweep`` — single-server capacity bisections across a batch-size
   grid (the Fig. 9 experiment at reduced fidelity);
@@ -20,6 +20,11 @@ Times seven representative workloads end to end and writes ``BENCH_5.json``:
 * ``fig13-production`` — the Fig. 13 diurnal fleet replay (fixed vs tuned
   batch size under random balancing), post-unification running through the
   shared-heap ``ClusterSimulator`` on scaled latency tables;
+* ``fig13-fault-hooks`` — a fig13-scale fleet replay driven through the
+  fault-instrumented cluster loop with a plan that never fires (its one
+  crash window opens after the trace ends): the pure bookkeeping overhead
+  of fault hooks on a no-fault run, which the perf-trend gate keeps
+  bounded;
 * ``fig7-subsampling`` — the Fig. 7 subsampling experiment (two 16-node
   fleets replaying 2 400 queries each).
 
@@ -32,7 +37,7 @@ so the speedup column stays meaningful there too.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                # full run, BENCH_5.json
+    python benchmarks/run_benchmarks.py                # full run, BENCH_6.json
     python benchmarks/run_benchmarks.py --quick        # CI smoke sizes
     python benchmarks/run_benchmarks.py --jobs 4       # parallel capacity search
 """
@@ -63,11 +68,14 @@ from repro.serving.sla import SLATier, sla_target  # noqa: E402
 
 #: Pre-PR wall-clock seconds per case, measured on the recording host with
 #: the same script, same kwargs, best-of-3, jobs=1, at the commit in
-#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_5.json is computed
+#: :data:`BASELINE_COMMIT`.  The speedup column of BENCH_6.json is computed
 #: against these numbers.  (``capacity-sweep-shared`` was measured with the
 #: engine caches pre-warmed by the preceding cases, mirroring its position
 #: in the harness order, so its speedup isolates pool reuse + warm starts
-#: rather than one-time table builds.)
+#: rather than one-time table builds.  ``fig13-fault-hooks``'s baseline is
+#: the *same* replay through the plain no-fault loop on the same checkout —
+#: its speedup therefore reads directly as fault-hook overhead, 1.0x being
+#: free.)
 PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
     "full": {
         "fig9-batch-sweep": 1.03,
@@ -76,6 +84,7 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "capacity-sweep-shared": 0.296,
         "capacity-sweep-shared-j4": 0.296,
         "fig13-production": 0.513,
+        "fig13-fault-hooks": 0.297,
         "fig7-subsampling": 0.266,
     },
     "quick": {
@@ -85,6 +94,7 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "capacity-sweep-shared": 0.066,
         "capacity-sweep-shared-j4": 0.066,
         "fig13-production": 0.268,
+        "fig13-fault-hooks": 0.044,
         "fig7-subsampling": 0.064,
     },
 }
@@ -101,6 +111,7 @@ BASELINE_COMMIT: Dict[str, str] = {
     "capacity-sweep-shared": "56f3891 (pre runtime-unification PR)",
     "capacity-sweep-shared-j4": "56f3891 (pre runtime-unification PR)",
     "fig13-production": "5baf554 (pre fleet-unification PR)",
+    "fig13-fault-hooks": "9e6e0fb (plain no-fault loop, same checkout host)",
     "fig7-subsampling": "5baf554 (pre fleet-unification PR)",
 }
 
@@ -249,6 +260,37 @@ def bench_fig13(quick: bool, jobs: int) -> None:
     run_experiment("figure-13", **kwargs)
 
 
+def bench_fig13_fault_hooks(quick: bool, jobs: int) -> None:
+    # A fig13-scale fleet replay through the *fault-instrumented* cluster
+    # loop: the plan's only crash window opens after the last arrival, so
+    # no fault ever fires and the seconds measure the hooks' bookkeeping
+    # (health view, fault tracks, merged transition stream) alone.  The
+    # baseline is the identical replay through the plain no-fault loop on
+    # the same checkout, so the speedup column reads as hook overhead
+    # directly (1.0x = free) and the trend gate bounds it across PRs.
+    from repro.faults import CrashWindow, FaultPlan, NodeFaultSchedule, RetryPolicy
+    from repro.serving.cluster import ClusterSimulator
+
+    engines = build_engine_pair("dlrm-rmc1", "skylake", None)
+    fleet = homogeneous_fleet(engines, ServingConfig(batch_size=256, num_cores=8), 4)
+    num_queries = 15000 if quick else 100000
+    queries = LoadGenerator(seed=5).with_rate(7000.0).generate(num_queries)
+    horizon = queries[-1].arrival_time
+    plan = FaultPlan(
+        nodes={
+            0: NodeFaultSchedule(
+                crashes=(CrashWindow(horizon + 1.0, horizon + 2.0),)
+            )
+        }
+    )
+    ClusterSimulator(
+        fleet,
+        "least-outstanding",
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=2),
+    ).run(queries)
+
+
 def bench_fig7(quick: bool, jobs: int) -> None:
     # figure-7 has no worker knob: its two fleet replays are sequential by
     # design, so this case always runs serially regardless of --jobs.
@@ -268,6 +310,7 @@ CASES: Dict[str, Callable[[bool, int], None]] = {
     "capacity-sweep-shared": bench_capacity_sweep,
     "capacity-sweep-shared-j4": bench_capacity_sweep_j4,
     "fig13-production": bench_fig13,
+    "fig13-fault-hooks": bench_fig13_fault_hooks,
     "fig7-subsampling": bench_fig7,
 }
 
@@ -306,7 +349,7 @@ def build_report(
             speedups.append(baseline / seconds)
         cases[name] = entry
     report: Dict[str, Any] = {
-        "bench_id": "BENCH_5",
+        "bench_id": "BENCH_6",
         "mode": mode,
         "jobs": jobs,
         "repeats": repeats,
@@ -337,7 +380,7 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--output",
         default="",
-        help="Output JSON path (default: BENCH_5.json at the repo root for "
+        help="Output JSON path (default: BENCH_6.json at the repo root for "
         "full runs; bench_quick.json for --quick, so a quick run never "
         "overwrites the committed full-mode trajectory).",
     )
@@ -364,7 +407,7 @@ def main(argv: Optional[list] = None) -> int:
         # the perf-trend gate compares full-mode numbers across PRs.
         output = _REPO_ROOT / "bench_quick.json"
     else:
-        output = _REPO_ROOT / "BENCH_5.json"
+        output = _REPO_ROOT / "BENCH_6.json"
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     for name, entry in report["cases"].items():

@@ -3,6 +3,7 @@
 # Importing the driver modules registers them with the experiment registry.
 from repro.experiments import (  # noqa: F401
     ablations,
+    degraded_fleet,
     fig1_roofline,
     fig3_operators,
     fig4_gpu_speedup,

@@ -79,6 +79,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.execution.engine import EnginePair
+from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.queries.generator import LoadGenerator
 from repro.runtime.pool import (
     Future,
@@ -254,6 +255,8 @@ def _build_evaluator(payload: Dict[str, Any]) -> Dict[str, Any]:
             balancer=payload["balancer"],
             warmup_fraction=payload["warmup_fraction"],
             balancer_seed=payload["balancer_seed"],
+            fault_plan=payload.get("fault_plan"),
+            retry_policy=payload.get("retry_policy"),
         )
     else:
         simulator = ServingSimulator(payload["engines"], payload["config"])
@@ -321,10 +324,16 @@ class CapacitySearch:
         balancer: Union[str, LoadBalancer, None] = None,
         warmup_fraction: Optional[float] = None,
         balancer_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         check_positive("sla_latency_s", sla_latency_s)
         check_positive("num_queries", num_queries)
         check_positive("iterations", iterations)
+        if fault_plan is not None and fault_plan.is_empty():
+            fault_plan = None  # the "no faults" sentinel, like the simulator
+        if fault_plan is not None and kind != "fleet":
+            raise ValueError("fault injection is only supported for fleet searches")
         self._kind = kind
         self._sla_latency_s = sla_latency_s
         self._load_generator = load_generator
@@ -338,6 +347,8 @@ class CapacitySearch:
         self._balancer = balancer
         self._warmup_fraction = warmup_fraction
         self._balancer_seed = balancer_seed
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
         self._signature_memo: Any = _UNCOMPUTED
         # Fail fast on an invalid fleet/config — in the parent, not mid-run
         # inside a worker.  The validated simulator is kept and reused as
@@ -349,6 +360,8 @@ class CapacitySearch:
                 balancer=balancer,
                 warmup_fraction=warmup_fraction,
                 balancer_seed=balancer_seed,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
             )
         else:
             assert engines is not None and config is not None
@@ -396,8 +409,15 @@ class CapacitySearch:
         max_queries: int = 8000,
         warmup_fraction: Optional[float] = None,
         balancer_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "CapacitySearch":
-        """A fleet search (the :func:`find_cluster_max_qps` problem)."""
+        """A fleet search (the :func:`find_cluster_max_qps` problem).
+
+        ``fault_plan`` / ``retry_policy`` make every candidate-rate
+        evaluation run fault-injected, so the search measures capacity
+        *under* the plan's crashes and stragglers.
+        """
         return cls(
             kind="fleet",
             servers=servers,
@@ -410,6 +430,8 @@ class CapacitySearch:
             max_queries=max_queries,
             warmup_fraction=warmup_fraction,
             balancer_seed=balancer_seed,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------ #
@@ -487,6 +509,14 @@ class CapacitySearch:
                 "warmup_fraction": self._warmup_fraction,
                 "balancer_seed": 0 if single else self._balancer_seed,
             }
+            # Folded in only when a plan is present: fault-free signatures
+            # (and their digests) are byte-identical to pre-fault builds, so
+            # existing cache entries stay valid without a schema bump.
+            if self._fault_plan is not None:
+                signature["fault"] = {
+                    "plan": self._fault_plan.to_dict(),
+                    "retry": (self._retry_policy or RetryPolicy()).to_dict(),
+                }
             json.dumps(signature, sort_keys=True)  # probe serialisability
         except (TypeError, ValueError, AttributeError):
             return None
@@ -508,6 +538,8 @@ class CapacitySearch:
                 "balancer": self._balancer,
                 "warmup_fraction": self._warmup_fraction,
                 "balancer_seed": self._balancer_seed,
+                "fault_plan": self._fault_plan,
+                "retry_policy": self._retry_policy,
                 **shared,
             }
         return {

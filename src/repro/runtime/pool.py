@@ -17,6 +17,14 @@ primitive:
   pool worker (detected via the worker marker and the daemon flag) runs
   inline, so accidental nested parallelism degrades to serial instead of
   oversubscribing;
+* **self-healing** — a worker death (OOM kill, segfault, stray
+  ``SIGKILL``) breaks the underlying executor; the pool notices, retires
+  the broken executor, and resubmits every task the crash took down on a
+  fresh one with a bounded exponential backoff.  A task that keeps killing
+  its workers is *quarantined* — its future fails with
+  :class:`WorkerCrashError` after ``max_task_retries`` resubmissions — so
+  one poison task can never hang ``as_completed`` or starve its batch.
+  Crash/retry/quarantine counts are visible in :attr:`WorkerPool.stats`;
 * **context-managed** — ``with WorkerPool(8) as pool: ...`` bounds the
   worker lifetime; :func:`shared_pool` extends that to a whole CLI
   invocation, and :func:`pool_scope` is how library code picks up the
@@ -61,9 +69,12 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Set (in the child) by the pool initializer; belt to the daemon-flag braces.
 _IN_WORKER = False
@@ -271,8 +282,41 @@ def as_completed(futures: Iterable[Future]) -> Iterator[Future]:
             yield future
 
 
+class WorkerCrashError(RuntimeError):
+    """A task was abandoned because it kept crashing its worker process.
+
+    Raised at ``Future.result()`` for a task that exhausted its crash-retry
+    budget (``max_task_retries``): the pool treats it as *poison* and
+    quarantines it rather than burning workers on it forever.  Tasks that
+    merely *raise* are never wrapped in this — ordinary exceptions pass
+    through untouched and unretried.
+    """
+
+
+class _TaskRecord:
+    """Dispatch state for one submitted task, carried across crash retries."""
+
+    __slots__ = ("future", "fn", "item", "context", "attempts", "generation")
+
+    def __init__(
+        self, future: Future, fn: Callable[..., Any], item: Any,
+        context: Optional[TaskContext],
+    ) -> None:
+        self.future = future
+        self.fn = fn
+        self.item = item
+        self.context = context
+        self.attempts = 0  # crash-triggered resubmissions so far
+        self.generation = 0  # executor generation this dispatch targeted
+
+
+#: Ceiling on the crash-retry backoff so a run never stalls half a second
+#: more than it must between executor generations.
+_MAX_BACKOFF_S = 0.5
+
+
 class WorkerPool:
-    """A lazily-forked, reusable, nesting-safe process pool.
+    """A lazily-forked, reusable, nesting-safe, self-healing process pool.
 
     Parameters
     ----------
@@ -281,13 +325,52 @@ class WorkerPool:
         means one per host core.  A pool of one never forks — every ``map``
         runs inline — which is also the behaviour inside a pool worker
         regardless of ``max_workers``.
+    max_task_retries:
+        How many times one task may be resubmitted after a worker crash
+        takes it down before the pool quarantines it (fails its future with
+        :class:`WorkerCrashError`).  Crashes are *process deaths* — a task
+        that raises an ordinary exception is never retried.
+    retry_backoff_s:
+        Base of the exponential backoff between crash resubmissions
+        (doubled per attempt, capped at half a second) — enough for a
+        transient killer (an OOM spike) to clear without turning recovery
+        into a stall.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        max_task_retries: int = 3,
+        retry_backoff_s: float = 0.05,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self._max_workers = max_workers or os.cpu_count() or 1
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._max_task_retries = max_task_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._executor: Optional[ProcessPoolExecutor] = None
+        # Guards executor lifecycle + stats: dispatches race with the
+        # executor's callback thread (where crashes are detected).
+        self._lock = threading.Lock()
+        # Bumped every time an executor is retired (crash or close); stale
+        # crash reports from an already-replaced generation are ignored so
+        # one worker death is counted — and heals the pool — exactly once.
+        self._generation = 0
+        self._stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "worker_crashes": 0,
+            "retries": 0,
+            "quarantined": 0,
+        }
 
     @property
     def max_workers(self) -> int:
@@ -302,18 +385,100 @@ class WorkerPool:
     @property
     def forked(self) -> bool:
         """Whether the underlying process pool has actually been forked."""
-        return self._pool is not None
+        return self._executor is not None
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: submitted / completed / worker_crashes /
+        retries / quarantined.  ``worker_crashes`` counts executor
+        generations lost, ``retries`` crash-triggered resubmissions, and
+        ``quarantined`` tasks abandoned with :class:`WorkerCrashError`.
+        """
+        with self._lock:
+            return dict(self._stats)
 
     # ------------------------------------------------------------------ #
 
-    def _ensure(self) -> multiprocessing.pool.Pool:
-        if self._pool is None:
-            global _FORK_COUNT
-            _FORK_COUNT += 1
-            self._pool = multiprocessing.Pool(
-                processes=self._max_workers, initializer=_worker_initializer
+    def _dispatch(self, record: _TaskRecord) -> None:
+        """Submit (or resubmit) one task onto the live executor."""
+        try:
+            with self._lock:
+                if self._executor is None:
+                    global _FORK_COUNT
+                    _FORK_COUNT += 1
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self._max_workers,
+                        mp_context=multiprocessing.get_context("fork"),
+                        initializer=_worker_initializer,
+                    )
+                record.generation = self._generation
+                if record.context is not None:
+                    handle = self._executor.submit(
+                        _run_contextual_task,
+                        record.context.pack(record.fn, record.item),
+                    )
+                else:
+                    handle = self._executor.submit(record.fn, record.item)
+        except BrokenProcessPool:
+            # The executor broke between a crash and its retirement; treat
+            # this dispatch as crash contact so the budget stays bounded.
+            self._crash_contact(record)
+            return
+        handle.add_done_callback(
+            lambda done, record=record: self._task_done(record, done)
+        )
+
+    def _retire_broken(self, generation: int) -> None:
+        """Drop the broken executor (once per generation); heal lazily."""
+        with self._lock:
+            if generation != self._generation or self._executor is None:
+                return  # another task's crash report already retired it
+            self._generation += 1
+            self._stats["worker_crashes"] += 1
+            executor, self._executor = self._executor, None
+        # Outside the lock: reap what is reapable without waiting on it.
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _crash_contact(self, record: _TaskRecord) -> None:
+        """A worker crash took this task down: retry it or quarantine it."""
+        self._retire_broken(record.generation)
+        record.attempts += 1
+        with self._lock:
+            quarantine = record.attempts > self._max_task_retries
+            self._stats["quarantined" if quarantine else "retries"] += 1
+        if quarantine:
+            record.future._reject(
+                WorkerCrashError(
+                    f"task {record.item!r} crashed its worker process "
+                    f"{record.attempts} times; quarantined"
+                )
             )
-        return self._pool
+            return
+        if self._retry_backoff_s > 0:
+            time.sleep(
+                min(
+                    self._retry_backoff_s * (2 ** (record.attempts - 1)),
+                    _MAX_BACKOFF_S,
+                )
+            )
+        self._dispatch(record)
+
+    def _task_done(self, record: _TaskRecord, handle: Any) -> None:
+        """Executor callback: route one finished dispatch to its future."""
+        try:
+            value = handle.result()
+        except (BrokenProcessPool, CancelledError):
+            # The worker running (or queued to run) this task died.  Every
+            # in-flight sibling lands here too — each is retried on the
+            # replacement executor with its own budget.
+            self._crash_contact(record)
+            return
+        except BaseException as error:  # the task raised: no retry
+            record.future._reject(error)
+            return
+        with self._lock:
+            self._stats["completed"] += 1
+        record.future._resolve(value)
 
     def submit(
         self,
@@ -328,8 +493,15 @@ class WorkerPool:
         already resolved, so completion-driven consumers degrade to exact
         serial execution with no special-casing.  With a ``context``, ``fn``
         receives ``(context_value, item)``; without one, ``(item)``.
+
+        A parallel task whose worker process *dies* (rather than raises) is
+        transparently resubmitted up to ``max_task_retries`` times on a
+        fresh executor; past that budget its future fails with
+        :class:`WorkerCrashError` instead of hanging.
         """
         future = Future(item)
+        with self._lock:
+            self._stats["submitted"] += 1
         if self.parallelism <= 1:
             try:
                 if context is not None:
@@ -338,19 +510,11 @@ class WorkerPool:
                     future._resolve(fn(item))
             except BaseException as error:  # delivered at .result()
                 future._reject(error)
+            else:
+                with self._lock:
+                    self._stats["completed"] += 1
             return future
-        pool = self._ensure()
-        if context is not None:
-            pool.apply_async(
-                _run_contextual_task,
-                (context.pack(fn, item),),
-                callback=future._resolve,
-                error_callback=future._reject,
-            )
-        else:
-            pool.apply_async(
-                fn, (item,), callback=future._resolve, error_callback=future._reject
-            )
+        self._dispatch(_TaskRecord(future, fn, item, context))
         return future
 
     def map(
@@ -379,11 +543,17 @@ class WorkerPool:
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        """Tear the forked pool down (a later ``map`` would fork afresh)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Tear the forked pool down (a later ``map`` would fork afresh).
+
+        Blocks until in-flight tasks drain — consumers gather results
+        before closing, so in practice this returns immediately.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            if executor is not None:
+                self._generation += 1
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self

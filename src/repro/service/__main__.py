@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from typing import List, Optional
 
@@ -29,7 +30,8 @@ from repro.queries.generator import LoadGenerator
 from repro.queries.trace import QueryTrace
 from repro.runtime.pool import shared_pool
 from repro.serving.cluster import available_balancers
-from repro.service.ingest import IngestPipeline, run_stdin, serve_tcp
+from repro.service.checkpoint import WindowJournal
+from repro.service.ingest import IngestPipeline, serve_tcp
 from repro.service.shadow import FleetSpec, load_fleet_spec
 from repro.service.twin import DigitalTwin, TwinWindowReport
 from repro.service.windows import WindowManager
@@ -112,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="Persistent warm-start cache (default: private temp directory).",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        default="",
+        help=(
+            "Journal every observed window here and resume from the journal "
+            "on restart without reprocessing (crash-safe; default: off)."
+        ),
+    )
+    parser.add_argument(
+        "--shed-above",
+        type=int,
+        default=0,
+        help=(
+            "Load shedding: when one ingest batch closes more than this many "
+            "windows, absorb the oldest beyond the budget instead of "
+            "re-simulating them (0 disables shedding)."
+        ),
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="Capacity-search workload seed."
     )
     parser.add_argument(
@@ -150,7 +170,29 @@ def build_pipeline(args: argparse.Namespace, sink=None) -> IngestPipeline:
         capacity_cache_dir=args.capacity_cache_dir or None,
     )
     windows = WindowManager(args.window_s, allowed_lateness_s=args.lateness_s)
-    return IngestPipeline(windows, twin, sink=sink)
+    journal: Optional[WindowJournal] = None
+    if getattr(args, "checkpoint_dir", ""):
+        journal = WindowJournal(args.checkpoint_dir)
+        restored = journal.load()
+        if restored:
+            # Resume: adopt the journalled history (no re-simulation) and
+            # seal the stream position so replayed events read as late.
+            twin.restore(restored)
+            windows.fast_forward(
+                max(window.index for window in restored),
+                max(
+                    query.arrival_time
+                    for window in restored
+                    for query in window.queries
+                ),
+            )
+    return IngestPipeline(
+        windows,
+        twin,
+        sink=sink,
+        journal=journal,
+        shed_above=getattr(args, "shed_above", 0),
+    )
 
 
 def _print_report(report: TwinWindowReport, full: bool) -> None:
@@ -160,14 +202,27 @@ def _print_report(report: TwinWindowReport, full: bool) -> None:
         print(report.summary_line())
 
 
+def _raise_keyboard_interrupt(signum, frame) -> None:
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the service with the requested transport until the stream ends."""
+    """Run the service with the requested transport until the stream ends.
+
+    SIGINT and SIGTERM both shut the service down *cleanly*: open windows
+    are flushed (so the final partial window is still reported), the usual
+    end-of-run summaries print, and the exit status is 130 — never an
+    asyncio traceback.
+    """
     args = build_parser().parse_args(argv)
     if args.window_s <= 0:
         print(f"--window-s must be > 0, got {args.window_s}", file=sys.stderr)
         return 2
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.shed_above < 0:
+        print(f"--shed-above must be >= 0, got {args.shed_above}", file=sys.stderr)
         return 2
     if not (args.port or args.stdin or args.replay):
         print(
@@ -179,46 +234,91 @@ def main(argv: Optional[List[str]] = None) -> int:
     def sink(report: TwinWindowReport) -> None:
         _print_report(report, args.report)
 
-    # One pool for the service's whole lifetime: every window's capacity
-    # searches (both configs) reuse the same long-lived workers.
-    with shared_pool(args.jobs):
-        pipeline = build_pipeline(args, sink=sink)
-        with pipeline.twin:
-            if args.replay:
-                trace = QueryTrace.load(args.replay)
-                for query in trace:
-                    pipeline.feed(query)
-                pipeline.finish()
-            elif args.stdin:
-                run_stdin(pipeline)
-            else:
-                print(f"listening on port {args.port}", file=sys.stderr)
-                try:
-                    asyncio.run(
-                        serve_tcp(
-                            pipeline, port=args.port, one_shot=args.one_shot
-                        )
-                    )
-                except KeyboardInterrupt:
-                    pass
-            late = pipeline.windows.late_events
-            if late or pipeline.malformed_lines:
+    # SIGTERM behaves like Ctrl-C on the blocking (replay / stdin) paths;
+    # the TCP path installs its own loop-level handlers in serve_tcp.
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:
+        pass  # not the main thread (embedded use): keep default delivery
+
+    interrupted = False
+    try:
+        # One pool for the service's whole lifetime: every window's capacity
+        # searches (both configs) reuse the same long-lived workers.
+        with shared_pool(args.jobs):
+            pipeline = build_pipeline(args, sink=sink)
+            if args.checkpoint_dir and pipeline.twin.windows_observed:
                 print(
-                    f"dropped: {late} late events, "
-                    f"{pipeline.malformed_lines} malformed lines",
+                    f"resumed from checkpoint: "
+                    f"{pipeline.twin.windows_observed} windows, "
+                    f"{pipeline.twin.cumulative_queries} events",
                     file=sys.stderr,
                 )
-            diverged = sum(
-                1
-                for report in pipeline.reports
-                if report.shadow is not None and report.shadow.diverged
-            )
-            if pipeline.reports and pipeline.reports[-1].shadow is not None:
-                print(
-                    f"shadow mode: {diverged}/{len(pipeline.reports)} windows "
-                    f"diverged; last verdict: "
-                    f"{pipeline.reports[-1].shadow.describe()}"
+            with pipeline.twin:
+                if args.replay:
+                    try:
+                        trace = QueryTrace.load(args.replay)
+                        for query in trace:
+                            pipeline.feed(query)
+                    except KeyboardInterrupt:
+                        interrupted = True
+                    pipeline.finish()
+                elif args.stdin:
+                    try:
+                        pipeline.feed_lines(sys.stdin)
+                    except KeyboardInterrupt:
+                        interrupted = True
+                    pipeline.finish()
+                else:
+                    def announce(bound_port: int) -> None:
+                        # Printed only once the loop's signal handlers are
+                        # live: a supervisor seeing this line may signal
+                        # immediately and still get the clean path.
+                        print(f"listening on port {bound_port}", file=sys.stderr)
+
+                    try:
+                        interrupted = asyncio.run(
+                            serve_tcp(
+                                pipeline,
+                                port=args.port,
+                                one_shot=args.one_shot,
+                                on_listening=announce,
+                                handle_signals=True,
+                            )
+                        )
+                    except KeyboardInterrupt:
+                        interrupted = True  # loop handlers unavailable
+                late = pipeline.windows.late_events
+                if late or pipeline.malformed_lines:
+                    print(
+                        f"dropped: {late} late events, "
+                        f"{pipeline.malformed_lines} malformed lines",
+                        file=sys.stderr,
+                    )
+                if pipeline.shed_windows:
+                    print(
+                        f"load shedding: absorbed {pipeline.shed_windows} "
+                        f"backlogged windows without re-simulating",
+                        file=sys.stderr,
+                    )
+                diverged = sum(
+                    1
+                    for report in pipeline.reports
+                    if report.shadow is not None and report.shadow.diverged
                 )
+                if pipeline.reports and pipeline.reports[-1].shadow is not None:
+                    print(
+                        f"shadow mode: {diverged}/{len(pipeline.reports)} "
+                        f"windows diverged; last verdict: "
+                        f"{pipeline.reports[-1].shadow.describe()}"
+                    )
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
+    if interrupted:
+        print("interrupted: flushed final window report", file=sys.stderr)
+        return 130
     return 0
 
 

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import sys
 from typing import Callable, Iterable, List, Optional
 
 from repro.queries.query import Query
+from repro.service.checkpoint import WindowJournal
 from repro.service.twin import DigitalTwin, TwinWindowReport
 from repro.service.windows import Window, WindowManager
 
@@ -82,6 +84,16 @@ class IngestPipeline:
     replay) feeds the same pipeline, so the service behaves identically no
     matter how events arrive.  ``sink`` is called once per closed window
     with the twin's :class:`~repro.service.twin.TwinWindowReport`.
+
+    Resilience knobs: ``journal`` (a
+    :class:`~repro.service.checkpoint.WindowJournal`) records every closed
+    window *after* it is observed, so a crashed service resumes without
+    reprocessing; ``shed_above`` bounds how many backlogged windows one
+    ingest batch fully re-simulates — when a stall clears and more windows
+    than that close at once, the oldest beyond the budget are *absorbed*
+    (history conserved, simulation skipped, counted in
+    :attr:`shed_windows`) so the service catches up instead of falling
+    further behind.
     """
 
     def __init__(
@@ -89,12 +101,19 @@ class IngestPipeline:
         windows: WindowManager,
         twin: DigitalTwin,
         sink: Optional[Callable[[TwinWindowReport], None]] = None,
+        journal: Optional["WindowJournal"] = None,
+        shed_above: int = 0,
     ) -> None:
+        if shed_above < 0:
+            raise ValueError(f"shed_above must be >= 0, got {shed_above}")
         self.windows = windows
         self.twin = twin
         self._sink = sink
+        self._journal = journal
+        self._shed_above = shed_above
         self.reports: List[TwinWindowReport] = []
         self.malformed_lines = 0
+        self.shed_windows = 0
 
     # ------------------------------------------------------------------ #
 
@@ -125,7 +144,27 @@ class IngestPipeline:
         return self._observe_closed(self.windows.flush())
 
     def _observe_closed(self, closed: List[Window]) -> List[TwinWindowReport]:
-        reports = [self.twin.observe(window) for window in closed]
+        if self._shed_above and len(closed) > self._shed_above:
+            # Load shedding: a backlog burst closed more windows than the
+            # budget allows re-simulating.  Absorb the oldest beyond it —
+            # their events stay in the cumulative history, so every later
+            # report is bit-identical to the unshed run — and fully observe
+            # only the newest ``shed_above``.
+            backlog = len(closed) - self._shed_above
+            for window in closed[:backlog]:
+                self.twin.absorb(window)
+                if self._journal is not None:
+                    self._journal.append(window)
+            self.shed_windows += backlog
+            closed = closed[backlog:]
+        reports: List[TwinWindowReport] = []
+        for window in closed:
+            report = self.twin.observe(window)
+            # Journal *after* observing: a crash in between re-observes
+            # this window on resume (at-least-once), never skips it.
+            if self._journal is not None:
+                self._journal.append(window)
+            reports.append(report)
         self.reports.extend(reports)
         if self._sink is not None:
             for report in reports:
@@ -145,7 +184,8 @@ async def serve_tcp(
     *,
     one_shot: bool = False,
     on_listening: Optional[Callable[[int], None]] = None,
-) -> None:
+    handle_signals: bool = False,
+) -> bool:
     """Accept event lines over TCP until cancelled (or, if ``one_shot``,
     until the first client disconnects — the mode tests and demos use).
 
@@ -153,8 +193,14 @@ async def serve_tcp(
     which is how callers using ``port=0`` (an ephemeral port) learn where
     to connect.  On shutdown the pipeline is flushed, so a final partial
     window is still reported.
+
+    With ``handle_signals``, SIGINT/SIGTERM are caught on the event loop
+    and trigger the same clean shutdown path (flush, then return) instead
+    of unwinding the loop with a traceback; the return value is True when
+    a signal (rather than a disconnect or cancellation) ended the serve.
     """
     done = asyncio.Event()
+    signalled: List[int] = []
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
@@ -182,19 +228,37 @@ async def serve_tcp(
     # The reader limit sits above MAX_LINE_BYTES so a barely-oversized line
     # is read whole and rejected by the explicit length gate (counted once),
     # rather than tripping the stream reader's buffer-limit ValueError.
+    loop = asyncio.get_running_loop()
+    installed: List[int] = []
+    if handle_signals:
+        def _on_signal(signum: int) -> None:
+            signalled.append(signum)
+            done.set()
+
+        # Installed before the socket binds, so by the time a caller's
+        # on_listening fires (their readiness marker) signals already take
+        # the clean path.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _on_signal, signum)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-unix loop or non-main thread: default delivery
     server = await asyncio.start_server(handle, host, port, limit=4 * MAX_LINE_BYTES)
     try:
         bound_port = server.sockets[0].getsockname()[1]
         if on_listening is not None:
             on_listening(bound_port)
-        if one_shot:
-            await done.wait()
-        else:
-            await asyncio.Event().wait()  # run until cancelled
+        # Without one_shot or a signal the event is never set: serve until
+        # cancelled, exactly the pre-signal-handling behaviour.
+        await done.wait()
     finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         server.close()
         await server.wait_closed()
         pipeline.finish()
+    return bool(signalled)
 
 
 def run_stdin(pipeline: IngestPipeline) -> List[TwinWindowReport]:

@@ -314,6 +314,28 @@ class DigitalTwin:
             median_window_rate_qps=self._window_rates.p50(),
         )
 
+    def absorb(self, window: Window) -> None:
+        """Fold one closed window into the history without re-simulating.
+
+        The cheap sibling of :meth:`observe`: the window's events join the
+        cumulative history (and the rate tracker sees its offered rate),
+        but no simulation or capacity prediction runs and no report is
+        emitted.  Because every later :meth:`observe` re-simulates the
+        *whole* history, absorbing conserves bit-identity of all subsequent
+        cumulative measurements — which is what makes it safe for both
+        checkpoint resume (:meth:`restore`) and load shedding.
+        """
+        if not window.queries:
+            raise ValueError(f"window {window.index} is empty; nothing to absorb")
+        self._history.extend(window.queries)
+        self._windows_observed += 1
+        self._window_rates.add(window.mean_rate_qps)
+
+    def restore(self, windows: List[Window]) -> None:
+        """Adopt a journalled window sequence (crash recovery, in order)."""
+        for window in windows:
+            self.absorb(window)
+
     def last_cumulative_result(self, config: Optional[str] = None) -> ClusterSimulationResult:
         """Re-run the cumulative simulation for one config (default: real).
 

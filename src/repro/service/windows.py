@@ -180,6 +180,26 @@ class WindowManager:
             self._closed_through = max(self._closed_through, closed[-1].index)
         return closed
 
+    def fast_forward(
+        self, closed_through: int, max_event_time_s: float = -math.inf
+    ) -> None:
+        """Adopt a resumed stream position (checkpoint replay).
+
+        Windows up to and including ``closed_through`` are sealed — events
+        for them are late, exactly as if this manager had emitted them —
+        and the watermark resumes from ``max_event_time_s`` (the largest
+        event time the journalled stream had seen).  Only valid before any
+        events have been ingested: fast-forwarding past open windows would
+        drop accepted events.
+        """
+        if self._open:
+            raise ValueError(
+                f"cannot fast-forward past open windows {self.open_windows}"
+            )
+        self._closed_through = max(self._closed_through, int(closed_through))
+        if max_event_time_s > self._max_event_time:
+            self._max_event_time = float(max_event_time_s)
+
     # ------------------------------------------------------------------ #
 
     def _close_ripe(self) -> List[Window]:

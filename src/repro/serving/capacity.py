@@ -603,6 +603,7 @@ class CapacityCache:
             "hint_misses": 0,
             "hinted_replays": 0,
             "stores": 0,
+            "corrupt_entries": 0,
         }
 
     @property
@@ -625,13 +626,25 @@ class CapacityCache:
         ``count=False`` leaves the exact-tier counters untouched — used by
         lookups that are *not* the exact tier (the hinted-entry probe of a
         hints-on run), whose outcomes are tallied by their own counters.
+
+        A present-but-unreadable entry (truncated write, garbage JSON, a
+        foreign file shape) is a plain miss — the search falls back to the
+        cold path — but is additionally tallied in
+        ``stats["corrupt_entries"]`` so cache rot is visible rather than
+        silently masquerading as cold misses.
         """
         path = self._path(signature)
+        max_qps = 0.0
         try:
-            payload = json.loads(path.read_text())
-            max_qps = float(payload["max_qps"])
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            max_qps = 0.0  # missing/corrupt/foreign-shaped entries are misses
+            text = path.read_text()
+        except OSError:
+            pass  # no entry: an ordinary miss
+        else:
+            try:
+                payload = json.loads(text)
+                max_qps = float(payload["max_qps"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self.stats["corrupt_entries"] += 1
         hit = max_qps > 0
         if count:
             self.stats["exact_hits" if hit else "exact_misses"] += 1
@@ -675,11 +688,20 @@ class CapacityCache:
             names = []
         for name in names:
             if name not in self._entries:
+                parsed = None
                 try:
-                    payload = json.loads((self._dir / name).read_text())
-                    parsed = (dict(payload["signature"]), float(payload["max_qps"]))
-                except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-                    parsed = None
+                    text = (self._dir / name).read_text()
+                except OSError:
+                    text = None  # vanished mid-scan: skip silently
+                if text is not None:
+                    try:
+                        payload = json.loads(text)
+                        parsed = (
+                            dict(payload["signature"]),
+                            float(payload["max_qps"]),
+                        )
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        self.stats["corrupt_entries"] += 1
                 self._entries[name] = parsed
             entry = self._entries[name]
             if entry is not None:

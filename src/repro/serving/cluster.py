@@ -43,6 +43,16 @@ import numpy as np
 
 from repro.execution.engine import EnginePair, build_cpu_engine
 from repro.execution.scaled_engine import ScaledCPUEngine
+from repro.faults.plan import (
+    KIND_CRASH,
+    KIND_RECOVER,
+    KIND_SLOW_OFF,
+    KIND_SLOW_ON,
+    FaultPlan,
+    FaultStats,
+    NodeHealth,
+    RetryPolicy,
+)
 from repro.queries.generator import LoadGenerator
 from repro.queries.query import Query
 from repro.serving.capacity import (
@@ -97,6 +107,17 @@ class LoadBalancer(ABC):
 
     def reset(self, num_servers: int) -> None:
         """Prepare for a fresh run over ``num_servers`` servers."""
+
+    def observe_health(self, health: Sequence[NodeHealth]) -> None:
+        """Receive the fleet's live health view (fault-injected runs only).
+
+        Called by :meth:`ClusterSimulator.run` once before the first arrival
+        and again after every fault transition, with a per-node list of
+        :class:`~repro.faults.NodeHealth` the simulator mutates in place —
+        the production analogue of a balancer's health-check feed.  Runs
+        without a :class:`~repro.faults.FaultPlan` never call this, so
+        health-blind policies stay bit-identical.  The default is a no-op.
+        """
 
     @abstractmethod
     def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
@@ -252,12 +273,77 @@ class PowerOfTwoBalancer(LoadBalancer):
         return first
 
 
+class FailureAwareBalancer(LoadBalancer):
+    """Least outstanding work among *healthy* nodes, weighted by slowdown.
+
+    The failure-aware counterpart of :class:`LeastOutstandingBalancer`: the
+    simulator's health view (:meth:`LoadBalancer.observe_health`) marks
+    crashed nodes, which are skipped entirely, and straggling nodes, whose
+    outstanding items are weighted by their current ``slowdown`` so a node
+    serving at a third of nominal speed is correctly seen as three times as
+    busy.  Ties break toward the lowest server index.
+
+    Without a health view — any run that injects no faults — every node is
+    up with slowdown 1.0 and the policy is *exactly* least-outstanding
+    (asserted in ``tests/test_faults.py``).  If the whole fleet is down the
+    policy degrades to plain least-outstanding over all nodes: the dispatch
+    is lost either way, and the retry layer decides what happens next.
+    """
+
+    name = "failure-aware"
+
+    def __init__(self) -> None:
+        self._health: Optional[Sequence[NodeHealth]] = None
+
+    def reset(self, num_servers: int) -> None:
+        # A health view is valid for exactly one run; the simulator pushes a
+        # fresh one (via observe_health) after reset when faults are active.
+        self._health = None
+
+    def observe_health(self, health: Sequence[NodeHealth]) -> None:
+        self._health = health
+
+    def choose(self, query: Query, servers: Sequence[ServerKernel]) -> int:
+        health = self._health
+        if health is None:
+            best_index = 0
+            best_load = servers[0].outstanding_items
+            for index in range(1, len(servers)):
+                load = servers[index].outstanding_items
+                if load < best_load:
+                    best_index = index
+                    best_load = load
+            return best_index
+        best_index = -1
+        best_load = float("inf")
+        for index in range(len(servers)):
+            node = health[index]
+            if not node.up:
+                continue
+            load = servers[index].outstanding_items * node.slowdown
+            if load < best_load:
+                best_index = index
+                best_load = load
+        if best_index >= 0:
+            return best_index
+        # Whole fleet down: any choice is lost; stay deterministic.
+        best_index = 0
+        best_load = servers[0].outstanding_items
+        for index in range(1, len(servers)):
+            load = servers[index].outstanding_items
+            if load < best_load:
+                best_index = index
+                best_load = load
+        return best_index
+
+
 _BALANCER_REGISTRY = {
     RandomBalancer.name: RandomBalancer,
     RoundRobinBalancer.name: RoundRobinBalancer,
     LeastOutstandingBalancer.name: LeastOutstandingBalancer,
     WeightedLeastOutstandingBalancer.name: WeightedLeastOutstandingBalancer,
     PowerOfTwoBalancer.name: PowerOfTwoBalancer,
+    FailureAwareBalancer.name: FailureAwareBalancer,
 }
 
 #: Policies whose decisions depend on a random stream (and hence on ``seed``).
@@ -388,7 +474,12 @@ class ClusterSimulationResult(SLACriteriaMixin):
 
     The SLA/stability acceptance criterion (``meets_sla`` / ``is_stable`` /
     ``acceptable``) is inherited from :class:`SLACriteriaMixin`, so fleet
-    capacity searches judge runs by exactly the single-server rule.
+    capacity searches judge runs by exactly the single-server rule — with
+    one fault-aware refinement: a query lost to faults counts as an SLA
+    miss (its latency is effectively infinite), so a balancer that
+    blackholes traffic into a dead node cannot *flatter* its p95 by simply
+    never completing the slow queries.  Runs with no failed queries use the
+    inherited check verbatim.
     """
 
     policy: str
@@ -414,6 +505,36 @@ class ClusterSimulationResult(SLACriteriaMixin):
     per_server_latencies: Optional[List[List[float]]] = field(
         default=None, repr=False
     )
+    #: Fault-injection tally.  ``None`` on runs without a
+    #: :class:`~repro.faults.FaultPlan`, so zero-plan results compare equal
+    #: to pre-fault-support results field for field.
+    fault_stats: Optional[FaultStats] = None
+
+    @property
+    def failed_queries(self) -> int:
+        """Queries lost to faults after exhausting their retry budget."""
+        return self.fault_stats.failed_queries if self.fault_stats else 0
+
+    def meets_sla(self, sla_latency_s: float) -> bool:
+        """p95 within target, with failed queries counted as SLA misses.
+
+        A failed query never produces a latency sample, so judging a
+        faulted run by the p95 of its *completions* rewards losing queries
+        outright.  Instead the failed queries are folded back in at
+        effectively infinite latency: the run meets the SLA only if at most
+        5% of the *offered-and-measured* population (completions plus
+        failures) missed it.  Fault-free runs (``failed_queries == 0``)
+        take the inherited single-server check verbatim, keeping zero-plan
+        results bit-identical.
+        """
+        if not self.failed_queries:
+            return SLACriteriaMixin.meets_sla(self, sla_latency_s)
+        if self.p95_latency_s > sla_latency_s:
+            return False  # completions alone already miss the target
+        over = self.failed_queries
+        over += sum(1 for latency in self.latencies_s if latency > sla_latency_s)
+        total = len(self.latencies_s) + self.failed_queries
+        return over <= 0.05 * total
 
     def max_query_share(self) -> float:
         """Largest fraction of the stream any one server absorbed.
@@ -429,6 +550,46 @@ class ClusterSimulationResult(SLACriteriaMixin):
 # --------------------------------------------------------------------------- #
 # The cluster simulator
 # --------------------------------------------------------------------------- #
+
+
+class _FaultTrack:
+    """Per-query fault bookkeeping, created lazily on first fault contact.
+
+    Queries never touched by a fault (the overwhelming majority) have no
+    track at all.  ``live`` counts dispatched attempts currently running on
+    an up node; ``done`` flips when the query completes (first attempt wins)
+    or permanently fails.
+    """
+
+    __slots__ = ("query", "attempts_left", "live", "done")
+
+    def __init__(self, query: Query, attempts_left: int) -> None:
+        self.query = query
+        self.attempts_left = attempts_left
+        self.live = 0
+        self.done = False
+
+
+def _healthy_least_loaded(
+    kernels: Sequence[ServerKernel],
+    health: Sequence[NodeHealth],
+    exclude: int,
+) -> int:
+    """Least-loaded up node other than ``exclude``; -1 when none exists.
+
+    The deterministic hedge-target rule: ties break toward the lowest index,
+    so a fixed fault plan always hedges to the same nodes.
+    """
+    best_index = -1
+    best_load = _INFINITY
+    for index in range(len(kernels)):
+        if index == exclude or not health[index].up:
+            continue
+        load = kernels[index].outstanding_items
+        if load < best_load:
+            best_index = index
+            best_load = load
+    return best_index
 
 
 class ClusterSimulator:
@@ -448,6 +609,8 @@ class ClusterSimulator:
         warmup_fraction: Optional[float] = None,
         balancer_seed: int = 0,
         collect_per_server_latencies: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not servers:
             raise ValueError("a cluster needs at least one server")
@@ -471,6 +634,13 @@ class ClusterSimulator:
             )
         self._warmup_fraction = warmup_fraction
         self._collect_per_server = collect_per_server_latencies
+        # An empty plan is the "no faults" sentinel: run() then takes the
+        # original code path, byte for byte, so zero-plan results stay
+        # bit-identical to a simulator built without fault arguments.
+        if fault_plan is not None and fault_plan.is_empty():
+            fault_plan = None
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy or RetryPolicy()
 
     @property
     def servers(self) -> List[ClusterServer]:
@@ -487,6 +657,16 @@ class ClusterSimulator:
         """Name of the active balancing policy."""
         return self._balancer.name or type(self._balancer).__name__
 
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The injected fault plan, or ``None`` (empty plans normalise to None)."""
+        return self._fault_plan
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """What happens to queries caught on a crashed node."""
+        return self._retry_policy
+
     # ------------------------------------------------------------------ #
 
     def run(
@@ -502,9 +682,19 @@ class ClusterSimulator:
         the full run's p95 provably exceeds the target, and always completes
         (bit-identically) otherwise.  Capacity searches use it to cut short
         overloaded probe evaluations whose results are discarded anyway.
+
+        With a non-empty :class:`~repro.faults.FaultPlan`, the run is
+        delegated to the fault-injected loop: servers crash (losing in-flight
+        work, handled per the :class:`~repro.faults.RetryPolicy`), recover,
+        and straggle mid-trace, and the result carries a
+        :class:`~repro.faults.FaultStats`.  Without a plan this method is the
+        original loop, untouched — zero-plan runs are bit-identical to
+        pre-fault-support builds (``tests/test_faults.py``).
         """
         if not queries:
             raise ValueError("cannot simulate an empty query stream")
+        if self._fault_plan is not None:
+            return self._run_with_faults(queries, reject_above_sla_s)
 
         ordered = sorted(queries, key=_arrival_key)
         warmup_fraction = (
@@ -653,6 +843,339 @@ class ClusterSimulator:
             per_server_latencies=per_server_latencies,
         )
 
+    # ------------------------------------------------------------------ #
+
+    def _run_with_faults(
+        self,
+        queries: Sequence[Query],
+        reject_above_sla_s: Optional[float] = None,
+    ) -> Union[ClusterSimulationResult, CertainRejection]:
+        """The fault-injected event loop: four merged, deterministic streams.
+
+        Completions (shared heap), fault transitions (the plan, pre-sorted),
+        retry detections (their own small heap), and arrivals (sorted-list
+        cursor) merge on simulated time; ties at one instant resolve in that
+        order, so a fixed plan over a fixed trace replays bit-identically.
+
+        Crash mechanics: a crashed kernel's heap *slot* is retired, so its
+        already-pushed completions arrive as stale no-ops, and the kernel is
+        rebound to a fresh slot for its life after recovery — one kernel per
+        node for the whole run, which keeps busy-time/work accounting
+        cumulative.  A down node still *exists* to health-blind balancers
+        (cleared, outstanding 0 — they actively prefer it, which is exactly
+        the naive-policy failure mode the degraded-fleet experiment shows);
+        dispatches to it are black-holed and noticed ``detect_delay_s``
+        later.
+        """
+        ordered = sorted(queries, key=_arrival_key)
+        warmup_fraction = (
+            self._warmup_fraction
+            if self._warmup_fraction is not None
+            else self._servers[0].config.warmup_fraction
+        )
+        warmup_count = int(len(ordered) * warmup_fraction)
+        warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+        reject_sla = reject_above_sla_s if reject_above_sla_s is not None else _INFINITY
+        # Computed from the zero-failure measured count: with failures the
+        # true threshold only shrinks, so triggering on this larger count is
+        # still an exact (never premature) rejection.
+        reject_needed = certain_rejection_threshold(len(ordered) - warmup_count)
+        over_sla = 0
+
+        counter = itertools.count()
+        events: List[tuple] = []
+        kernels = [
+            ServerKernel(server.engines, server.config, cores, events, counter, index)
+            for index, (server, cores) in enumerate(zip(self._servers, self._cores))
+        ]
+        num_kernels = len(kernels)
+        self._balancer.prepare(self._servers)
+        self._balancer.reset(num_kernels)
+
+        health = [NodeHealth() for _ in kernels]
+        observe_health = self._balancer.observe_health
+        observe_health(health)
+        stats = FaultStats()
+        retry_policy = self._retry_policy
+        detect_delay = retry_policy.detect_delay_s
+        max_retries = retry_policy.max_retries
+        hedge = retry_policy.hedge
+
+        transitions = self._fault_plan.events(num_kernels)
+        num_transitions = len(transitions)
+        t_cursor = 0
+        next_transition = transitions[0].time_s if transitions else _INFINITY
+
+        # Completion routing: slot -> node (None = retired slot, stale
+        # events), node -> current slot.  Slots only grow, one per crash.
+        slot_node: List[Optional[int]] = list(range(num_kernels))
+        node_slot: List[int] = list(range(num_kernels))
+
+        retry_heap: List[tuple] = []  # (due_time, seq, query_id)
+        retry_seq = itertools.count()
+        tracked: Dict[int, _FaultTrack] = {}
+
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        choose = self._balancer.choose
+
+        def handle_lost(query: Query, now: float) -> None:
+            """One live attempt for ``query`` died with its node."""
+            track = tracked.get(query.query_id)
+            if track is None:
+                track = _FaultTrack(query, max_retries)
+                tracked[query.query_id] = track
+            elif track.live > 0:
+                track.live -= 1
+            if track.done or track.live > 0:
+                return  # already completed/failed, or a hedge twin survives
+            if track.attempts_left > 0:
+                heappush(
+                    retry_heap,
+                    (now + detect_delay, next(retry_seq), query.query_id),
+                )
+            else:
+                track.done = True
+                stats.failed_queries += 1
+
+        def dispatch_retry(track: _FaultTrack, now: float) -> None:
+            """Consume one retry: re-dispatch (optionally hedged)."""
+            query = track.query
+            track.attempts_left -= 1
+            stats.retries += 1
+            chosen = choose(query, kernels)
+            if not 0 <= chosen < num_kernels:
+                raise ValueError(
+                    f"balancer {self.policy!r} chose server {chosen} of "
+                    f"{num_kernels}"
+                )
+            if health[chosen].up:
+                kernels[chosen].submit(query, now)
+                track.live += 1
+            else:
+                stats.blackholed_dispatches += 1
+            if hedge:
+                second = _healthy_least_loaded(kernels, health, exclude=chosen)
+                if second >= 0:
+                    kernels[second].submit(query, now)
+                    stats.hedged_dispatches += 1
+                    track.live += 1
+            if track.live == 0:
+                if track.attempts_left > 0:
+                    heappush(
+                        retry_heap,
+                        (now + detect_delay, next(retry_seq), query.query_id),
+                    )
+                else:
+                    track.done = True
+                    stats.failed_queries += 1
+
+        first_arrival = ordered[0].arrival_time
+        last_completion = first_arrival
+        measured_latencies: List[float] = []
+        record = measured_latencies.append
+        per_server_latencies: Optional[List[List[float]]] = (
+            [[] for _ in kernels] if self._collect_per_server else None
+        )
+        num_arrivals = len(ordered)
+        cursor = 0
+        next_arrival = first_arrival
+        with pause_gc():
+            while True:
+                next_completion = events[0][0] if events else _INFINITY
+                next_retry = retry_heap[0][0] if retry_heap else _INFINITY
+                if (
+                    events
+                    and next_completion <= next_transition
+                    and next_completion <= next_retry
+                    and next_completion <= next_arrival
+                ):
+                    now, kind, _, slot, query_id = heappop(events)
+                    node = slot_node[slot]
+                    if node is None:
+                        continue  # stale: pushed before its node crashed
+                    if kind == EVT_CPU_DONE:
+                        completed = kernels[node].on_cpu_done(query_id, now)
+                        if completed is None:
+                            continue
+                    else:  # EVT_GPU_DONE
+                        completed = kernels[node].on_gpu_done(query_id, now)
+                    if now > last_completion:
+                        last_completion = now
+                    track = tracked.get(query_id)
+                    if track is not None:
+                        if track.done:
+                            continue  # a hedge twin already finished first
+                        track.done = True
+                        track.live -= 1
+                    if completed.query_id not in warmup_ids:
+                        latency = now - completed.arrival_time
+                        record(latency)
+                        if per_server_latencies is not None:
+                            per_server_latencies[node].append(latency)
+                        if latency > reject_sla:
+                            over_sla += 1
+                            if over_sla >= reject_needed:
+                                return CertainRejection(
+                                    sla_latency_s=reject_sla,
+                                    measured_queries=len(measured_latencies),
+                                    over_sla_queries=over_sla,
+                                )
+                    continue
+                if (
+                    t_cursor < num_transitions
+                    and next_transition <= next_retry
+                    and next_transition <= next_arrival
+                ):
+                    transition = transitions[t_cursor]
+                    t_cursor += 1
+                    next_transition = (
+                        transitions[t_cursor].time_s
+                        if t_cursor < num_transitions
+                        else _INFINITY
+                    )
+                    node = transition.node
+                    kernel = kernels[node]
+                    kind_t = transition.kind
+                    if kind_t == KIND_CRASH:
+                        if health[node].up:
+                            health[node].up = False
+                            stats.crashes += 1
+                            old_slot = node_slot[node]
+                            slot_node[old_slot] = None
+                            new_slot = len(slot_node)
+                            slot_node.append(node)
+                            node_slot[node] = new_slot
+                            kernel.set_server_index(new_slot)
+                            lost = kernel.crash()
+                            stats.crash_killed_in_flight += len(lost)
+                            observe_health(health)
+                            for query in lost:
+                                handle_lost(query, transition.time_s)
+                    elif kind_t == KIND_RECOVER:
+                        if not health[node].up:
+                            health[node].up = True
+                            stats.recoveries += 1
+                            observe_health(health)
+                    elif kind_t == KIND_SLOW_ON:
+                        kernel.service_scale = transition.slowdown
+                        health[node].slowdown = transition.slowdown
+                        observe_health(health)
+                    else:  # KIND_SLOW_OFF
+                        kernel.service_scale = 1.0
+                        health[node].slowdown = 1.0
+                        observe_health(health)
+                    continue
+                if retry_heap and next_retry <= next_arrival:
+                    due, _, query_id = heappop(retry_heap)
+                    track = tracked[query_id]
+                    if not track.done and track.live == 0:
+                        dispatch_retry(track, due)
+                    continue
+                if cursor >= num_arrivals:
+                    break
+                query = ordered[cursor]
+                cursor += 1
+                next_arrival = (
+                    ordered[cursor].arrival_time if cursor < num_arrivals else _INFINITY
+                )
+                chosen = choose(query, kernels)
+                if not 0 <= chosen < num_kernels:
+                    raise ValueError(
+                        f"balancer {self.policy!r} chose server {chosen} of "
+                        f"{num_kernels}"
+                    )
+                if health[chosen].up:
+                    kernels[chosen].submit(query, query.arrival_time)
+                else:
+                    # Black-holed: the dispatch is lost and noticed
+                    # detect_delay_s later, where the retry budget decides.
+                    stats.blackholed_dispatches += 1
+                    track = _FaultTrack(query, max_retries)
+                    tracked[query.query_id] = track
+                    if track.attempts_left > 0:
+                        heappush(
+                            retry_heap,
+                            (
+                                query.arrival_time + detect_delay,
+                                next(retry_seq),
+                                query.query_id,
+                            ),
+                        )
+                    else:
+                        track.done = True
+                        stats.failed_queries += 1
+
+        tracker = PercentileTracker()
+        tracker.extend(measured_latencies)
+
+        duration = max(last_completion - first_arrival, 1e-9)
+        offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
+        measured = tracker.count
+        if measured == 0:
+            if reject_above_sla_s is not None:
+                # A capacity probe where every measured query died (e.g. a
+                # balancer blackholing the whole stream into a crashed
+                # node): 100% of the offered population missed the SLA, so
+                # the verdict is certain — reject, don't crash the search.
+                return CertainRejection(
+                    sla_latency_s=reject_above_sla_s,
+                    measured_queries=0,
+                    over_sla_queries=stats.failed_queries,
+                )
+            raise ValueError(
+                "no queries completed outside the warmup window; lower the "
+                "fault rates, the warmup_fraction, or send more queries"
+            )
+        samples = tracker.samples()
+
+        total_queries = len(ordered)
+        per_server: List[ServerLoadSummary] = []
+        total_core_busy = 0.0
+        total_cores = 0
+        for server, kernel in zip(self._servers, kernels):
+            total_core_busy += kernel.cpu_busy_time
+            total_cores += kernel.num_cores
+            per_server.append(
+                ServerLoadSummary(
+                    name=server.name,
+                    num_queries=kernel.num_submitted,
+                    num_items=kernel.total_items,
+                    cpu_utilization=min(
+                        1.0, kernel.cpu_busy_time / (kernel.num_cores * duration)
+                    ),
+                    gpu_utilization=min(1.0, kernel.gpu_busy_time / duration),
+                    gpu_work_fraction=(
+                        kernel.gpu_items / kernel.total_items
+                        if kernel.total_items
+                        else 0.0
+                    ),
+                    query_share=kernel.num_submitted / total_queries,
+                )
+            )
+
+        return ClusterSimulationResult(
+            policy=self.policy,
+            num_servers=num_kernels,
+            num_queries=total_queries,
+            measured_queries=measured,
+            duration_s=duration,
+            p50_latency_s=tracker.p50(),
+            p95_latency_s=tracker.p95(),
+            p99_latency_s=tracker.p99(),
+            mean_latency_s=tracker.mean(),
+            achieved_qps=total_queries / duration,
+            offered_qps=total_queries / offered_duration,
+            fleet_cpu_utilization=min(1.0, total_core_busy / (total_cores * duration)),
+            per_server=per_server,
+            p95_late_window_s=late_window_p95(samples),
+            drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
+            arrival_span_s=offered_duration,
+            latencies_s=samples,
+            per_server_latencies=per_server_latencies,
+            fault_stats=stats,
+        )
+
 
 # --------------------------------------------------------------------------- #
 # Fleet capacity
@@ -720,6 +1243,8 @@ def find_cluster_max_qps(
     warm_start_cache: Union[CapacityCache, str, Path, None] = None,
     pool: Optional[Any] = None,
     bracket_hints: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> CapacityResult:
     """Bisection search for the fleet's maximum QPS under the p95 SLA.
 
@@ -747,6 +1272,12 @@ def find_cluster_max_qps(
     fleet size) tighten the initial bracket — fewer evaluations, same
     capacity within the cold search's bracket tolerance, not bit-identical
     (see :meth:`repro.runtime.capacity.CapacitySearch.run`).
+
+    ``fault_plan`` / ``retry_policy`` inject a deterministic
+    :class:`~repro.faults.FaultPlan` into every candidate-rate evaluation,
+    so the measured capacity is the fleet's capacity *under* those faults;
+    the plan is folded into the warm-start signature, so faulted and
+    fault-free searches never share cache entries.
     """
     check_positive("num_queries", num_queries)
     from repro.runtime.capacity import CapacitySearch
@@ -762,6 +1293,8 @@ def find_cluster_max_qps(
         max_queries=max_queries,
         warmup_fraction=warmup_fraction,
         balancer_seed=balancer_seed,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     ).run(
         jobs=jobs,
         warm_start_cache=warm_start_cache,

@@ -313,6 +313,7 @@ class ServerKernel:
         "_states",
         "_busy_cores",
         "_gpu_busy",
+        "_service_scale",
         "cpu_busy_time",
         "gpu_busy_time",
         "total_items",
@@ -369,6 +370,10 @@ class ServerKernel:
         self._states: Dict[int, _QueryState] = {}
         self._busy_cores = 0
         self._gpu_busy = False
+        # Straggler hook: every service time is multiplied by this factor.
+        # The default 1.0 is exact under IEEE-754 (x * 1.0 == x), so a fleet
+        # with the hook installed but no faults stays bit-identical.
+        self._service_scale = 1.0
 
         self.cpu_busy_time = 0.0
         self.gpu_busy_time = 0.0
@@ -394,8 +399,64 @@ class ServerKernel:
 
     @property
     def num_completed(self) -> int:
-        """Queries fully completed so far (derived, O(1))."""
+        """Queries fully completed so far (derived, O(1)).
+
+        After a :meth:`crash`, queries lost in flight are counted here too:
+        the counter is "queries no longer on the server", and the fault
+        layer tracks failures separately in its
+        :class:`~repro.faults.FaultStats`.
+        """
         return self.num_submitted - len(self._states)
+
+    @property
+    def service_scale(self) -> float:
+        """Multiplier applied to every service time (straggler injection).
+
+        Scales only dispatches made while it is set — work already on a
+        core/accelerator keeps its original completion time, exactly like a
+        machine that slows down mid-request would not retroactively stretch
+        finished cycles.
+        """
+        return self._service_scale
+
+    @service_scale.setter
+    def service_scale(self, scale: float) -> None:
+        if scale <= 0.0:
+            raise ValueError(f"service_scale must be > 0, got {scale}")
+        self._service_scale = scale
+
+    def set_server_index(self, server_index: int) -> None:
+        """Re-tag future completion events with a new heap routing slot.
+
+        The cluster's fault path retires a crashed kernel's old slot (so
+        completions already on the shared heap become stale no-ops) and
+        rebinds the kernel to a fresh slot on recovery.
+        """
+        self._server_index = server_index
+
+    def crash(self) -> List[Query]:
+        """Fail the node: drop all queued and in-flight work.
+
+        Returns the lost queries in submission order so the owner can fail
+        or re-dispatch them per its retry policy.  Busy-time and item
+        counters keep the work already admitted — burned cycles on a dead
+        node are not refunded, matching fleet-utilisation accounting.
+        Completion events already pushed onto the shared heap are NOT
+        removed; the owner must retire this kernel's ``server_index`` slot
+        so they arrive as stale no-ops.
+        """
+        states = self._states
+        lost = [
+            state.query if type(state) is _QueryState else state
+            for state in states.values()
+        ]
+        states.clear()
+        self._cpu_queue.clear()
+        self._gpu_queue.clear()
+        self._busy_cores = 0
+        self._gpu_busy = False
+        self.outstanding_items = 0
+        return lost
 
     def submit(self, query: Query, now: float) -> None:
         """Accept an arriving query: offload it whole or split it for the CPU."""
@@ -418,7 +479,7 @@ class ServerKernel:
             busy = self._busy_cores
             if busy < self._num_cores:
                 busy += 1
-                service = self._cpu_service[busy][size]
+                service = self._cpu_service[busy][size] * self._service_scale
                 self.cpu_busy_time += service
                 self._busy_cores = busy
                 heapq.heappush(
@@ -470,7 +531,7 @@ class ServerKernel:
         if queue:
             next_id, request_batch = queue.popleft()
             busy += 1
-            service = self._cpu_service[busy][request_batch]
+            service = self._cpu_service[busy][request_batch] * self._service_scale
             self.cpu_busy_time += service
             heapq.heappush(
                 self._events,
@@ -502,6 +563,7 @@ class ServerKernel:
         if not queue or busy >= cores:
             return
         service_rows = self._cpu_service
+        scale = self._service_scale
         heappush = heapq.heappush
         events = self._events
         counter = self._counter
@@ -510,7 +572,7 @@ class ServerKernel:
         while queue and busy < cores:
             query_id, request_batch = queue.popleft()
             busy += 1
-            service = service_rows[busy][request_batch]
+            service = service_rows[busy][request_batch] * scale
             busy_time += service
             heappush(
                 events,
@@ -524,7 +586,7 @@ class ServerKernel:
             return
         query_id = self._gpu_queue.popleft()
         self._gpu_busy = True
-        service = self._gpu_service(self._states[query_id].size)
+        service = self._gpu_service(self._states[query_id].size) * self._service_scale
         self.gpu_busy_time += service
         heapq.heappush(
             self._events,

@@ -11,8 +11,10 @@ import doctest
 
 import pytest
 
+import repro.faults.plan
 import repro.runtime.capacity
 import repro.runtime.pool
+import repro.service.checkpoint
 import repro.service.ingest
 import repro.service.shadow
 import repro.service.twin
@@ -23,10 +25,12 @@ import repro.service.windows
 DOCUMENTED_MODULES = [
     repro.runtime.pool,
     repro.runtime.capacity,
+    repro.faults.plan,
     repro.service.windows,
     repro.service.twin,
     repro.service.shadow,
     repro.service.ingest,
+    repro.service.checkpoint,
 ]
 
 

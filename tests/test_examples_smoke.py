@@ -35,6 +35,7 @@ class TestExamplesImportable:
             "cluster_fleet.py",
             "capacity_hints_sweep.py",
             "digital_twin.py",
+            "fault_storm.py",
         ],
     )
     def test_example_imports_cleanly(self, name):
@@ -100,3 +101,20 @@ class TestCapacityHintsSweepExample:
         output = capsys.readouterr().out
         assert "bracket hints" in output
         assert "hinted qps" in output
+
+
+class TestFaultStormExample:
+    def test_storm_replay_shows_failure_aware_winning(self, capsys):
+        example = load_example("fault_storm.py")
+        example.storm_replay()
+        output = capsys.readouterr().out
+        assert "Fault storm" in output
+        assert "naive" in output
+        assert "failure-aware" in output
+        assert "blackholes" in output
+
+    def test_determinism_demo_reports_bit_identical_replays(self, capsys):
+        example = load_example("fault_storm.py")
+        example.determinism_demo()
+        output = capsys.readouterr().out
+        assert "bit-identically" in output

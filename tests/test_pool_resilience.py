@@ -1,0 +1,118 @@
+"""Worker-death resilience tests for the self-healing pool.
+
+The contract under test: a worker process that *dies* (SIGKILL — the
+process-level analogue of an OOM kill or segfault) breaks the executor
+generation; the pool retires it, resubmits every task the crash took down
+on a fresh executor with a bounded backoff, and quarantines a task that
+keeps killing its workers (failing its future with
+:class:`WorkerCrashError`) instead of hanging ``as_completed``.  Ordinary
+exceptions are never retried.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.runtime.pool import (
+    WorkerCrashError,
+    WorkerPool,
+    as_completed,
+)
+
+
+def _suicide_once(task):
+    """Die hard on first execution (marked by a flag file), succeed after.
+
+    ``task`` is ``(flag_path, value)``: the retry executes in a fresh
+    worker of a fresh executor, sees the flag, and completes normally.
+    """
+    flag_path, value = task
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _poison(value):
+    """Kill the hosting worker every single time: never completes."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return value  # pragma: no cover - unreachable
+
+
+def _boom(value):
+    raise ValueError(f"boom {value}")
+
+
+def _identity(value):
+    return value
+
+
+class TestWorkerDeathRetry:
+    def test_killed_worker_task_is_retried_and_completes(self, tmp_path):
+        flag = str(tmp_path / "died-once")
+        with WorkerPool(2, retry_backoff_s=0.01) as pool:
+            futures = [
+                pool.submit(_suicide_once, (flag, value)) for value in (1, 2, 3)
+            ]
+            # as_completed must not hang on the crash; every task lands.
+            results = sorted(f.result() for f in as_completed(futures))
+        assert results == [10, 20, 30]
+        stats = pool.stats
+        assert stats["worker_crashes"] >= 1
+        assert stats["retries"] >= 1  # the killed task was resubmitted
+        assert stats["completed"] == 3
+        assert stats["quarantined"] == 0
+
+    def test_mid_map_worker_death_preserves_results(self, tmp_path):
+        flag = str(tmp_path / "died-once-map")
+        items = [(flag, value) for value in range(6)]
+        with WorkerPool(2, retry_backoff_s=0.01) as pool:
+            assert pool.map(_suicide_once, items) == [
+                value * 10 for value in range(6)
+            ]
+        assert pool.stats["worker_crashes"] >= 1
+        assert pool.stats["retries"] >= 1
+
+    def test_poison_task_is_quarantined_not_hung(self):
+        with WorkerPool(2, max_task_retries=2, retry_backoff_s=0.0) as pool:
+            bad = pool.submit(_poison, "p")
+            with pytest.raises(WorkerCrashError, match="quarantined"):
+                bad.result()
+            # The pool healed: later work runs on a fresh executor.
+            assert pool.map(_identity, [1, 2, 3]) == [1, 2, 3]
+        stats = pool.stats
+        assert stats["quarantined"] == 1
+        # Initial dispatch + max_task_retries resubmissions, each one a
+        # lost executor generation.
+        assert stats["worker_crashes"] == 3
+        assert stats["retries"] == 2
+
+    def test_zero_retry_budget_quarantines_immediately(self):
+        with WorkerPool(2, max_task_retries=0, retry_backoff_s=0.0) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.submit(_poison, "p").result()
+        assert pool.stats == {
+            "submitted": 1,
+            "completed": 0,
+            "worker_crashes": 1,
+            "retries": 0,
+            "quarantined": 1,
+        }
+
+    def test_ordinary_exceptions_are_not_retried(self):
+        with WorkerPool(2) as pool:
+            bad = pool.submit(_boom, 7)
+            with pytest.raises(ValueError, match="boom 7"):
+                bad.result()
+        stats = pool.stats
+        assert stats["retries"] == 0
+        assert stats["worker_crashes"] == 0
+        assert stats["quarantined"] == 0
+
+    def test_invalid_resilience_parameters(self):
+        with pytest.raises(ValueError, match="max_task_retries"):
+            WorkerPool(2, max_task_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            WorkerPool(2, retry_backoff_s=-0.1)

@@ -129,6 +129,58 @@ class TestSingleServerDecisionIdentity:
         assert recovered.max_qps == serial.max_qps
 
 
+class TestCorruptCacheEntries:
+    """A rotten cache entry is a visible miss, never a crash or a wrong answer."""
+
+    def test_garbage_json_entry_falls_back_to_cold_search(
+        self, engines, config, tmp_path
+    ):
+        generator = LoadGenerator(seed=7)
+        serial = find_max_qps(engines, config, 0.1, generator, **SEARCH_KWARGS)
+        find_max_qps(
+            engines, config, 0.1, generator, warm_start_cache=tmp_path,
+            **SEARCH_KWARGS,
+        )
+        (entry,) = tmp_path.glob("capacity-*.json")
+        entry.write_text("{ not json at all")
+        cache = CapacityCache(tmp_path)
+        recovered = find_max_qps(
+            engines, config, 0.1, generator, warm_start_cache=cache,
+            **SEARCH_KWARGS,
+        )
+        assert recovered.max_qps == serial.max_qps
+        assert recovered.result.latencies_s == serial.result.latencies_s
+        assert cache.stats["corrupt_entries"] >= 1
+        assert cache.stats["exact_hits"] == 0
+
+    def test_wrong_shape_entry_counts_as_corrupt(self, tmp_path):
+        cache = CapacityCache(tmp_path)
+        signature = {"kind": "server", "num_queries": 100}
+        path = tmp_path / f"capacity-{CapacityCache.digest(signature)}.json"
+        path.write_text(json.dumps({"max_qps": "not-a-number"}))
+        assert cache.load(signature) is None
+        assert cache.stats == {
+            **{key: 0 for key in cache.stats},
+            "exact_misses": 1,
+            "corrupt_entries": 1,
+        }
+
+    def test_missing_entry_is_a_plain_miss_not_corruption(self, tmp_path):
+        cache = CapacityCache(tmp_path)
+        assert cache.load({"kind": "server"}) is None
+        assert cache.stats["corrupt_entries"] == 0
+        assert cache.stats["exact_misses"] == 1
+
+    def test_near_hint_scan_skips_and_counts_garbage_files(self, tmp_path):
+        (tmp_path / "capacity-deadbeef.json").write_text("garbage")
+        cache = CapacityCache(tmp_path)
+        assert cache.near_hint({"kind": "server", "servers": []}) is None
+        assert cache.stats["corrupt_entries"] == 1
+        # Parsed-entry memoisation: a rescan does not double-count the rot.
+        assert cache.near_hint({"kind": "server", "servers": []}) is None
+        assert cache.stats["corrupt_entries"] == 1
+
+
 class TestSharedPoolReuse:
     def test_explicit_pool_shared_across_searches(self, engines, config, monkeypatch):
         # Force the parallel path regardless of the host's core count — the

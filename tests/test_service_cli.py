@@ -298,3 +298,154 @@ class TestTcpTransport:
             self.run_client_session(pipeline, lines)
         assert pipeline.malformed_lines == 2
         assert pipeline.twin.cumulative_queries == len(queries)
+
+
+class _InterruptedStream:
+    """Iterable of event lines that raises KeyboardInterrupt mid-stream."""
+
+    def __init__(self, lines, interrupt_after):
+        self._lines = lines
+        self._interrupt_after = interrupt_after
+
+    def __iter__(self):
+        for index, line in enumerate(self._lines):
+            if index == self._interrupt_after:
+                raise KeyboardInterrupt
+            yield line
+
+
+class TestGracefulShutdown:
+    """SIGINT/SIGTERM flush the final partial window and exit 130 — no
+    traceback, no lost report."""
+
+    def test_stdin_interrupt_flushes_partial_window(self, tmp_path, capsys, monkeypatch):
+        _, queries = save_trace(tmp_path, num_queries=150)
+        lines = [f"{q.query_id},{q.arrival_time},{q.size}\n" for q in queries]
+        monkeypatch.setattr(
+            "sys.stdin", _InterruptedStream(lines, interrupt_after=len(lines) - 10)
+        )
+        exit_code = main(["--stdin", "--window-s", "2", *FAST_FLEET_ARGS])
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        # The flush reported windows — including the final partial one.
+        assert "real=" in captured.out
+        assert "interrupted" in captured.err
+
+    def test_replay_interrupt_flushes_partial_window(self, tmp_path, capsys, monkeypatch):
+        trace_path, queries = save_trace(tmp_path, num_queries=150)
+
+        class InterruptingTrace:
+            @staticmethod
+            def load(path):
+                return _InterruptedStream(queries, interrupt_after=len(queries) - 10)
+
+        monkeypatch.setattr("repro.service.__main__.QueryTrace", InterruptingTrace)
+        exit_code = main(["--replay", str(trace_path), "--window-s", "2", *FAST_FLEET_ARGS])
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        assert "real=" in captured.out
+        assert "interrupted" in captured.err
+
+
+class TestGracefulShutdownSignals:
+    """Real signals against a real service subprocess."""
+
+    def spawn_service(self, extra_args, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.Popen(
+            [_sys.executable, "-m", "repro.service", *extra_args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=root,
+            text=True,
+        )
+
+    def test_sigterm_on_stdin_service_exits_cleanly(self, tmp_path):
+        import signal as _signal
+        import time as _time
+
+        queries = LoadGenerator(seed=3).with_rate(60.0).generate(200)
+        lines = "".join(
+            f"{q.query_id},{q.arrival_time},{q.size}\n" for q in queries
+        )
+        proc = self.spawn_service(
+            ["--stdin", "--window-s", "2", *FAST_FLEET_ARGS], tmp_path
+        )
+        try:
+            proc.stdin.write(lines)
+            proc.stdin.flush()
+            deadline = _time.time() + 60
+            while _time.time() < deadline and proc.poll() is None:
+                _time.sleep(0.5)
+                proc.send_signal(_signal.SIGTERM)
+                break
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "Traceback" not in stderr
+        assert "interrupted" in stderr
+
+    def test_sigint_on_tcp_service_exits_cleanly(self, tmp_path):
+        import signal as _signal
+
+        proc = self.spawn_service(
+            ["--port", "19893", "--window-s", "2", "--one-shot", *FAST_FLEET_ARGS],
+            tmp_path,
+        )
+        try:
+            # "listening on port" on stderr is the readiness marker.
+            marker = proc.stderr.readline()
+            assert "listening" in marker
+            proc.send_signal(_signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "Traceback" not in stderr
+        assert "interrupted" in stderr
+
+
+class TestCheckpointCli:
+    def test_replay_resume_skips_reprocessing(self, tmp_path, capsys):
+        trace_path, queries = save_trace(tmp_path, num_queries=150)
+        checkpoint = tmp_path / "ckpt"
+        args = [
+            "--replay", str(trace_path),
+            "--window-s", "2",
+            "--checkpoint-dir", str(checkpoint),
+            *FAST_FLEET_ARGS,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "resumed" not in first.err
+        first_windows = sum(
+            1 for line in first.out.splitlines() if line.startswith("w0")
+        )
+        assert first_windows >= 2
+
+        # Second run resumes from the journal: the whole replay reads as
+        # late (already observed), nothing is re-simulated.
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert f"{len(queries)} events" in second.err  # resume banner
+        assert "resumed from checkpoint" in second.err
+        assert f"{len(queries)} late events" in second.err
+        assert not [
+            line for line in second.out.splitlines() if line.startswith("w0")
+        ]

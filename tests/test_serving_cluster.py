@@ -31,6 +31,7 @@ ALL_POLICIES = (
     "least-outstanding",
     "weighted-least-outstanding",
     "power-of-two",
+    "failure-aware",
 )
 
 
