@@ -1,0 +1,36 @@
+"""reprolint-selfcheck: the whole-tree lint must stay fast enough to gate CI.
+
+The static-analysis job runs ``python -m tools.reprolint src tests
+benchmarks examples tools`` on every push; a linter that creeps past a few
+seconds stops being a gate people keep enabled.  This benchmark times the
+full CLI (subprocess, cold interpreter — exactly what CI pays) and holds it
+under a 10 s budget with generous headroom over the ~1-2 s it takes today.
+"""
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_TARGETS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def test_bench_reprolint_selfcheck(capsys):
+    started = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", *LINT_TARGETS],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    elapsed_s = time.perf_counter() - started
+
+    with capsys.disabled():
+        print()
+        print(f"reprolint-selfcheck: {elapsed_s:.2f} s wall (budget 10 s)")
+        print(result.stdout.strip())
+
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 finding(s)" in result.stdout
+    assert elapsed_s < 10.0, f"reprolint took {elapsed_s:.2f} s; budget is 10 s"

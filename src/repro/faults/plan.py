@@ -35,7 +35,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.utils.rng import RngFactory
 from repro.utils.validation import check_non_negative, check_positive
@@ -60,7 +60,9 @@ def _check_interval(label: str, start_s: float, end_s: float) -> None:
         )
 
 
-def _check_disjoint(label: str, intervals) -> None:
+def _check_disjoint(
+    label: str, intervals: Sequence[Union[CrashWindow, StragglerEpisode]]
+) -> None:
     for earlier, later in zip(intervals, intervals[1:]):
         if later.start_s < earlier.end_s:
             raise ValueError(
@@ -180,7 +182,13 @@ class FaultPlan:
         return dict(self.nodes) == dict(other.nodes)
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self.nodes.items(), key=lambda kv: kv[0])))
+        # Process-stable: the tuple reaches hash() as int node indices and
+        # frozen dataclasses of floats/tuples-of-floats.  CPython only salts
+        # str/bytes hashing with PYTHONHASHSEED, so no string may ever enter
+        # this structure (enforced by test_faults.py::TestFaultPlanHash).
+        return hash(  # reprolint: disable=RL001 -- int/float-only tuple; unsalted across processes
+            tuple(sorted(self.nodes.items(), key=lambda kv: kv[0]))
+        )
 
     # ------------------------------------------------------------------ #
 

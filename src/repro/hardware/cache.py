@@ -86,7 +86,7 @@ class CacheHierarchy:
         """
         factor = self.contention_factor(active_cores, total_cores)
         max_factor = 1.0 + self.contention_slope
-        if max_factor == 1.0:
+        if max_factor == 1.0:  # reprolint: disable=RL007 -- exact guard: 1.0 + 0.0 == 1.0 in IEEE-754; avoids 0/0 for slope-free configs
             return base_miss_rate
         fraction = (factor - 1.0) / (max_factor - 1.0)
         return base_miss_rate + (max_miss_rate - base_miss_rate) * fraction

@@ -76,7 +76,7 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union, cast
 
 from repro.execution.engine import EnginePair
 from repro.faults.plan import FaultPlan, RetryPolicy
@@ -452,12 +452,15 @@ class CapacitySearch:
         """The search's servers as a fleet (a single server is a fleet of one)."""
         if self._servers is not None:
             return self._servers
+        assert self._engines is not None and self._config is not None
         return [ClusterServer(engines=self._engines, config=self._config)]
 
     def upper_bound_qps(self) -> float:
         """Optimistic analytic throughput bound bracketing the bisection."""
         if self._kind == "fleet":
+            assert self._servers is not None
             return estimate_fleet_upper_bound_qps(self._servers, self._load_generator)
+        assert self._engines is not None and self._config is not None
         sizes = self._load_generator.sizes
         large_fraction, mean_large = offload_size_stats(
             sizes, self._config.offload_threshold
@@ -732,10 +735,12 @@ class _SearchExecution:
         hints-off runs (which only consult the untagged signature) can
         never replay them, preserving the exact tier's guarantee.
         """
+        assert self.signature is not None  # callers gate on a usable signature
         return {**self.signature, "hinted": True}
 
     def _memo_signature(self, hinted: bool) -> Dict[str, Any]:
         """This search's in-process memo key (see :func:`_memo_key`)."""
+        assert self.signature is not None  # callers gate on a usable signature
         return _memo_key(self.signature, self.search, hinted)
 
     def _build_machine(self) -> None:
@@ -773,6 +778,7 @@ class _SearchExecution:
             return []
         if self.replay_rate is not None:
             return [self.replay_rate]
+        assert self.machine is not None  # built whenever no replay/result short-circuits
         return speculative_rates(self.machine, limit)
 
     def absorb(self) -> None:
@@ -792,6 +798,7 @@ class _SearchExecution:
                 self.replay_rate = None
                 self._build_machine()
                 continue
+            assert self.machine is not None  # no replay pending, so it was built
             rate = self.machine.next_rate()
             outcome = self.results.get(rate)
             if outcome is None:
@@ -935,14 +942,17 @@ def run_capacity_searches(
             results[index] = execution.result
         for index, leader_index in followers.items():
             leader_execution = executions[followers[index]]
+            leader_result = results[leader_index]
+            assert leader_result is not None  # leaders run before followers replay
             results[index] = _replay_for_follower(
                 searches[index],
-                results[leader_index],
+                leader_result,
                 leader_execution.hinted,
                 cache,
                 bracket_hints,
             )
-    return results
+    assert all(result is not None for result in results)
+    return cast(List[CapacityResult], results)
 
 
 def _replay_for_follower(
@@ -996,6 +1006,7 @@ def _run_follower_cold(
     execution = _SearchExecution(search, cache, bracket_hints)
     if execution.result is None:
         execution.run_serial()
+    assert execution.result is not None  # run_serial only returns with a result
     return execution.result
 
 

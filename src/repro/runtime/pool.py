@@ -158,7 +158,9 @@ class TaskContext:
             self._built = True
         return self._value
 
-    def pack(self, fn: Callable[[Any, Any], Any], item: Any) -> tuple:
+    def pack(
+        self, fn: Callable[[Any, Any], Any], item: Any
+    ) -> Tuple[Tuple[int, int], bytes, Callable[[Any, Any], Any], Any]:
         """The picklable task tuple shipped to workers for one ``item``."""
         if self._frozen is None:
             self._frozen = pickle.dumps(
@@ -167,7 +169,9 @@ class TaskContext:
         return (self.token, self._frozen, fn, item)
 
 
-def _run_contextual_task(task: tuple) -> Any:
+def _run_contextual_task(
+    task: Tuple[Tuple[int, int], bytes, Callable[[Any, Any], Any], Any]
+) -> Any:
     """Worker entry: build/reuse the task's context, then run it on the item."""
     token, frozen, fn, item = task
     cache = _WORKER_CONTEXTS

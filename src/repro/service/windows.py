@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.queries.query import Query
 from repro.utils.validation import check_non_negative, check_positive
@@ -166,7 +166,7 @@ class WindowManager:
             self._max_event_time = query.arrival_time
         return self._close_ripe()
 
-    def extend(self, queries) -> List[Window]:
+    def extend(self, queries: Iterable[Query]) -> List[Window]:
         """Ingest many events; return every window they closed, in order."""
         closed: List[Window] = []
         for query in queries:

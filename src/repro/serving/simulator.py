@@ -448,7 +448,7 @@ class ServerKernel:
         states = self._states
         lost = [
             state.query if type(state) is _QueryState else state
-            for state in states.values()
+            for state in states.values()  # reprolint: disable=RL005 -- insertion order IS the contract: docstring promises submission order
         ]
         states.clear()
         self._cpu_queue.clear()

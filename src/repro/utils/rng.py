@@ -10,7 +10,7 @@ independent of each other.
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class RngFactory:
         )
         return np.random.default_rng(child_seq)
 
-    def spawn(self, count: int) -> list:
+    def spawn(self, count: int) -> List[np.random.Generator]:
         """Return ``count`` independent child generators (positional)."""
         check = int(count)
         if check <= 0:

@@ -10,12 +10,12 @@ not need percentiles (e.g. per-core busy time).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
 
-def percentile(samples: Sequence[float], pct: float) -> float:
+def percentile(samples: "Union[Sequence[float], np.ndarray]", pct: float) -> float:
     """Return the ``pct``-th percentile (0-100) of ``samples``.
 
     Uses linear interpolation, matching ``numpy.percentile`` defaults.  Raises
@@ -64,7 +64,7 @@ def max_relative_cdf_gap(
     latency distribution to within ~10 %: the gap is measured at a set of
     percentiles and normalised by the reference value.
     """
-    gaps = []
+    gaps: List[float] = []
     for pct in percentiles:
         ref = percentile(reference, pct)
         oth = percentile(other, pct)

@@ -16,6 +16,11 @@ The resilience contract under test:
   capacity.
 """
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.execution.engine import build_engine_pair
@@ -35,6 +40,8 @@ from repro.serving.cluster import (
     homogeneous_fleet,
 )
 from repro.serving.simulator import ServingConfig
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 
 @pytest.fixture(scope="module")
@@ -335,3 +342,62 @@ class TestDegradedFleetExperiment:
             healthy["naive"]["p95_latency_s"]
             == healthy["failure-aware"]["p95_latency_s"]
         )
+
+
+class TestFaultPlanHash:
+    """``FaultPlan.__hash__`` must be stable across interpreter processes.
+
+    The plan's hash feeds set/dict placement wherever plans are deduped; a
+    PYTHONHASHSEED-dependent hash would make that placement differ between
+    runs.  It is process-stable only because the hashed tuple bottoms out in
+    ints and floats (never str/bytes, the only salted types) — the invariant
+    the inline RL001 suppression in ``plan.py`` relies on.
+    """
+
+    def test_schedule_fields_contain_no_strings(self):
+        plan = storm()
+        def flatten(value):
+            if isinstance(value, (CrashWindow, StragglerEpisode)):
+                return [
+                    inner
+                    for name in value.__dataclass_fields__
+                    for inner in flatten(getattr(value, name))
+                ]
+            if isinstance(value, (tuple, list)):
+                return [inner for item in value for inner in flatten(item)]
+            return [value]
+
+        leaves = [
+            leaf
+            for node, schedule in plan.nodes.items()
+            for leaf in [node] + flatten(schedule.crashes) + flatten(schedule.stragglers)
+        ]
+        assert leaves and all(isinstance(leaf, (int, float)) for leaf in leaves)
+
+    def test_hash_identical_across_hash_seeds(self):
+        plan = storm()
+        script = (
+            "from repro.faults import ("
+            "CrashWindow, FaultPlan, NodeFaultSchedule, StragglerEpisode);"
+            "plan = FaultPlan(nodes={"
+            "0: NodeFaultSchedule(crashes=(CrashWindow(0.1, 0.45),)),"
+            "1: NodeFaultSchedule(stragglers=(StragglerEpisode(0.3, 0.7, slowdown=4.0),)),"
+            "2: NodeFaultSchedule(crashes=(CrashWindow(0.6, 0.85),))});"
+            "print(hash(plan))"
+        )
+        hashes = set()
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [str(SRC_DIR), env.get("PYTHONPATH", "")])
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            hashes.add(int(result.stdout.strip()))
+        assert len(hashes) == 1, f"hash varies with PYTHONHASHSEED: {hashes}"
+        assert hash(plan) in hashes  # reprolint: disable=RL001 -- the salted-hash behaviour is exactly what this test verifies

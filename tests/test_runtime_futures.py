@@ -36,6 +36,10 @@ def _slow_identity(value):
     return value
 
 
+def _add_state_item(state, item):
+    return state + item
+
+
 class TestSubmitInline:
     def test_serial_pool_resolves_at_submit(self):
         pool = WorkerPool(1)
@@ -61,8 +65,8 @@ class TestSubmitInline:
 
         context = TaskContext(builder, 2)
         pool = WorkerPool(1)
-        first = pool.submit(lambda state, item: state + item, 1, context=context)
-        second = pool.submit(lambda state, item: state + item, 2, context=context)
+        first = pool.submit(_add_state_item, 1, context=context)
+        second = pool.submit(_add_state_item, 2, context=context)
         assert (first.result(), second.result()) == (21, 22)
         assert calls == [2]
 

@@ -1,0 +1,1 @@
+"""Repository tooling: documentation checks and the ``reprolint`` static analyser."""

@@ -1,0 +1,19 @@
+"""``reprolint``: AST-based checker for this repository's project invariants.
+
+Run as ``python -m tools.reprolint src tests benchmarks examples``.  The
+rule catalog, suppression syntax, and baseline policy are documented in
+``docs/static-analysis.md``.
+"""
+
+from tools.reprolint.engine import Baseline, Finding, Rule, lint_paths, lint_text
+from tools.reprolint.rules import AST_RULES, default_rules
+
+__all__ = [
+    "AST_RULES",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "default_rules",
+    "lint_paths",
+    "lint_text",
+]

@@ -1,0 +1,141 @@
+"""Command-line entry point for reprolint.
+
+Usage::
+
+    python -m tools.reprolint src tests benchmarks examples
+    python -m tools.reprolint --format=json src
+    python -m tools.reprolint --write-baseline src   # grandfather the tree
+
+Exit status: 0 when the tree is clean (after suppressions and baseline),
+1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.reprolint.docs_rule import RULE_ID as DOCS_RULE_ID
+from tools.reprolint.docs_rule import check_doc_citations
+from tools.reprolint.engine import Baseline, Finding, lint_paths
+from tools.reprolint.rules import default_rules
+
+
+def repo_root() -> Path:
+    """The checkout root (parent of the ``tools`` package)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based project-invariant checker (rules RL001-RL009).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to lint (e.g. src tests benchmarks examples)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json includes a summary block)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="rule id to skip (repeatable), e.g. --disable RL005",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {default_baseline_path()})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-docs-rule",
+        action="store_true",
+        help=f"skip the {DOCS_RULE_ID} docs-citation check",
+    )
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    rules = default_rules()
+    if args.select:
+        rules = [rule for rule in rules if rule.rule_id in args.select]
+    if args.disable:
+        rules = [rule for rule in rules if rule.rule_id not in args.disable]
+
+    started = time.perf_counter()
+    targets = [Path(path) for path in args.paths]
+    for target in targets:
+        if not target.exists():
+            print(f"error: path {target} does not exist", file=sys.stderr)
+            return 2
+
+    findings: List[Finding] = lint_paths(targets, rules, root)
+    run_docs_rule = not args.no_docs_rule and (
+        not args.select or DOCS_RULE_ID in args.select
+    ) and DOCS_RULE_ID not in args.disable
+    if run_docs_rule:
+        findings.extend(check_doc_citations(root))
+    findings.sort()
+
+    baseline_path = args.baseline or default_baseline_path()
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"wrote baseline for {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    findings = Baseline.load(baseline_path).filter(findings)
+    elapsed_s = time.perf_counter() - started
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "summary": {
+                        "findings": len(findings),
+                        "rules": sorted({f.rule for f in findings}),
+                        "paths": [str(path) for path in targets],
+                        "elapsed_s": round(elapsed_s, 3),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"reprolint: {len(findings)} finding(s) across "
+            f"{len(targets)} path(s) in {elapsed_s:.2f} s"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,125 @@
+"""RL009 — documentation test citations must name tests that exist.
+
+The docs layer promises behaviour "cited to its enforcing test": prose in
+``docs/*.md`` names concrete pytest node ids
+(``tests/test_faults.py::TestResultNeutrality::test_zero_plan_runs_are_bit_identical``)
+so every documented guarantee is machine-checkable.  Those citations rot
+silently when a test is renamed — ``tools/check_docs.py`` validates links
+and anchors, but not node ids.  This rule closes that gap: it builds a
+test-node manifest by parsing the test tree with ``ast`` (every module-level
+``test_*`` function and every ``test_*`` method of a ``Test*`` class —
+exactly the nodes pytest's default collection discovers, without paying a
+collection run) and fails on any cited node that does not exist.
+
+Citations are recognised inside backticks, in the form
+```
+`tests/test_x.py::TestClass::test_method` or `benchmarks/test_y.py::test_fn`
+```
+with an optional parametrisation suffix (``[...]``), which is ignored —
+parameter ids are runtime values the AST cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from tools.reprolint.engine import Finding
+
+#: ```tests/....py::node`` or ```benchmarks/....py::node::node``` citations.
+CITATION_RE = re.compile(
+    r"`(?P<file>(?:tests|benchmarks)/[\w/.-]+\.py)"
+    r"::(?P<node>[\w.]+(?:::[\w.]+)*)(?:\[[^\]`]*\])?`"
+)
+
+RULE_ID = "RL009"
+
+
+def test_manifest(root: Path, test_dirs: Sequence[str] = ("tests", "benchmarks")) -> Dict[str, Set[str]]:
+    """Map each test file (repo-relative posix) to its collectable node paths.
+
+    Node paths use pytest's ``::`` separator: ``test_fn`` for module-level
+    tests, ``TestClass`` and ``TestClass::test_method`` for class-based
+    ones (a class-level citation is valid shorthand for "this whole group").
+    """
+    manifest: Dict[str, Set[str]] = {}
+    for directory in test_dirs:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except SyntaxError:
+                continue  # the AST lint pass reports the parse failure
+            nodes: Set[str] = set()
+            for node in tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.name.startswith("test"):
+                        nodes.add(node.name)
+                elif isinstance(node, ast.ClassDef) and node.name.startswith("Test"):
+                    nodes.add(node.name)
+                    for member in node.body:
+                        if isinstance(
+                            member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ) and member.name.startswith("test"):
+                            nodes.add(f"{node.name}::{member.name}")
+            manifest[relpath] = nodes
+    return manifest
+
+
+def _doc_files(root: Path) -> List[Path]:
+    """The markdown files whose citations the repo guarantees (same set as
+    ``tools/check_docs.py`` validates for links)."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def check_doc_citations(root: Path) -> List[Finding]:
+    """Every test citation in README/docs must name an existing test node."""
+    manifest = test_manifest(root)
+    findings: List[Finding] = []
+    for doc in _doc_files(root):
+        relpath = doc.relative_to(root).as_posix()
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in CITATION_RE.finditer(line):
+                cited_file = match.group("file")
+                cited_node = match.group("node")
+                if cited_file not in manifest:
+                    findings.append(
+                        Finding(
+                            path=relpath,
+                            line=lineno,
+                            col=match.start() + 1,
+                            rule=RULE_ID,
+                            message=(
+                                f"citation names missing test file "
+                                f"{cited_file!r}; docs promises must point at "
+                                "their enforcing tests"
+                            ),
+                        )
+                    )
+                elif cited_node not in manifest[cited_file]:
+                    findings.append(
+                        Finding(
+                            path=relpath,
+                            line=lineno,
+                            col=match.start() + 1,
+                            rule=RULE_ID,
+                            message=(
+                                f"citation {cited_file}::{cited_node} names no "
+                                "collectable test node (renamed or deleted?); "
+                                "update the citation with the promise's real "
+                                "enforcing test"
+                            ),
+                        )
+                    )
+    return findings

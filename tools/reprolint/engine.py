@@ -1,0 +1,332 @@
+"""The ``reprolint`` engine: file walking, suppressions, baseline, reporting.
+
+``reprolint`` is an AST-based checker for this repository's *project
+invariants* — the determinism, concurrency, and contract rules the test
+suite can only spot-check (see ``docs/static-analysis.md`` for the rule
+catalog).  This module is the rule-agnostic machinery:
+
+* :class:`Finding` — one violation at a ``path:line:col``;
+* :class:`Rule` — the base class rules subclass (``tools/reprolint/rules.py``
+  holds the concrete AST rules, ``tools/reprolint/docs_rule.py`` the
+  markdown citation rule);
+* inline suppressions — ``# reprolint: disable=RL001 -- <why>`` silences
+  matching findings on that line, ``# reprolint: disable-file=RL003 -- <why>``
+  for a whole file.  The justification after ``--`` is **required**: a
+  suppression without one, or one that suppresses nothing, is itself a
+  finding (``RL000``), so the suppression inventory can never rot;
+* a baseline — a JSON file of grandfathered ``path::rule`` finding counts
+  for adopting a rule before the tree is clean.  Findings beyond the
+  baselined count still fail, so baselined debt can shrink but not grow.
+
+The engine is stdlib-only by design: it must run in CI and in bare
+checkouts with no dependencies beyond the interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Rule id of engine-level findings: parse failures and bad/unused
+#: suppressions.  Not suppressible (a suppression problem must be fixed).
+META_RULE = "RL000"
+
+#: Matches "reprolint: disable=<rules> -- <why>" comments (and disable-file).
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``file:line:col RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for ``--format=json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id`/:attr:`name`/:attr:`rationale` and
+    implement :meth:`check`.  ``include``/``exclude`` are repo-relative
+    POSIX path prefixes scoping where the rule applies: empty ``include``
+    means everywhere the CLI was pointed at.
+    """
+
+    rule_id: str = "RL???"
+    name: str = ""
+    rationale: str = ""
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule scans the file at ``relpath``."""
+        if any(relpath.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.include)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, relpath: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+@dataclass
+class _Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    rules: Tuple[str, ...]
+    why: Optional[str]
+    used: bool = False
+
+
+def parse_suppressions(source: str) -> List[_Suppression]:
+    """Extract every suppression comment from ``source``, in line order.
+
+    Only real ``COMMENT`` tokens count — a suppression *mentioned* in a
+    docstring or string literal (this module's own docstring, a test
+    fixture embedded as a string) is documentation, not a directive.
+    """
+    suppressions = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []  # unparseable files already yield an RL000 parse finding
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",")
+        )
+        suppressions.append(
+            _Suppression(
+                line=token.start[0],
+                kind=match.group("kind"),
+                rules=rules,
+                why=match.group("why"),
+            )
+        )
+    return suppressions
+
+
+def _apply_suppressions(
+    findings: List[Finding],
+    suppressions: List[_Suppression],
+    relpath: str,
+) -> List[Finding]:
+    """Drop suppressed findings; add RL000 for bad/unused suppressions."""
+    kept: List[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for suppression in suppressions:
+            if suppression.why is None:
+                continue  # invalid suppressions never silence anything
+            if finding.rule not in suppression.rules:
+                continue
+            if suppression.kind == "disable-file" or suppression.line == finding.line:
+                suppression.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    for suppression in suppressions:
+        if suppression.why is None:
+            kept.append(
+                Finding(
+                    path=relpath,
+                    line=suppression.line,
+                    col=1,
+                    rule=META_RULE,
+                    message=(
+                        "suppression is missing its justification: write "
+                        "'# reprolint: disable=RULE -- <why this is safe>'"
+                    ),
+                )
+            )
+        elif not suppression.used:
+            kept.append(
+                Finding(
+                    path=relpath,
+                    line=suppression.line,
+                    col=1,
+                    rule=META_RULE,
+                    message=(
+                        f"suppression for {', '.join(suppression.rules)} matches "
+                        "no finding on this "
+                        + ("file" if suppression.kind == "disable-file" else "line")
+                        + "; delete it (stale suppressions hide future regressions)"
+                    ),
+                )
+            )
+    return kept
+
+
+# --------------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts, keyed ``"<relpath>::<rule>"``.
+
+    A baseline lets a new rule land while the tree still has known
+    violations: up to ``entries[key]`` findings for that file/rule pair are
+    absorbed (earliest lines first, a deterministic choice), anything past
+    the count still fails.  Fixing a finding therefore never *requires* a
+    baseline edit, while introducing one always fails.
+    """
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline {path} has no 'entries' object")
+        return cls(entries={str(key): int(count) for key, count in entries.items()})
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted keys, so diffs stay reviewable)."""
+        payload = {
+            "comment": (
+                "Grandfathered reprolint findings: '<path>::<rule>' -> count. "
+                "Counts may only shrink; new findings always fail."
+            ),
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """The baseline that would absorb exactly ``findings``."""
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            if finding.rule == META_RULE:
+                continue  # suppression hygiene is never grandfathered
+            key = f"{finding.path}::{finding.rule}"
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    def filter(self, findings: List[Finding]) -> List[Finding]:
+        """Findings with up to the baselined count per file/rule absorbed."""
+        remaining = dict(self.entries)
+        kept = []
+        for finding in sorted(findings):
+            key = f"{finding.path}::{finding.rule}"
+            if finding.rule != META_RULE and remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                continue
+            kept.append(finding)
+        return kept
+
+
+# --------------------------------------------------------------------------- #
+# Driving
+# --------------------------------------------------------------------------- #
+
+
+def lint_text(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Lint one python source text as if it lived at ``relpath``."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=relpath,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule=META_RULE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(relpath):
+            findings.extend(rule.check(tree, relpath))
+    return _apply_suppressions(findings, parse_suppressions(source), relpath)
+
+
+def iter_python_files(paths: Sequence[Path], root: Path) -> Iterator[Tuple[Path, str]]:
+    """``(file, repo-relative posix path)`` for every python file under ``paths``."""
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or "__pycache__" in resolved.parts:
+                continue
+            seen.add(resolved)
+            try:
+                relpath = resolved.relative_to(root).as_posix()
+            except ValueError:
+                relpath = candidate.as_posix()
+            yield resolved, relpath
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Path,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; findings sorted by location."""
+    findings: List[Finding] = []
+    for file_path, relpath in iter_python_files(paths, root):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_text(source, relpath, rules))
+    if baseline is not None:
+        findings = baseline.filter(findings)
+    return sorted(findings)
