@@ -8,10 +8,16 @@ Every PR that touches a hot path records a ``BENCH_N.json`` at the repo root
   trend column (best-prior seconds / latest seconds — >1 means the latest
   bench is faster) and a geomean trend row across the cases the latest bench
   shares with any prior one;
+* prints a second table for cases that record ``events_per_sec`` (the
+  large-trace throughput series, BENCH_7 onward) and echoes the latest
+  bench's per-case ``peak_rss_mb`` snapshots when recorded — benches that
+  predate those fields are tolerated and simply absent from these rows;
 * **fails** (exit 1) when the latest bench regresses any tracked case by more
   than the threshold (default 25 %) against the *best* prior recording of
-  that case — the committed numbers are all measured on the recording host,
-  so the comparison is deterministic at CI time.
+  that case — in seconds (lower is better) and, where recorded, in
+  ``events_per_sec`` (higher is better).  The committed numbers are all
+  measured on the recording host, so the comparison is deterministic at CI
+  time.
 
 The table is written as GitHub-flavoured markdown to the path in the
 ``GITHUB_STEP_SUMMARY`` environment variable when set (the Actions job
@@ -68,14 +74,33 @@ def load_benches(root: Path) -> List[Tuple[int, Dict[str, Any]]]:
     return benches
 
 
+def _case_metric(bench: Dict[str, Any], key: str) -> Dict[str, float]:
+    """Case name -> positive numeric ``key`` for one bench payload.
+
+    Absent keys are skipped, not errors: benches recorded before a metric
+    existed (e.g. ``events_per_sec``, added with BENCH_7) stay loadable.
+    """
+    values: Dict[str, float] = {}
+    for name, entry in bench["cases"].items():
+        value = entry.get(key) if isinstance(entry, dict) else None
+        if isinstance(value, (int, float)) and value > 0:
+            values[name] = float(value)
+    return values
+
+
 def case_seconds(bench: Dict[str, Any]) -> Dict[str, float]:
     """Case name -> wall-clock seconds for one bench payload."""
-    seconds: Dict[str, float] = {}
-    for name, entry in bench["cases"].items():
-        value = entry.get("seconds") if isinstance(entry, dict) else None
-        if isinstance(value, (int, float)) and value > 0:
-            seconds[name] = float(value)
-    return seconds
+    return _case_metric(bench, "seconds")
+
+
+def case_events_per_sec(bench: Dict[str, Any]) -> Dict[str, float]:
+    """Case name -> events/sec throughput (cases that record it only)."""
+    return _case_metric(bench, "events_per_sec")
+
+
+def case_peak_rss_mb(bench: Dict[str, Any]) -> Dict[str, float]:
+    """Case name -> peak-RSS snapshot in MiB (cases that record it only)."""
+    return _case_metric(bench, "peak_rss_mb")
 
 
 def _geomean(values: List[float]) -> Optional[float]:
@@ -126,6 +151,53 @@ def build_table(benches: List[Tuple[int, Dict[str, Any]]]) -> str:
             "| **geomean (latest vs best prior)** | "
             + " | ".join("" for _ in numbers)
             + f" | **{geomean:.2f}x** |"
+        )
+    return "\n".join(lines)
+
+
+def build_throughput_table(benches: List[Tuple[int, Dict[str, Any]]]) -> str:
+    """Markdown throughput table (events/sec, higher is better) + RSS notes.
+
+    Empty string when no bench records ``events_per_sec`` — benches older
+    than BENCH_7 never do, so the seconds table stands alone for them.
+    """
+    by_bench = {number: case_events_per_sec(bench) for number, bench in benches}
+    numbers = [number for number, _ in benches]
+    cases = sorted({name for values in by_bench.values() for name in values})
+    if not cases:
+        return ""
+    latest = numbers[-1]
+    header = (
+        "| case (events/sec) | "
+        + " | ".join(f"BENCH_{number}" for number in numbers)
+        + " | trend |"
+    )
+    lines = [header, "|" + " --- |" * (len(numbers) + 2)]
+    for case in cases:
+        cells = []
+        for number in numbers:
+            value = by_bench[number].get(case)
+            cells.append(f"{value:,.0f}" if value is not None else "—")
+        prior = [
+            by_bench[number][case]
+            for number in numbers[:-1]
+            if case in by_bench[number]
+        ]
+        current = by_bench[latest].get(case)
+        if prior and current:
+            trend_cell = f"{current / max(prior):.2f}x"
+        else:
+            trend_cell = "new" if current else "dropped"
+        lines.append(f"| {case} | " + " | ".join(cells) + f" | {trend_cell} |")
+    rss = case_peak_rss_mb(benches[-1][1])
+    if rss:
+        lines.append("")
+        lines.append(
+            f"_peak RSS at BENCH_{latest}: "
+            + ", ".join(
+                f"{name} = {value:.1f} MiB" for name, value in sorted(rss.items())
+            )
+            + "_"
         )
     return "\n".join(lines)
 
@@ -348,6 +420,24 @@ def check_regressions(
                 f"{case}: BENCH_{latest} took {current:.3f}s vs best prior "
                 f"{best:.3f}s ({current / best:.2f}x, threshold {threshold:.2f}x)"
             )
+    # Throughput gate: events_per_sec is higher-is-better, so the comparison
+    # inverts — fail when the latest rate drops below best-prior / threshold.
+    # Benches that predate the field contribute nothing, so BENCH_1..6 never
+    # trip (or mask) a throughput failure.
+    rates = {number: case_events_per_sec(bench) for number, bench in benches}
+    for case, current in sorted(rates[latest].items()):
+        prior = [
+            rates[number][case] for number in numbers[:-1] if case in rates[number]
+        ]
+        if not prior:
+            continue
+        best = max(prior)
+        if current < best / threshold:
+            failures.append(
+                f"{case}: BENCH_{latest} ran {current:,.0f} events/sec vs best "
+                f"prior {best:,.0f} ({current / best:.2f}x, floor "
+                f"{1.0 / threshold:.2f}x)"
+            )
     return failures
 
 
@@ -378,6 +468,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     benches = load_benches(root)
     table = build_table(benches)
+    throughput = build_throughput_table(benches)
+    if throughput:
+        table += "\n\n" + throughput
     title = "## Benchmark trajectory\n\n"
     print(title + table)
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness for the serving/simulation fast path.
 
-Times eight representative workloads end to end and writes ``BENCH_6.json``:
+Times nine representative workloads end to end and writes ``BENCH_7.json``:
 
 * ``fig9-batch-sweep`` — single-server capacity bisections across a batch-size
   grid (the Fig. 9 experiment at reduced fidelity);
@@ -26,18 +26,31 @@ Times eight representative workloads end to end and writes ``BENCH_6.json``:
   of fault hooks on a no-fault run, which the perf-trend gate keeps
   bounded;
 * ``fig7-subsampling`` — the Fig. 7 subsampling experiment (two 16-node
-  fleets replaying 2 400 queries each).
+  fleets replaying 2 400 queries each);
+* ``large-trace-diurnal`` — a ≥10⁶-query diurnal cluster run streamed
+  through the chunked thinning synthesiser
+  (:func:`repro.queries.trace.iter_diurnal_trace`) into
+  ``ClusterSimulator.run_stream`` in sketch mode: no per-query list, no
+  retained latency samples.  The case additionally records ``events`` and
+  ``events_per_sec`` (queries simulated per wall-clock second), which the
+  perf-trend gate tracks as a higher-is-better series, so large-trace
+  throughput is regression-guarded directly, not just figure wall-clock.
 
 Each case records wall-clock seconds plus the speedup against the pre-PR
 baseline numbers embedded below (measured on the same machine, same case
 kwargs, at the commit recorded in ``BASELINE_COMMIT`` — the commit just
-before the PR that last rebuilt that case's hot path).  ``--quick`` shrinks
-every case for CI smoke runs; quick-mode baselines are recorded separately
-so the speedup column stays meaningful there too.
+before the PR that last rebuilt that case's hot path).  Every case also
+snapshots ``peak_rss_mb``, the process high-water RSS right after the case
+ran.  The counter is process-wide and monotone across the harness, so a
+case's value bounds everything up to and including it — the large-trace
+case runs last precisely so its snapshot exposes any O(trace-length) memory
+creep.  ``--quick`` shrinks every case for CI smoke runs; quick-mode
+baselines are recorded separately so the speedup column stays meaningful
+there too.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                # full run, BENCH_6.json
+    python benchmarks/run_benchmarks.py                # full run, BENCH_7.json
     python benchmarks/run_benchmarks.py --quick        # CI smoke sizes
     python benchmarks/run_benchmarks.py --jobs 4       # parallel capacity search
 """
@@ -52,7 +65,12 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
+
+try:
+    import resource
+except ImportError:  # non-POSIX: RSS snapshots are simply omitted
+    resource = None  # type: ignore[assignment]
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 _SRC = _REPO_ROOT / "src"
@@ -86,6 +104,7 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "fig13-production": 0.513,
         "fig13-fault-hooks": 0.297,
         "fig7-subsampling": 0.266,
+        "large-trace-diurnal": 3.84,
     },
     "quick": {
         "fig9-batch-sweep": 0.34,
@@ -96,6 +115,7 @@ PRE_PR_BASELINE_S: Dict[str, Dict[str, float]] = {
         "fig13-production": 0.268,
         "fig13-fault-hooks": 0.044,
         "fig7-subsampling": 0.064,
+        "large-trace-diurnal": 0.344,
     },
 }
 
@@ -113,6 +133,12 @@ BASELINE_COMMIT: Dict[str, str] = {
     "fig13-production": "5baf554 (pre fleet-unification PR)",
     "fig13-fault-hooks": "9e6e0fb (plain no-fault loop, same checkout host)",
     "fig7-subsampling": "5baf554 (pre fleet-unification PR)",
+    # The same diurnal trace materialised as a list and run through the
+    # exact-stats batch path on the same checkout host: the speedup column
+    # reads as the throughput price of the streaming sketch path (~0.9x,
+    # from the counting pass and lazy Query yield), bought for an O(1)
+    # peak RSS — 335 MiB batch-exact vs ~46 MiB streamed at 10^6 queries.
+    "large-trace-diurnal": "916babd (exact batch-list path, same checkout host)",
 }
 
 
@@ -291,6 +317,25 @@ def bench_fig13_fault_hooks(quick: bool, jobs: int) -> None:
     ).run(queries)
 
 
+def bench_large_trace(quick: bool, jobs: int) -> int:
+    # The BENCH_7 tentpole case: a >=10^6-query diurnal trace (quick: ~10^5)
+    # streamed through the chunked thinning synthesiser into the cluster
+    # event core with latency_stats="sketch" -- no materialised query list,
+    # no retained latency samples -- so the seconds here track large-trace
+    # throughput and peak RSS stays O(1) in the trace length.  Returns the
+    # query count so the harness can record events_per_sec.
+    from repro.queries.trace import count_diurnal_queries, iter_diurnal_trace
+    from repro.serving.cluster import ClusterSimulator
+
+    base_rate, duration = (200.0, 900.0) if quick else (480.0, 3600.0)
+    engines = build_engine_pair("dlrm-rmc1", "skylake", None)
+    fleet = homogeneous_fleet(engines, ServingConfig(batch_size=256, num_cores=8), 4)
+    total = count_diurnal_queries(base_rate, duration, seed=9)
+    simulator = ClusterSimulator(fleet, "least-outstanding", latency_stats="sketch")
+    simulator.run_stream(iter_diurnal_trace(base_rate, duration, seed=9), total)
+    return total
+
+
 def bench_fig7(quick: bool, jobs: int) -> None:
     # figure-7 has no worker knob: its two fleet replays are sequential by
     # design, so this case always runs serially regardless of --jobs.
@@ -303,7 +348,7 @@ def bench_fig7(quick: bool, jobs: int) -> None:
     run_experiment("figure-7", **kwargs)
 
 
-CASES: Dict[str, Callable[[bool, int], None]] = {
+CASES: Dict[str, Callable[[bool, int], Any]] = {
     "fig9-batch-sweep": bench_fig9,
     "fig15-cluster-scaling": bench_fig15,
     "cluster-capacity-search": bench_capacity_search,
@@ -312,32 +357,64 @@ CASES: Dict[str, Callable[[bool, int], None]] = {
     "fig13-production": bench_fig13,
     "fig13-fault-hooks": bench_fig13_fault_hooks,
     "fig7-subsampling": bench_fig7,
+    # Last on purpose: its peak-RSS snapshot then bounds the whole harness,
+    # so O(trace-length) memory creep anywhere shows up here.
+    "large-trace-diurnal": bench_large_trace,
 }
 
 
-def run_cases(quick: bool, jobs: int, repeats: int) -> Dict[str, float]:
-    """Run every case ``repeats`` times, returning best wall-clock seconds.
+def _peak_rss_mb() -> Optional[float]:
+    """Process high-water RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    if resource is None:
+        return None
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes there, KiB on Linux
+        peak_kb /= 1024.0
+    return round(peak_kb / 1024.0, 1)
+
+
+def run_cases(
+    quick: bool, jobs: int, repeats: int
+) -> Tuple[Dict[str, float], Dict[str, int], Dict[str, float]]:
+    """Run every case ``repeats`` times, returning best wall-clock seconds,
+    per-case event counts (cases that report them), and per-case peak-RSS
+    snapshots.
 
     Best-of-N damps scheduler/thermal noise; the first iteration also warms
     imports and lazily built tables the way a long-lived process would be.
     """
     timings: Dict[str, float] = {}
+    events: Dict[str, int] = {}
+    rss: Dict[str, float] = {}
     for name, case in CASES.items():
         best = float("inf")
         for _ in range(repeats):
             started = time.perf_counter()
-            case(quick, jobs)
+            outcome = case(quick, jobs)
             best = min(best, time.perf_counter() - started)
+            if isinstance(outcome, int):
+                events[name] = outcome
         timings[name] = best
-        print(f"{name:28s} {best:8.2f} s")
-    return timings
+        peak = _peak_rss_mb()
+        if peak is not None:
+            rss[name] = peak
+        rate = f"  {events[name] / best:10.0f} ev/s" if name in events else ""
+        print(f"{name:28s} {best:8.2f} s{rate}")
+    return timings, events, rss
 
 
 def build_report(
-    timings: Dict[str, float], quick: bool, jobs: int, repeats: int
+    timings: Dict[str, float],
+    quick: bool,
+    jobs: int,
+    repeats: int,
+    events: Optional[Dict[str, int]] = None,
+    rss: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
     mode = "quick" if quick else "full"
     baselines = PRE_PR_BASELINE_S[mode]
+    events = events or {}
+    rss = rss or {}
     cases: Dict[str, Any] = {}
     speedups = []
     for name, seconds in timings.items():
@@ -347,9 +424,14 @@ def build_report(
             entry["speedup"] = round(baseline / seconds, 2)
             entry["baseline_commit"] = BASELINE_COMMIT.get(name)
             speedups.append(baseline / seconds)
+        if name in events:
+            entry["events"] = events[name]
+            entry["events_per_sec"] = round(events[name] / seconds, 1)
+        if name in rss:
+            entry["peak_rss_mb"] = rss[name]
         cases[name] = entry
     report: Dict[str, Any] = {
-        "bench_id": "BENCH_6",
+        "bench_id": "BENCH_7",
         "mode": mode,
         "jobs": jobs,
         "repeats": repeats,
@@ -358,6 +440,9 @@ def build_report(
         "cpu_count": os.cpu_count(),
         "cases": cases,
     }
+    peak = _peak_rss_mb()
+    if peak is not None:
+        report["peak_rss_mb"] = peak
     if speedups:
         product = 1.0
         for value in speedups:
@@ -398,8 +483,8 @@ def main(argv: Optional[list] = None) -> int:
     if repeats < 1:
         parser.error(f"--repeats must be >= 1, got {args.repeats}")
 
-    timings = run_cases(args.quick, jobs, repeats)
-    report = build_report(timings, args.quick, jobs, repeats)
+    timings, events, rss = run_cases(args.quick, jobs, repeats)
+    report = build_report(timings, args.quick, jobs, repeats, events, rss)
     if args.output:
         output = Path(args.output)
     elif args.quick:
@@ -407,13 +492,17 @@ def main(argv: Optional[list] = None) -> int:
         # the perf-trend gate compares full-mode numbers across PRs.
         output = _REPO_ROOT / "bench_quick.json"
     else:
-        output = _REPO_ROOT / "BENCH_6.json"
+        output = _REPO_ROOT / "BENCH_7.json"
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     for name, entry in report["cases"].items():
         speedup = entry.get("speedup")
         note = f"{speedup:.2f}x vs pre-PR" if speedup else "no baseline recorded"
-        print(f"  {name:28s} {entry['seconds']:8.2f} s  ({note})")
+        rate = entry.get("events_per_sec")
+        extra = f"  {rate:10.0f} ev/s" if rate else ""
+        print(f"  {name:28s} {entry['seconds']:8.2f} s{extra}  ({note})")
+    if report.get("peak_rss_mb") is not None:
+        print(f"  peak RSS: {report['peak_rss_mb']:.1f} MiB")
     return 0
 
 

@@ -19,7 +19,15 @@ from repro.queries.size_dist import (
     get_size_distribution,
     work_share_above_percentile,
 )
-from repro.queries.trace import DiurnalPattern, QueryTrace, generate_diurnal_trace
+from repro.queries.trace import (
+    TRACE_SCHEMA_VERSION,
+    DiurnalPattern,
+    QueryTrace,
+    count_diurnal_queries,
+    diurnal_trace_chunks,
+    generate_diurnal_trace,
+    iter_diurnal_trace,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -37,7 +45,11 @@ __all__ = [
     "QuerySizeDistribution",
     "get_size_distribution",
     "work_share_above_percentile",
+    "TRACE_SCHEMA_VERSION",
     "DiurnalPattern",
     "QueryTrace",
+    "count_diurnal_queries",
+    "diurnal_trace_chunks",
     "generate_diurnal_trace",
+    "iter_diurnal_trace",
 ]

@@ -10,6 +10,7 @@ the difference matters when sizing queueing headroom.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterator
 
 import numpy as np
 
@@ -43,6 +44,37 @@ class ArrivalProcess(ABC):
         check_positive("count", count)
         gaps = self.inter_arrival_times(count, rng)
         return start + np.cumsum(gaps)
+
+    def arrival_time_chunks(
+        self,
+        count: int,
+        rng: SeedLike = None,
+        start: float = 0.0,
+        chunk_queries: int = 65536,
+    ) -> Iterator[np.ndarray]:
+        """Absolute arrival timestamps in bounded numpy chunks.
+
+        Gaps are drawn chunk by chunk from the same generator stream as
+        :meth:`arrival_times` (per-value draws concatenate identically), but
+        the running sum restarts at each chunk boundary, so the chunked
+        timestamps associate floating-point additions differently: this is
+        its own schema-versioned sequence, regression-pinned in
+        ``tests/test_queries_generator_trace.py``, not bit-identical to
+        :meth:`arrival_times`.  Peak memory is ``O(chunk_queries)``
+        regardless of ``count``.
+        """
+        check_positive("count", count)
+        check_positive("chunk_queries", chunk_queries)
+        generator = derive_rng(rng)
+        offset = float(start)
+        produced = 0
+        while produced < count:
+            block = min(chunk_queries, count - produced)
+            gaps = self.inter_arrival_times(block, generator)
+            times = offset + np.cumsum(gaps)
+            offset = float(times[-1])
+            produced += block
+            yield times
 
     def with_rate(self, rate_qps: float) -> "ArrivalProcess":
         """Return a copy of this process at a different average rate."""

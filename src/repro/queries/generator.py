@@ -9,7 +9,7 @@ choices (Poisson arrivals, heavy-tail sizes).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -70,6 +70,37 @@ class LoadGenerator:
             Query(idx, t, size)
             for idx, (t, size) in enumerate(zip(arrival_times.tolist(), sizes.tolist()))
         ]
+
+    def iter_queries(
+        self, num_queries: int, start_time: float = 0.0, chunk_queries: int = 65536
+    ) -> Iterator[Query]:
+        """Lazily yield ``num_queries`` queries in bounded chunks.
+
+        Streaming counterpart of :meth:`generate` for traces too large to
+        materialise: at most one ``chunk_queries``-sized numpy chunk is alive
+        at a time, and queries are yielded in arrival order with sequential
+        ids, satisfying the
+        :meth:`repro.serving.cluster.ClusterSimulator.run_stream` contract.
+
+        The stream draws from its own RNG children (``chunked-arrivals`` /
+        ``chunked-sizes``): sizes are sampled per chunk (a different draw
+        order than :meth:`generate`'s single pass) and arrival cumulative
+        sums restart per chunk, so for a given seed this is a distinct,
+        schema-versioned sequence — deliberately not bit-identical to
+        :meth:`generate`, and regression-pinned in
+        ``tests/test_queries_generator_trace.py``.
+        """
+        check_positive("num_queries", num_queries)
+        arrival_rng = self._rng_factory.child("chunked-arrivals")
+        size_rng = self._rng_factory.child("chunked-sizes")
+        query_id = 0
+        for times in self._arrival.arrival_time_chunks(
+            num_queries, arrival_rng, start_time, chunk_queries
+        ):
+            sizes = self._sizes.sample(int(times.size), size_rng)
+            for t, size in zip(times.tolist(), sizes.tolist()):
+                yield Query(query_id, t, size)
+                query_id += 1
 
     def generate_for_duration(
         self, duration_s: float, start_time: float = 0.0, max_queries: int = 2_000_000

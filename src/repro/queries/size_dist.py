@@ -20,6 +20,7 @@ This module provides:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Union
 
@@ -30,6 +31,19 @@ from repro.utils.validation import check_positive
 
 #: Largest query observed in the production trace the paper characterises.
 MAX_QUERY_SIZE = 1000
+
+_INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+def _standard_normal_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF over an array via ``math.erf`` (scipy-free)."""
+    values = np.asarray(z, dtype=np.float64)
+    out = np.fromiter(
+        (0.5 * (1.0 + math.erf(v * _INV_SQRT2)) for v in values.ravel()),
+        dtype=np.float64,
+        count=values.size,
+    )
+    return out.reshape(values.shape)
 
 
 class QuerySizeDistribution(ABC):
@@ -52,10 +66,35 @@ class QuerySizeDistribution(ABC):
         sizes = np.clip(np.rint(raw), 1, self._max_size)
         return sizes.astype(np.int64)
 
-    def percentile(self, pct: float, count: int = 20000, rng: SeedLike = None) -> float:
-        """Monte-Carlo estimate of the ``pct``-th percentile of query size."""
-        samples = self.sample(count, rng=derive_rng(rng if rng is not None else 1234))
-        return float(np.percentile(samples, pct))
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        """CDF of the *unclipped* raw draw evaluated at ``x`` (override me).
+
+        Subclasses with a continuous raw law implement this so
+        :meth:`percentile` can be computed exactly instead of by sampling.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a raw CDF; override _raw_cdf "
+            "to enable the deterministic percentile()"
+        )
+
+    def percentile(self, pct: float) -> float:
+        """Deterministic ``pct``-th percentile of the integer size distribution.
+
+        Sizes are ``clip(rint(raw), 1, max_size)`` of a continuous raw draw,
+        so ``P(size <= s) = F_raw(s + 0.5)`` for integers ``s < max_size``
+        (and 1 at ``max_size``); the percentile is the smallest integer
+        ``s`` with ``P(size <= s) >= pct / 100``, found by one vectorised
+        CDF evaluation over the integer support.  This replaces the former
+        20 000-draw Monte-Carlo estimate — exact, sampling-noise-free, and
+        regression-pinned in ``tests/test_queries_size_dist.py``.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"pct must be in [0, 100], got {pct}")
+        support = np.arange(1, self._max_size + 1, dtype=np.float64)
+        cdf = self._raw_cdf(support + 0.5)
+        cdf[-1] = 1.0
+        index = int(np.searchsorted(cdf, pct / 100.0, side="left"))
+        return float(support[min(index, self._max_size - 1)])
 
     def mean(self, count: int = 20000, rng: SeedLike = None) -> float:
         """Monte-Carlo estimate of the mean query size."""
@@ -113,6 +152,22 @@ class ProductionQuerySizes(QuerySizeDistribution):
         use_tail = generator.random(count) < self._tail_probability
         return self._clip(np.where(use_tail, tail, body))
 
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        # Body: lognormal clipped from above at tail_start (mass at the clip).
+        body = _standard_normal_cdf(
+            (np.log(x) - math.log(self._body_median)) / self._body_sigma
+        )
+        body = np.where(x >= self._tail_start, 1.0, body)
+        # Tail: tail_start * (1 + Pareto(alpha)), support strictly above tail_start.
+        with np.errstate(divide="ignore"):
+            tail = np.where(
+                x > self._tail_start,
+                1.0 - (self._tail_start / np.maximum(x, self._tail_start)) ** self._tail_alpha,
+                0.0,
+            )
+        return (1.0 - self._tail_probability) * body + self._tail_probability * tail
+
 
 class LognormalQuerySizes(QuerySizeDistribution):
     """Canonical lognormal working-set-size assumption from prior work."""
@@ -134,6 +189,10 @@ class LognormalQuerySizes(QuerySizeDistribution):
         generator = derive_rng(rng)
         raw = generator.lognormal(mean=np.log(self._median), sigma=self._sigma, size=count)
         return self._clip(raw)
+
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return _standard_normal_cdf((np.log(x) - math.log(self._median)) / self._sigma)
 
 
 class NormalQuerySizes(QuerySizeDistribution):
@@ -157,6 +216,10 @@ class NormalQuerySizes(QuerySizeDistribution):
         raw = generator.normal(self._mean, self._std, size=count)
         return self._clip(raw)
 
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return _standard_normal_cdf((x - self._mean) / self._std)
+
 
 class FixedQuerySizes(QuerySizeDistribution):
     """Every query carries exactly ``size`` candidates."""
@@ -169,6 +232,10 @@ class FixedQuerySizes(QuerySizeDistribution):
     def sample(self, count: int, rng: SeedLike = None) -> np.ndarray:
         check_positive("count", count)
         return np.full(count, self._size, dtype=np.int64)
+
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x >= self._size, 1.0, 0.0)
 
 
 _SIZE_REGISTRY = {

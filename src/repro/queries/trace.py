@@ -1,4 +1,4 @@
-"""Query traces: serialisation and diurnal traffic modulation.
+"""Query traces: serialisation, diurnal traffic modulation, chunked synthesis.
 
 The production study of Fig. 13 runs over 24 hours of live traffic whose
 arrival rate follows the usual diurnal pattern.  :class:`DiurnalPattern`
@@ -6,6 +6,23 @@ modulates a base arrival rate over the day, and :class:`QueryTrace` is a
 serialisable container so traces can be recorded once and replayed across
 experiments (or shared between the datacenter-cluster simulation and
 single-node runs).
+
+Two synthesis paths produce diurnal traces:
+
+* :func:`generate_diurnal_trace` — the original per-window homogeneous
+  Poisson construction, materialised as a :class:`QueryTrace`.  Its seeded
+  output is **bit-identical** to every earlier release (the per-window RNG
+  draw order is preserved; only the Query construction is batched).
+* :func:`iter_diurnal_trace` / :func:`count_diurnal_queries` — the chunked
+  streaming path for ≥10⁶-query traces: arrivals are synthesised per time
+  slice by *thinning* a homogeneous Poisson process at the diurnal peak
+  rate (candidates kept with probability ``rate(t) / rate_max``, the exact
+  inhomogeneous-Poisson construction), in numpy chunks, so a 10⁷-query
+  trace never materialises per-query Python objects.  This stream draws
+  from its own schema-versioned RNG children
+  (:data:`TRACE_SCHEMA_VERSION`), is deliberately *not* bit-identical to
+  :func:`generate_diurnal_trace`, and is regression-pinned by
+  ``tests/test_queries_generator_trace.py``.
 """
 
 from __future__ import annotations
@@ -14,7 +31,7 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +40,12 @@ from repro.queries.query import Query
 from repro.queries.size_dist import ProductionQuerySizes, QuerySizeDistribution
 from repro.utils.rng import RngFactory
 from repro.utils.validation import check_non_negative, check_positive
+
+#: Schema version of the chunked thinning synthesis stream.  Folded into the
+#: RNG child names (``diurnal-v1-arrivals`` / ``diurnal-v1-sizes``), so a
+#: change to the synthesis algorithm bumps the version and can never silently
+#: replay old seeds onto a different sequence.
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -141,6 +164,11 @@ def generate_diurnal_trace(
     The duration is split into ``time_step_s`` windows; each window draws
     Poisson arrivals at the diurnally modulated rate.  Used by the Fig. 13
     production-cluster experiment.
+
+    The seeded output is bit-identical to earlier releases: the per-window
+    RNG draw order (poisson count, then sorted uniform offsets, then sizes)
+    is unchanged; only the ``Query`` construction is batched into a single
+    vectorised pass over the concatenated arrays.
     """
     check_positive("base_rate_qps", base_rate_qps)
     check_positive("duration_s", duration_s)
@@ -151,8 +179,8 @@ def generate_diurnal_trace(
     arrival_rng = factory.child("diurnal-arrivals")
     size_rng = factory.child("diurnal-sizes")
 
-    queries: List[Query] = []
-    query_id = 0
+    arrival_blocks: List[np.ndarray] = []
+    size_blocks: List[np.ndarray] = []
     window_start = 0.0
     while window_start < duration_s:
         window = min(time_step_s, duration_s - window_start)
@@ -161,15 +189,137 @@ def generate_diurnal_trace(
         count = int(arrival_rng.poisson(expected))
         if count > 0:
             offsets = np.sort(arrival_rng.uniform(0.0, window, size=count))
-            window_sizes = sizes.sample(count, size_rng)
-            for offset, size in zip(offsets, window_sizes):
-                queries.append(
-                    Query(
-                        query_id=query_id,
-                        arrival_time=float(window_start + offset),
-                        size=int(size),
-                    )
-                )
-                query_id += 1
+            arrival_blocks.append(window_start + offsets)
+            size_blocks.append(sizes.sample(count, size_rng))
         window_start += window
+    if not arrival_blocks:
+        return QueryTrace([])
+    arrival_times = np.concatenate(arrival_blocks).tolist()
+    query_sizes = np.concatenate(size_blocks).tolist()
+    queries = [
+        Query(query_id=index, arrival_time=time, size=size)
+        for index, (time, size) in enumerate(zip(arrival_times, query_sizes))
+    ]
     return QueryTrace(queries)
+
+
+def _diurnal_arrival_chunks(
+    base_rate_qps: float,
+    pattern: DiurnalPattern,
+    arrival_rng: np.random.Generator,
+    duration_s: float,
+    time_step_s: float,
+) -> Iterator[np.ndarray]:
+    """Accepted arrival timestamps of the v1 thinning stream, per time slice.
+
+    Each slice draws a homogeneous Poisson candidate set at the diurnal peak
+    rate ``base * (1 + amplitude)`` and keeps candidates with probability
+    ``rate(t) / rate_max`` evaluated at the candidate's own timestamp, which
+    is the exact inhomogeneous-Poisson thinning construction — the slice
+    length only controls chunk granularity, not the sampled law.
+    """
+    rate_max = base_rate_qps * (1.0 + pattern.amplitude)
+    window_start = 0.0
+    while window_start < duration_s:
+        window = min(time_step_s, duration_s - window_start)
+        candidates = int(arrival_rng.poisson(rate_max * window))
+        if candidates > 0:
+            times = np.sort(
+                arrival_rng.uniform(window_start, window_start + window, size=candidates)
+            )
+            multiplier = 1.0 + pattern.amplitude * np.sin(
+                2.0 * math.pi * (times / pattern.period_s - pattern.phase)
+            )
+            keep = arrival_rng.random(candidates) * (1.0 + pattern.amplitude) < multiplier
+            accepted = times[keep]
+            if accepted.size:
+                yield accepted
+        window_start += window
+
+
+def diurnal_trace_chunks(
+    base_rate_qps: float,
+    duration_s: float,
+    pattern: Optional[DiurnalPattern] = None,
+    sizes: Optional[QuerySizeDistribution] = None,
+    seed: Optional[int] = None,
+    time_step_s: float = 60.0,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Chunked diurnal synthesis: yields ``(arrival_times, sizes)`` arrays.
+
+    The memory-bounded core of :func:`iter_diurnal_trace`: each yielded pair
+    covers one ``time_step_s`` slice (float64 timestamps in arrival order and
+    int64 sizes), so peak memory is proportional to the per-slice arrival
+    count, never the trace length.  The stream is schema-versioned
+    (:data:`TRACE_SCHEMA_VERSION`): it draws from the RNG children
+    ``diurnal-v1-arrivals`` / ``diurnal-v1-sizes`` and is not bit-identical
+    to :func:`generate_diurnal_trace`, which models each window as a
+    homogeneous process at the window-start rate instead of thinning.
+    """
+    check_positive("base_rate_qps", base_rate_qps)
+    check_positive("duration_s", duration_s)
+    check_positive("time_step_s", time_step_s)
+    pattern = pattern if pattern is not None else DiurnalPattern()
+    sizes = sizes if sizes is not None else ProductionQuerySizes()
+    factory = RngFactory(seed)
+    arrival_rng = factory.child("diurnal-v1-arrivals")
+    size_rng = factory.child("diurnal-v1-sizes")
+    for times in _diurnal_arrival_chunks(
+        base_rate_qps, pattern, arrival_rng, duration_s, time_step_s
+    ):
+        yield times, sizes.sample(int(times.size), size_rng)
+
+
+def count_diurnal_queries(
+    base_rate_qps: float,
+    duration_s: float,
+    pattern: Optional[DiurnalPattern] = None,
+    seed: Optional[int] = None,
+    time_step_s: float = 60.0,
+) -> int:
+    """Number of queries :func:`iter_diurnal_trace` will yield for these args.
+
+    Replays only the arrival stream (sizes draw from a separate RNG child,
+    so skipping them cannot perturb the count), which makes the two-pass
+    ``count`` + ``iter`` pattern cheap enough for
+    :meth:`repro.serving.cluster.ClusterSimulator.run_stream`, whose
+    contract requires the query count up front.
+    """
+    check_positive("base_rate_qps", base_rate_qps)
+    check_positive("duration_s", duration_s)
+    check_positive("time_step_s", time_step_s)
+    pattern = pattern if pattern is not None else DiurnalPattern()
+    arrival_rng = RngFactory(seed).child("diurnal-v1-arrivals")
+    return sum(
+        int(times.size)
+        for times in _diurnal_arrival_chunks(
+            base_rate_qps, pattern, arrival_rng, duration_s, time_step_s
+        )
+    )
+
+
+def iter_diurnal_trace(
+    base_rate_qps: float,
+    duration_s: float,
+    pattern: Optional[DiurnalPattern] = None,
+    sizes: Optional[QuerySizeDistribution] = None,
+    seed: Optional[int] = None,
+    time_step_s: float = 60.0,
+) -> Iterator[Query]:
+    """Lazily yield a diurnal trace one :class:`Query` at a time.
+
+    Queries arrive in time order with ``query_id`` equal to the arrival
+    index, so the stream satisfies the
+    :meth:`repro.serving.cluster.ClusterSimulator.run_stream` contract
+    directly (pair it with :func:`count_diurnal_queries` for the
+    ``num_queries`` argument).  Only one synthesis chunk is alive at a time;
+    a 10⁷-query trace never materialises a per-query object list.  See
+    :func:`diurnal_trace_chunks` for the schema-versioning guarantees.
+    """
+    query_id = 0
+    for times, chunk_sizes in diurnal_trace_chunks(
+        base_rate_qps, duration_s, pattern, sizes, seed, time_step_s
+    ):
+        for time, size in zip(times.tolist(), chunk_sizes.tolist()):
+            yield Query(query_id=query_id, arrival_time=time, size=size)
+            query_id += 1

@@ -105,6 +105,7 @@ from repro.serving.cluster import (
     warm_latency_tables,
 )
 from repro.serving.simulator import (
+    CertainAcceptance,
     CertainRejection,
     ServingConfig,
     ServingSimulator,
@@ -229,6 +230,7 @@ def _evaluator_state(
     num_queries: int,
     max_queries: int,
     load_generator: LoadGenerator,
+    accept_early: bool = False,
 ) -> Dict[str, Any]:
     """The state dict :func:`_evaluate_rate` consumes — defined in one place
     so the serial/replay path (seeded with the parent's simulator) and the
@@ -239,6 +241,7 @@ def _evaluator_state(
         "num_queries": num_queries,
         "max_queries": max_queries,
         "load_generator": load_generator,
+        "accept_early": accept_early,
     }
 
 
@@ -257,15 +260,21 @@ def _build_evaluator(payload: Dict[str, Any]) -> Dict[str, Any]:
             balancer_seed=payload["balancer_seed"],
             fault_plan=payload.get("fault_plan"),
             retry_policy=payload.get("retry_policy"),
+            latency_stats=payload.get("latency_stats", "exact"),
         )
     else:
-        simulator = ServingSimulator(payload["engines"], payload["config"])
+        simulator = ServingSimulator(
+            payload["engines"],
+            payload["config"],
+            latency_stats=payload.get("latency_stats", "exact"),
+        )
     return _evaluator_state(
         simulator,
         payload["sla_latency_s"],
         payload["num_queries"],
         payload["max_queries"],
         payload["load_generator"],
+        payload.get("accept_early", False),
     )
 
 
@@ -282,15 +291,25 @@ def _evaluate_rate(state: Dict[str, Any], rate_qps: float, reject: bool = True) 
     number.  ``reject=False`` forces a run to completion — used when a
     search must *report* the measurement at a rejected rate (the
     unbracketed exit), where the early-exit stub has no statistics.
+
+    With the search's opt-in ``accept_early``, the same call also arms the
+    dual certain-acceptance exit, so accepted probes stop at their
+    certificate and return a
+    :class:`~repro.serving.simulator.CertainAcceptance` stub
+    (verdict-identical again).  The search re-runs the single evaluation it
+    reports through :meth:`_SearchExecution._full_result`, so reported
+    results stay bit-identical to the accept-off search.
     """
     generator = state["load_generator"].with_rate(rate_qps)
-    count = measurement_queries(
-        rate_qps, state["sla_latency_s"], state["num_queries"], state["max_queries"]
-    )
+    sla = state["sla_latency_s"]
+    count = measurement_queries(rate_qps, sla, state["num_queries"], state["max_queries"])
     with pause_gc():  # query generation is allocation-heavy, cycle-free
         return state["simulator"].run(
             generator.generate(count),
-            reject_above_sla_s=state["sla_latency_s"] if reject else None,
+            reject_above_sla_s=sla if reject else None,
+            accept_within_sla_s=(
+                sla if reject and state.get("accept_early") else None
+            ),
         )
 
 
@@ -326,6 +345,8 @@ class CapacitySearch:
         balancer_seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        accept_early: bool = False,
+        latency_stats: str = "exact",
     ) -> None:
         check_positive("sla_latency_s", sla_latency_s)
         check_positive("num_queries", num_queries)
@@ -335,6 +356,14 @@ class CapacitySearch:
         if fault_plan is not None and kind != "fleet":
             raise ValueError("fault injection is only supported for fleet searches")
         self._kind = kind
+        # accept_early arms the certain-acceptance exit on probe
+        # evaluations.  Verdicts are identical to full runs, so the
+        # bisection takes the same decisions and the reported result (one
+        # re-run full evaluation) is bit-identical — which is also why the
+        # flag stays *out* of the warm-start signature: both settings
+        # compute the same answer and may share cache entries.
+        self._accept_early = accept_early
+        self._latency_stats = latency_stats
         self._sla_latency_s = sla_latency_s
         self._load_generator = load_generator
         self._num_queries = num_queries
@@ -362,10 +391,13 @@ class CapacitySearch:
                 balancer_seed=balancer_seed,
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
+                latency_stats=latency_stats,
             )
         else:
             assert engines is not None and config is not None
-            self._local_simulator = ServingSimulator(engines, config)
+            self._local_simulator = ServingSimulator(
+                engines, config, latency_stats=latency_stats
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -381,8 +413,18 @@ class CapacitySearch:
         iterations: int = 7,
         headroom: float = 1.3,
         max_queries: int = 8000,
+        accept_early: bool = False,
+        latency_stats: str = "exact",
     ) -> "CapacitySearch":
-        """A single-server search (the :func:`find_max_qps` problem)."""
+        """A single-server search (the :func:`find_max_qps` problem).
+
+        ``accept_early`` opts probe evaluations into the certain-acceptance
+        exit (same answer, less simulated work); ``latency_stats="sketch"``
+        runs every evaluation with fixed-space latency statistics for
+        million-query fidelity settings (approximate p95s — the measured
+        capacity may differ from the exact mode's within the sketch's
+        rank-error bound, so the two modes never share cache entries).
+        """
         return cls(
             kind="server",
             engines=engines,
@@ -393,6 +435,8 @@ class CapacitySearch:
             iterations=iterations,
             headroom=headroom,
             max_queries=max_queries,
+            accept_early=accept_early,
+            latency_stats=latency_stats,
         )
 
     @classmethod
@@ -411,12 +455,18 @@ class CapacitySearch:
         balancer_seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        accept_early: bool = False,
+        latency_stats: str = "exact",
     ) -> "CapacitySearch":
         """A fleet search (the :func:`find_cluster_max_qps` problem).
 
         ``fault_plan`` / ``retry_policy`` make every candidate-rate
         evaluation run fault-injected, so the search measures capacity
-        *under* the plan's crashes and stragglers.
+        *under* the plan's crashes and stragglers.  ``accept_early`` /
+        ``latency_stats`` as in :meth:`for_server` (fault-injected runs
+        ignore the acceptance arming — see
+        :meth:`~repro.serving.cluster.ClusterSimulator.run` — and reject
+        sketch mode outright).
         """
         return cls(
             kind="fleet",
@@ -432,6 +482,8 @@ class CapacitySearch:
             balancer_seed=balancer_seed,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            accept_early=accept_early,
+            latency_stats=latency_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -520,6 +572,14 @@ class CapacitySearch:
                     "plan": self._fault_plan.to_dict(),
                     "retry": (self._retry_policy or RetryPolicy()).to_dict(),
                 }
+            # Sketch-mode p95s are approximate, so sketch searches can land
+            # on a different capacity than exact ones — they must not share
+            # cache entries.  Folded in only when non-default, so exact
+            # signatures (and their digests) stay byte-identical to older
+            # builds.  accept_early is deliberately absent: it computes the
+            # identical answer (see __init__).
+            if self._latency_stats != "exact":
+                signature["latency_stats"] = self._latency_stats
             json.dumps(signature, sort_keys=True)  # probe serialisability
         except (TypeError, ValueError, AttributeError):
             return None
@@ -533,6 +593,8 @@ class CapacitySearch:
             "num_queries": self._num_queries,
             "max_queries": self._max_queries,
             "load_generator": self._load_generator,
+            "accept_early": self._accept_early,
+            "latency_stats": self._latency_stats,
         }
         if self._kind == "fleet":
             return {
@@ -564,6 +626,7 @@ class CapacitySearch:
                 self._num_queries,
                 self._max_queries,
                 self._load_generator,
+                self._accept_early,
             ),
         )
 
@@ -790,8 +853,13 @@ class _SearchExecution:
                     return
                 if replay.acceptable(self.sla):
                     # The entry being replayed is already on disk; only the
-                    # in-process memo needs populating.
-                    self._finish(self.replay_rate, replay, store=False)
+                    # in-process memo needs populating.  With accept_early
+                    # the verifying run may be a stub — _full_result re-runs
+                    # it so the reported result carries full statistics.
+                    self._finish(
+                        self.replay_rate, self._full_result(self.replay_rate),
+                        store=False,
+                    )
                     return
                 # A hint the simulator no longer sustains is stale (e.g. a
                 # foreign file dropped into the directory): search cold.
@@ -817,17 +885,19 @@ class _SearchExecution:
     def _full_result(self, rate: float) -> Any:
         """The complete simulation result backing ``CapacityResult.result``.
 
-        Accepted evaluations always ran to completion, so this is normally
-        the recorded outcome.  The one exception is the unbracketed exit,
-        whose reported rate may have been *rejected* — the serial contract
-        still attaches the full measurement at that rate, but the recorded
-        outcome is a :class:`CertainRejection` stub when the early exit
-        fired.  Re-run that single evaluation without the early exit (a
+        Without ``accept_early``, accepted evaluations always ran to
+        completion, so this is normally the recorded outcome.  The two
+        exceptions are early-exit stubs: the unbracketed exit may report a
+        *rejected* rate whose recorded outcome is a
+        :class:`CertainRejection`, and with ``accept_early`` the reported
+        accepted rate's outcome is a :class:`CertainAcceptance`.  Either
+        way the serial contract attaches the full measurement at that rate:
+        re-run that single evaluation without the early exits (a
         deterministic function of the rate, so bit-identical to what the
-        pre-exit search returned).
+        exit-free search returned).
         """
         outcome = self.results[rate]
-        if isinstance(outcome, CertainRejection):
+        if isinstance(outcome, (CertainRejection, CertainAcceptance)):
             outcome = _evaluate_rate(self.context.build(), rate, reject=False)
             self.results[rate] = outcome
             self.evaluations += 1
@@ -982,11 +1052,17 @@ def _replay_for_follower(
     state = search._context().build()
     replay = _evaluate_rate(state, leader.max_qps)
     if replay.acceptable(search.sla_latency_s):
+        evaluations = 1
+        if isinstance(replay, CertainAcceptance):
+            # accept_early stubbed the verifying run; the stored result
+            # must carry full statistics, so re-run it exit-free.
+            replay = _evaluate_rate(state, leader.max_qps, reject=False)
+            evaluations = 2
         result = CapacityResult(
             max_qps=leader.max_qps,
             sla_latency_s=search.sla_latency_s,
             result=replay,
-            evaluations=1,
+            evaluations=evaluations,
         )
         signature = search.signature()
         if cache is not None and signature is not None:

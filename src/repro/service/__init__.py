@@ -31,7 +31,7 @@ from repro.service.shadow import (
     load_fleet_spec,
 )
 from repro.service.twin import DigitalTwin, TwinWindowReport
-from repro.service.windows import Window, WindowManager
+from repro.service.windows import Window, WindowManager, WindowRollup
 
 __all__ = [
     "ConfigVerdict",
@@ -42,6 +42,7 @@ __all__ = [
     "TwinWindowReport",
     "Window",
     "WindowManager",
+    "WindowRollup",
     "compare_verdicts",
     "load_fleet_spec",
     "parse_event",

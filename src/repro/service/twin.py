@@ -66,13 +66,14 @@ from repro.runtime.capacity import CapacitySearch, run_capacity_searches
 from repro.runtime.pool import WorkerPool
 from repro.serving.capacity import CapacityCache
 from repro.serving.cluster import ClusterSimulationResult, ClusterSimulator
+from repro.serving.simulator import _check_latency_stats
 from repro.service.shadow import (
     ConfigVerdict,
     FleetSpec,
     ShadowVerdict,
     compare_verdicts,
 )
-from repro.service.windows import Window
+from repro.service.windows import Window, WindowRollup
 from repro.utils.stats import PercentileTracker
 from repro.utils.validation import check_positive
 
@@ -160,7 +161,7 @@ class TwinWindowReport:
 class _FleetState:
     """One configured fleet's long-lived twin state (built once, reused)."""
 
-    def __init__(self, spec: FleetSpec) -> None:
+    def __init__(self, spec: FleetSpec, latency_stats: str = "exact") -> None:
         self.spec = spec
         self.engines = EnginePair(
             cpu=build_cpu_engine(spec.model, spec.platform), gpu=None
@@ -169,7 +170,9 @@ class _FleetState:
         # One simulator per config for the service's lifetime: kernels are
         # rebuilt per run() and seeded balancers reset, so repeated runs are
         # deterministic functions of the event multiset.
-        self.simulator = ClusterSimulator(self.servers, balancer=spec.policy)
+        self.simulator = ClusterSimulator(
+            self.servers, balancer=spec.policy, latency_stats=latency_stats
+        )
 
 
 class DigitalTwin:
@@ -196,6 +199,13 @@ class DigitalTwin:
         persistent to warm-start across service restarts.
     search_num_queries / search_iterations / search_max_queries:
         Fidelity knobs forwarded to :class:`CapacitySearch.for_fleet`.
+    latency_stats:
+        ``"exact"`` (default) buffers every latency sample, keeping the
+        twin's reports bit-identical to earlier releases; ``"sketch"``
+        threads the fixed-space quantile sketch through the fleet
+        simulators, the capacity searches, and the cross-window rollups, so
+        the twin's footprint stays O(1) in the events observed — the
+        million-query streaming configuration (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -211,6 +221,7 @@ class DigitalTwin:
         search_num_queries: int = 400,
         search_iterations: int = 6,
         search_max_queries: int = 4000,
+        latency_stats: str = "exact",
     ) -> None:
         check_positive("sla_latency_s", sla_latency_s)
         if what_if is not None and what_if.name == real.name:
@@ -227,20 +238,24 @@ class DigitalTwin:
             self._tempdir = tempfile.TemporaryDirectory(prefix="twin-capacity-")
             capacity_cache_dir = self._tempdir.name
         self._capacity_cache = CapacityCache(capacity_cache_dir)
+        self._latency_stats = _check_latency_stats(latency_stats)
         self._search_fidelity = {
             "num_queries": search_num_queries,
             "iterations": search_iterations,
             "max_queries": search_max_queries,
         }
-        self._fleets = [_FleetState(real)]
+        self._fleets = [_FleetState(real, self._latency_stats)]
         if what_if is not None:
-            self._fleets.append(_FleetState(what_if))
+            self._fleets.append(_FleetState(what_if, self._latency_stats))
         self._history: List[Query] = []
         self._windows_observed = 0
         # Long-lived across windows: the offered-rate tracker is queried
         # (median) and then recorded into again on every window — the
         # record-after-percentile pattern tests/test_utils_stats.py pins.
-        self._window_rates = PercentileTracker()
+        # In sketch mode it and the size rollup merge fixed-space sketches
+        # per window instead of concatenating samples.
+        self._window_rates = PercentileTracker(mode=self._latency_stats)
+        self._size_rollup = WindowRollup(self._latency_stats)
 
     # ------------------------------------------------------------------ #
 
@@ -264,6 +279,16 @@ class DigitalTwin:
         """Events accumulated across all observed windows."""
         return len(self._history)
 
+    @property
+    def latency_stats(self) -> str:
+        """``"exact"`` or ``"sketch"`` — the configured statistics tier."""
+        return self._latency_stats
+
+    @property
+    def size_rollup(self) -> WindowRollup:
+        """Cross-window query-size distribution (sketch-merged in sketch mode)."""
+        return self._size_rollup
+
     def specs(self) -> List[FleetSpec]:
         """The configured fleet specs (real first, then the what-if)."""
         return [state.spec for state in self._fleets]
@@ -284,6 +309,7 @@ class DigitalTwin:
         self._windows_observed += 1
         offered_qps = window.mean_rate_qps
         self._window_rates.add(offered_qps)
+        self._size_rollup.fold([float(q.size) for q in window.queries])
 
         capacities = self._predict_capacities()
         verdicts: List[ConfigVerdict] = []
@@ -330,6 +356,7 @@ class DigitalTwin:
         self._history.extend(window.queries)
         self._windows_observed += 1
         self._window_rates.add(window.mean_rate_qps)
+        self._size_rollup.fold([float(q.size) for q in window.queries])
 
     def restore(self, windows: List[Window]) -> None:
         """Adopt a journalled window sequence (crash recovery, in order)."""
@@ -389,6 +416,7 @@ class DigitalTwin:
                 state.spec.policy,
                 self._sla_latency_s,
                 self._load_generator,
+                latency_stats=self._latency_stats,
                 **self._search_fidelity,
             )
             for state in self._fleets

@@ -757,6 +757,7 @@ def find_max_qps(
     warm_start_cache: Union["CapacityCache", str, Path, None] = None,
     pool: Optional[Any] = None,
     bracket_hints: bool = False,
+    accept_early: bool = False,
 ) -> CapacityResult:
     """Bisection search for the maximum QPS meeting the p95 SLA.
 
@@ -777,6 +778,9 @@ def find_max_qps(
     fewer evaluations, same capacity within the cold search's bracket
     tolerance, *not* bit-identical (see
     :meth:`repro.runtime.capacity.CapacitySearch.run`).
+    ``accept_early=True`` additionally arms the certain-acceptance exit on
+    probe evaluations — same answer, bit-identical reported result, less
+    simulated work per accepted probe.
     """
     from repro.runtime.capacity import CapacitySearch
 
@@ -789,6 +793,7 @@ def find_max_qps(
         iterations=iterations,
         headroom=headroom,
         max_queries=max_queries,
+        accept_early=accept_early,
     ).run(
         jobs=jobs,
         warm_start_cache=warm_start_cache,

@@ -37,7 +37,7 @@ import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -63,12 +63,16 @@ from repro.serving.capacity import (
 )
 from repro.serving.simulator import (
     EVT_CPU_DONE,
+    CertainAcceptance,
     CertainRejection,
     SLACriteriaMixin,
     ServerKernel,
     ServingConfig,
     _INFINITY,
     _arrival_key,
+    _check_latency_stats,
+    _sketch_recorder,
+    certain_acceptance_threshold,
     certain_rejection_threshold,
     late_window_p95,
     pause_gc,
@@ -592,6 +596,66 @@ def _healthy_least_loaded(
     return best_index
 
 
+def _discard_latency(latency: float) -> None:
+    """No-op recorder swapped in once a CertainAcceptance certificate fires.
+
+    The streamed loop cannot jump into a separate drain function (the
+    iterator's consumption checks still need to run), so it keeps the same
+    loop and just stops retaining latencies.
+    """
+
+
+def _drain_cluster_events(
+    events: List[tuple],
+    ordered: Sequence[Query],
+    cursor: int,
+    next_arrival: float,
+    kernels: Sequence[ServerKernel],
+    choose: Any,
+    policy: str,
+    last_completion: float,
+) -> float:
+    """Run the cluster event loop to exhaustion without recording latencies.
+
+    The fleet counterpart of the single-server drain: once a
+    :class:`~repro.serving.simulator.CertainAcceptance` certificate fires,
+    the remaining completions cannot change the verdict, but the drain time
+    is part of the stability check, so the mechanics — balancer routing
+    included, since it observes live outstanding-work counters — still run
+    with per-query measurement skipped.  Returns the exact last completion.
+    """
+    heappop = heapq.heappop
+    num_kernels = len(kernels)
+    num_arrivals = len(ordered)
+    while True:
+        if events:
+            head = events[0]
+            now = head[0]
+            if now <= next_arrival:
+                _, kind, _, server_index, query_id = heappop(events)
+                if kind == EVT_CPU_DONE:
+                    if kernels[server_index].on_cpu_done(query_id, now) is None:
+                        continue
+                else:  # EVT_GPU_DONE
+                    kernels[server_index].on_gpu_done(query_id, now)
+                if now > last_completion:
+                    last_completion = now
+                continue
+        if cursor >= num_arrivals:
+            return last_completion
+        query = ordered[cursor]
+        cursor += 1
+        next_arrival = (
+            ordered[cursor].arrival_time if cursor < num_arrivals else _INFINITY
+        )
+        chosen = choose(query, kernels)
+        if not 0 <= chosen < num_kernels:
+            raise ValueError(
+                f"balancer {policy!r} chose server {chosen} of {num_kernels}"
+            )
+        kernels[chosen].submit(query, query.arrival_time)
+
+
 class ClusterSimulator:
     """Event-driven simulator for a fleet of inference servers.
 
@@ -611,6 +675,7 @@ class ClusterSimulator:
         collect_per_server_latencies: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        latency_stats: str = "exact",
     ) -> None:
         if not servers:
             raise ValueError("a cluster needs at least one server")
@@ -641,6 +706,23 @@ class ClusterSimulator:
             fault_plan = None
         self._fault_plan = fault_plan
         self._retry_policy = retry_policy or RetryPolicy()
+        self._latency_stats = _check_latency_stats(latency_stats)
+        if self._latency_stats == "sketch":
+            # Sketch mode trades retained samples for fixed space; both of
+            # these consumers exist to *retain* per-sample data, so the
+            # combination is a contradiction, rejected up front.
+            if collect_per_server_latencies:
+                raise ValueError(
+                    "latency_stats='sketch' does not retain samples; "
+                    "collect_per_server_latencies requires the exact mode"
+                )
+            if self._fault_plan is not None:
+                raise ValueError(
+                    "latency_stats='sketch' is not supported with a fault "
+                    "plan: faulted runs are figure-sized and their SLA "
+                    "verdict folds failed queries back into the retained "
+                    "samples (ClusterSimulationResult.meets_sla)"
+                )
 
     @property
     def servers(self) -> List[ClusterServer]:
@@ -658,6 +740,11 @@ class ClusterSimulator:
         return self._balancer.name or type(self._balancer).__name__
 
     @property
+    def latency_stats(self) -> str:
+        """``"exact"`` (default, retains samples) or ``"sketch"`` (fixed space)."""
+        return self._latency_stats
+
+    @property
     def fault_plan(self) -> Optional[FaultPlan]:
         """The injected fault plan, or ``None`` (empty plans normalise to None)."""
         return self._fault_plan
@@ -673,7 +760,8 @@ class ClusterSimulator:
         self,
         queries: Sequence[Query],
         reject_above_sla_s: Optional[float] = None,
-    ) -> Union[ClusterSimulationResult, CertainRejection]:
+        accept_within_sla_s: Optional[float] = None,
+    ) -> Union[ClusterSimulationResult, CertainRejection, CertainAcceptance]:
         """Serve ``queries`` across the fleet and return fleet measurements.
 
         ``reject_above_sla_s`` arms the exact early-rejection exit shared
@@ -682,6 +770,18 @@ class ClusterSimulator:
         the full run's p95 provably exceeds the target, and always completes
         (bit-identically) otherwise.  Capacity searches use it to cut short
         overloaded probe evaluations whose results are discarded anyway.
+
+        ``accept_within_sla_s`` arms the dual early-acceptance exit: once
+        neither the full run's p95 nor its late-window p95 can end up over
+        the target, recording stops, the event loop drains (balancer
+        included), and a
+        :class:`~repro.serving.simulator.CertainAcceptance` carrying the
+        exact measured drain time is returned instead of full statistics.
+        Fault-injected runs ignore it: queries lost to faults shrink the
+        measured population after the fact, so a certificate computed from
+        the zero-failure total would not be sound there — and the
+        fault-aware SLA verdict additionally folds failures back in as
+        misses, which no completion-count certificate can anticipate.
 
         With a non-empty :class:`~repro.faults.FaultPlan`, the run is
         delegated to the fault-injected loop: servers crash (losing in-flight
@@ -704,9 +804,21 @@ class ClusterSimulator:
         )
         warmup_count = int(len(ordered) * warmup_fraction)
         warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+        measured_total = len(ordered) - warmup_count
         reject_sla = reject_above_sla_s if reject_above_sla_s is not None else _INFINITY
-        reject_needed = certain_rejection_threshold(len(ordered) - warmup_count)
+        reject_needed = certain_rejection_threshold(measured_total)
         over_sla = 0
+
+        # Certain-acceptance bookkeeping (see ServingSimulator.run): the
+        # late-window boundary is known up front in a no-fault run, so both
+        # the whole-run and late-window certificates can be tracked.
+        accept_armed = accept_within_sla_s is not None
+        accept_sla = accept_within_sla_s if accept_armed else _INFINITY
+        late_start = measured_total // 2
+        accept_allowed = certain_acceptance_threshold(measured_total)
+        accept_allowed_late = certain_acceptance_threshold(measured_total - late_start)
+        accept_over = 0
+        accept_over_late = 0
 
         # Arrivals are consumed straight from the sorted list with a cursor
         # (the balancer assigns their server at that point); only completions
@@ -732,7 +844,14 @@ class ClusterSimulator:
         heappop = heapq.heappop
         choose = self._balancer.choose
         measured_latencies: List[float] = []
-        record = measured_latencies.append
+        sketch_mode = self._latency_stats == "sketch"
+        if sketch_mode:
+            tracker = PercentileTracker(mode="sketch")
+            late_tracker = PercentileTracker(mode="sketch")
+            record, flush_chunks = _sketch_recorder(tracker, late_tracker, late_start)
+        else:
+            record = measured_latencies.append
+        measured_count = 0
         per_server_latencies: Optional[List[List[float]]] = (
             [[] for _ in kernels] if self._collect_per_server else None
         )
@@ -758,6 +877,7 @@ class ClusterSimulator:
                         if completed.query_id not in warmup_ids:
                             latency = now - completed.arrival_time
                             record(latency)
+                            measured_count += 1
                             if per_server_latencies is not None:
                                 per_server_latencies[server_index].append(latency)
                             if latency > reject_sla:
@@ -765,8 +885,43 @@ class ClusterSimulator:
                                 if over_sla >= reject_needed:
                                     return CertainRejection(
                                         sla_latency_s=reject_sla,
-                                        measured_queries=len(measured_latencies),
+                                        measured_queries=measured_count,
                                         over_sla_queries=over_sla,
+                                    )
+                            if accept_armed:
+                                if latency > accept_sla:
+                                    accept_over += 1
+                                    if measured_count > late_start:
+                                        accept_over_late += 1
+                                remaining = measured_total - measured_count
+                                if (
+                                    accept_over + remaining <= accept_allowed
+                                    and accept_over_late + remaining
+                                    <= accept_allowed_late
+                                ):
+                                    last_completion = _drain_cluster_events(
+                                        events,
+                                        ordered,
+                                        cursor,
+                                        next_arrival,
+                                        kernels,
+                                        choose,
+                                        self.policy,
+                                        last_completion,
+                                    )
+                                    return CertainAcceptance(
+                                        sla_latency_s=accept_sla,
+                                        measured_queries=measured_count,
+                                        over_sla_queries=accept_over,
+                                        drain_s=max(
+                                            0.0,
+                                            last_completion
+                                            - ordered[-1].arrival_time,
+                                        ),
+                                        arrival_span_s=max(
+                                            ordered[-1].arrival_time - first_arrival,
+                                            1e-9,
+                                        ),
                                     )
                         continue
                 if cursor >= num_arrivals:
@@ -784,8 +939,12 @@ class ClusterSimulator:
                     )
                 kernels[chosen].submit(query, query.arrival_time)
 
-        tracker = PercentileTracker()
-        tracker.extend(measured_latencies)
+        if sketch_mode:
+            flush_chunks()
+            samples: List[float] = []
+        else:
+            tracker = PercentileTracker()
+            tracker.extend(measured_latencies)
 
         duration = max(last_completion - first_arrival, 1e-9)
         offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
@@ -795,7 +954,13 @@ class ClusterSimulator:
                 "no queries outside the warmup window; lower warmup_fraction or "
                 "send more queries"
             )
-        samples = tracker.samples()
+        if sketch_mode:
+            p95_late = (
+                late_tracker.percentile(95) if late_tracker.raw_count else 0.0
+            )
+        else:
+            samples = tracker.samples()
+            p95_late = late_window_p95(samples)
 
         total_queries = len(ordered)
         per_server: List[ServerLoadSummary] = []
@@ -836,8 +1001,266 @@ class ClusterSimulator:
             offered_qps=total_queries / offered_duration,
             fleet_cpu_utilization=min(1.0, total_core_busy / (total_cores * duration)),
             per_server=per_server,
-            p95_late_window_s=late_window_p95(samples),
+            p95_late_window_s=p95_late,
             drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
+            arrival_span_s=offered_duration,
+            latencies_s=samples,
+            per_server_latencies=per_server_latencies,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run_stream(
+        self,
+        queries: Iterable[Query],
+        num_queries: int,
+        reject_above_sla_s: Optional[float] = None,
+        accept_within_sla_s: Optional[float] = None,
+    ) -> Union[ClusterSimulationResult, CertainRejection, CertainAcceptance]:
+        """Serve a streamed query iterable without materialising the trace.
+
+        The constant-memory companion to :meth:`run` for million-query
+        traces: ``queries`` is consumed one arrival ahead of the event
+        clock, so at any instant the simulator holds only the in-flight
+        queries — pair it with the chunked synthesis iterators
+        (:func:`repro.queries.trace.iter_diurnal_trace`) and
+        ``latency_stats="sketch"`` and peak memory is O(1) in the trace
+        length.  In exchange the stream must satisfy what :meth:`run`
+        normalises for itself:
+
+        * arrivals come **pre-sorted** by arrival time (the generator
+          paths already emit them sorted);
+        * ``query_id`` equals the arrival index (0, 1, 2, ...), which is
+          how the generators number queries — the warmup window is the
+          first ``num_queries * warmup_fraction`` arrivals, tested by id;
+        * ``num_queries`` states the stream's exact length up front (the
+          warmup count and the early-exit certificates need the total
+          before the stream ends); a mismatch raises at the end.
+
+        Fault plans are not supported — faulted runs retain samples for
+        their SLA verdict and are figure-sized; use :meth:`run`.
+        ``reject_above_sla_s`` / ``accept_within_sla_s`` arm the same exact
+        early exits as :meth:`run`.
+        """
+        if self._fault_plan is not None:
+            raise ValueError(
+                "run_stream does not support fault injection; use run()"
+            )
+        check_positive("num_queries", num_queries)
+        iterator = iter(queries)
+        pending = next(iterator, None)
+        if pending is None:
+            raise ValueError("cannot simulate an empty query stream")
+
+        warmup_fraction = (
+            self._warmup_fraction
+            if self._warmup_fraction is not None
+            else self._servers[0].config.warmup_fraction
+        )
+        warmup_count = int(num_queries * warmup_fraction)
+        measured_total = num_queries - warmup_count
+        reject_sla = reject_above_sla_s if reject_above_sla_s is not None else _INFINITY
+        reject_needed = certain_rejection_threshold(measured_total)
+        over_sla = 0
+
+        accept_armed = accept_within_sla_s is not None
+        accept_sla = accept_within_sla_s if accept_armed else _INFINITY
+        late_start = measured_total // 2
+        accept_allowed = certain_acceptance_threshold(measured_total)
+        accept_allowed_late = certain_acceptance_threshold(measured_total - late_start)
+        accept_over = 0
+        accept_over_late = 0
+
+        counter = itertools.count()
+        events: List[tuple] = []
+        kernels = [
+            ServerKernel(server.engines, server.config, cores, events, counter, index)
+            for index, (server, cores) in enumerate(zip(self._servers, self._cores))
+        ]
+        self._balancer.prepare(self._servers)
+        self._balancer.reset(len(kernels))
+
+        first_arrival = pending.arrival_time
+        last_arrival = first_arrival
+        last_completion = first_arrival
+
+        heappop = heapq.heappop
+        choose = self._balancer.choose
+        measured_latencies: List[float] = []
+        sketch_mode = self._latency_stats == "sketch"
+        if sketch_mode:
+            tracker = PercentileTracker(mode="sketch")
+            late_tracker = PercentileTracker(mode="sketch")
+            record, flush_chunks = _sketch_recorder(tracker, late_tracker, late_start)
+        else:
+            record = measured_latencies.append
+        measured_count = 0
+        per_server_latencies: Optional[List[List[float]]] = (
+            [[] for _ in kernels] if self._collect_per_server else None
+        )
+        num_kernels = len(kernels)
+        consumed = 0
+        next_arrival = first_arrival
+        accepted: Optional[CertainAcceptance] = None
+        with pause_gc():
+            while True:
+                if events:
+                    head = events[0]
+                    now = head[0]
+                    if now <= next_arrival:
+                        _, kind, _, server_index, query_id = heappop(events)
+                        if kind == EVT_CPU_DONE:
+                            completed = kernels[server_index].on_cpu_done(query_id, now)
+                            if completed is None:
+                                continue
+                        else:  # EVT_GPU_DONE
+                            completed = kernels[server_index].on_gpu_done(query_id, now)
+                        if now > last_completion:
+                            last_completion = now
+                        if completed.query_id >= warmup_count:
+                            latency = now - completed.arrival_time
+                            record(latency)
+                            measured_count += 1
+                            if per_server_latencies is not None:
+                                per_server_latencies[server_index].append(latency)
+                            if latency > reject_sla:
+                                over_sla += 1
+                                if over_sla >= reject_needed:
+                                    return CertainRejection(
+                                        sla_latency_s=reject_sla,
+                                        measured_queries=measured_count,
+                                        over_sla_queries=over_sla,
+                                    )
+                            if accept_armed:
+                                if latency > accept_sla:
+                                    accept_over += 1
+                                    if measured_count > late_start:
+                                        accept_over_late += 1
+                                remaining = measured_total - measured_count
+                                if (
+                                    accept_over + remaining <= accept_allowed
+                                    and accept_over_late + remaining
+                                    <= accept_allowed_late
+                                ):
+                                    # Certificate fired: stop recording, but
+                                    # keep consuming and completing so the
+                                    # drain time (and the stream-length
+                                    # check) stays exact.
+                                    accept_armed = False
+                                    reject_sla = _INFINITY
+                                    record = _discard_latency
+                                    accepted = CertainAcceptance(
+                                        sla_latency_s=accept_sla,
+                                        measured_queries=measured_count,
+                                        over_sla_queries=accept_over,
+                                        drain_s=0.0,
+                                        arrival_span_s=0.0,
+                                    )
+                        continue
+                if pending is None:
+                    break
+                query = pending
+                if query.query_id != consumed:
+                    raise ValueError(
+                        "run_stream requires query_id to equal the arrival "
+                        f"index: got id {query.query_id} at position {consumed}"
+                    )
+                if query.arrival_time < last_arrival:
+                    raise ValueError(
+                        "run_stream requires arrivals pre-sorted by time: "
+                        f"query {query.query_id} arrives at "
+                        f"{query.arrival_time} after {last_arrival}"
+                    )
+                last_arrival = query.arrival_time
+                consumed += 1
+                pending = next(iterator, None)
+                next_arrival = (
+                    pending.arrival_time if pending is not None else _INFINITY
+                )
+                chosen = choose(query, kernels)
+                if not 0 <= chosen < num_kernels:
+                    raise ValueError(
+                        f"balancer {self.policy!r} chose server {chosen} of "
+                        f"{num_kernels}"
+                    )
+                kernels[chosen].submit(query, query.arrival_time)
+
+        if consumed != num_queries:
+            raise ValueError(
+                f"num_queries={num_queries} but the stream yielded {consumed}"
+            )
+        offered_duration = max(last_arrival - first_arrival, 1e-9)
+        if accepted is not None:
+            return CertainAcceptance(
+                sla_latency_s=accepted.sla_latency_s,
+                measured_queries=accepted.measured_queries,
+                over_sla_queries=accepted.over_sla_queries,
+                drain_s=max(0.0, last_completion - last_arrival),
+                arrival_span_s=offered_duration,
+            )
+
+        if sketch_mode:
+            flush_chunks()
+            samples: List[float] = []
+        else:
+            tracker = PercentileTracker()
+            tracker.extend(measured_latencies)
+
+        duration = max(last_completion - first_arrival, 1e-9)
+        measured = tracker.count
+        if measured == 0:
+            raise ValueError(
+                "no queries outside the warmup window; lower warmup_fraction or "
+                "send more queries"
+            )
+        if sketch_mode:
+            p95_late = (
+                late_tracker.percentile(95) if late_tracker.raw_count else 0.0
+            )
+        else:
+            samples = tracker.samples()
+            p95_late = late_window_p95(samples)
+
+        per_server: List[ServerLoadSummary] = []
+        total_core_busy = 0.0
+        total_cores = 0
+        for server, kernel in zip(self._servers, kernels):
+            total_core_busy += kernel.cpu_busy_time
+            total_cores += kernel.num_cores
+            per_server.append(
+                ServerLoadSummary(
+                    name=server.name,
+                    num_queries=kernel.num_submitted,
+                    num_items=kernel.total_items,
+                    cpu_utilization=min(
+                        1.0, kernel.cpu_busy_time / (kernel.num_cores * duration)
+                    ),
+                    gpu_utilization=min(1.0, kernel.gpu_busy_time / duration),
+                    gpu_work_fraction=(
+                        kernel.gpu_items / kernel.total_items
+                        if kernel.total_items
+                        else 0.0
+                    ),
+                    query_share=kernel.num_submitted / num_queries,
+                )
+            )
+
+        return ClusterSimulationResult(
+            policy=self.policy,
+            num_servers=num_kernels,
+            num_queries=num_queries,
+            measured_queries=measured,
+            duration_s=duration,
+            p50_latency_s=tracker.p50(),
+            p95_latency_s=tracker.p95(),
+            p99_latency_s=tracker.p99(),
+            mean_latency_s=tracker.mean(),
+            achieved_qps=num_queries / duration,
+            offered_qps=num_queries / offered_duration,
+            fleet_cpu_utilization=min(1.0, total_core_busy / (total_cores * duration)),
+            per_server=per_server,
+            p95_late_window_s=p95_late,
+            drain_s=max(0.0, last_completion - last_arrival),
             arrival_span_s=offered_duration,
             latencies_s=samples,
             per_server_latencies=per_server_latencies,
@@ -1245,6 +1668,7 @@ def find_cluster_max_qps(
     bracket_hints: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    accept_early: bool = False,
 ) -> CapacityResult:
     """Bisection search for the fleet's maximum QPS under the p95 SLA.
 
@@ -1278,6 +1702,10 @@ def find_cluster_max_qps(
     so the measured capacity is the fleet's capacity *under* those faults;
     the plan is folded into the warm-start signature, so faulted and
     fault-free searches never share cache entries.
+
+    ``accept_early=True`` arms the certain-acceptance exit on probe
+    evaluations — same answer, bit-identical reported result, less
+    simulated work per accepted probe (ignored under a fault plan).
     """
     check_positive("num_queries", num_queries)
     from repro.runtime.capacity import CapacitySearch
@@ -1295,6 +1723,7 @@ def find_cluster_max_qps(
         balancer_seed=balancer_seed,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        accept_early=accept_early,
     ).run(
         jobs=jobs,
         warm_start_cache=warm_start_cache,

@@ -187,6 +187,46 @@ class CertainRejection:
         return False
 
 
+@dataclass(frozen=True)
+class CertainAcceptance:
+    """Early-exit outcome of a run whose SLA acceptance became certain mid-run.
+
+    The dual of :class:`CertainRejection`: returned when a simulation is
+    given an ``accept_within_sla_s`` target and so few measured latencies
+    exceed it — with so few left to measure — that the complete run's p95
+    (and the late-window p95 the stability check uses) provably stay within
+    the target no matter how the remaining queries fare
+    (:func:`certain_acceptance_threshold`).  The event loop still drains to
+    the last completion without recording, so ``drain_s`` is the exact
+    drain time and the stability verdict matches the full run's; only the
+    aggregate statistics were never computed, so this object carries the
+    evidence, not a p95.  Like the rejection stub, the verdict is relative
+    to the armed target: capacity searches use it for accepted probe
+    evaluations whose result objects are discarded, and re-run the one
+    evaluation whose full statistics they report.
+    """
+
+    sla_latency_s: float
+    measured_queries: int
+    over_sla_queries: int
+    drain_s: float
+    arrival_span_s: float
+
+    def meets_sla(self, sla_latency_s: float) -> bool:
+        """True: the full run's p95 provably stays within the armed target."""
+        return True
+
+    def is_stable(self, sla_latency_s: float) -> bool:
+        """Exact: the late-window p95 was certified when the exit fired, and
+        the drain time was measured by draining the event loop."""
+        drain_budget = max(2.0 * sla_latency_s, 0.25 * self.arrival_span_s)
+        return self.drain_s <= drain_budget
+
+    def acceptable(self, sla_latency_s: float) -> bool:
+        """Exactly the completed run's ``acceptable`` for the armed target."""
+        return self.meets_sla(sla_latency_s) and self.is_stable(sla_latency_s)
+
+
 def certain_rejection_threshold(measured_total: int) -> int:
     """Over-SLA measurements after which p95 > SLA holds for the full run.
 
@@ -206,6 +246,27 @@ def certain_rejection_threshold(measured_total: int) -> int:
     return measured_total - math.floor((measured_total - 1) * 0.95)
 
 
+def certain_acceptance_threshold(measured_total: int) -> int:
+    """Max over-SLA measurements for which p95 <= SLA holds for the full run.
+
+    The dual of :func:`certain_rejection_threshold`.  With ``n`` measured
+    latencies, the linear-interpolation p95 sits between the sorted samples
+    at indices ``floor(f)`` and ``ceil(f)`` for ``f = 0.95 * (n - 1)``, so
+    it is at most ``x[ceil(f)]``.  If no more than ``n - 1 - ceil(f)``
+    samples exceed the target, then at least ``ceil(f) + 1`` samples are
+    within it, so ``x[ceil(f)]`` — and therefore the p95 — is within the
+    target regardless of *which* samples those are.  Mid-run the check is
+    applied pessimistically (every not-yet-measured latency is assumed to
+    exceed the target), which makes the early acceptance exact, not a
+    heuristic.  (The float product mirrors numpy's own virtual-index
+    arithmetic bit for bit.)  Returns -1 when no count certifies (nothing
+    measured means nothing to accept).
+    """
+    if measured_total <= 0:
+        return -1
+    return measured_total - 1 - math.ceil((measured_total - 1) * 0.95)
+
+
 # Event kinds, ordered so that completions at time t are processed before
 # arrivals at the same instant (frees cores first).
 EVT_CPU_DONE = 0
@@ -216,6 +277,22 @@ EVT_ARRIVAL = 2
 _arrival_key = operator.attrgetter("arrival_time")
 
 _INFINITY = float("inf")
+
+#: Measured latencies per bulk flush into a sketch-mode tracker: large
+#: enough that the per-flush numpy conversion amortises, small enough that
+#: the in-flight chunk never dominates peak memory.
+_SKETCH_CHUNK = 32768
+
+_LATENCY_STATS_MODES = ("exact", "sketch")
+
+
+def _check_latency_stats(latency_stats: str) -> str:
+    if latency_stats not in _LATENCY_STATS_MODES:
+        raise ValueError(
+            f"latency_stats must be one of {_LATENCY_STATS_MODES}, "
+            f"got {latency_stats!r}"
+        )
+    return latency_stats
 
 
 @contextmanager
@@ -606,13 +683,96 @@ def late_window_p95(samples: Sequence[float]) -> float:
     return float(np.percentile(late_window, 95)) if len(late_window) else 0.0
 
 
-class ServingSimulator:
-    """Event-driven simulator for one inference server."""
+def _sketch_recorder(tracker, late_tracker, late_start):
+    """Chunked ``record(latency)`` / ``flush()`` pair for sketch-mode runs.
 
-    def __init__(self, engines: EnginePair, config: ServingConfig) -> None:
+    Latencies buffer into a bounded chunk and flush in bulk (the tracker's
+    ndarray fast path).  A flush is forced exactly at the late-window
+    boundary, so no chunk ever straddles it: every chunk at or past
+    ``late_start`` measured samples feeds the late-window sketch too.
+    """
+    chunk: List[float] = []
+    chunk_append = chunk.append
+    state = [0]  # measured samples already flushed (chunk start index)
+
+    def flush() -> None:
+        if not chunk:
+            return
+        arr = np.asarray(chunk, dtype=np.float64)
+        tracker.extend(arr)
+        if state[0] >= late_start:
+            late_tracker.extend(arr)
+        state[0] += len(chunk)
+        chunk.clear()
+
+    def record(latency: float) -> None:
+        chunk_append(latency)
+        filled = state[0] + len(chunk)
+        if filled == late_start or len(chunk) >= _SKETCH_CHUNK:
+            flush()
+
+    return record, flush
+
+
+def _drain_events(events, ordered, cursor, next_arrival, kernel, last_completion):
+    """Run the event loop to exhaustion without recording latencies.
+
+    Used once a :class:`CertainAcceptance` certificate fires: the remaining
+    completions cannot change the verdict, but the drain time (last
+    completion after the last arrival) is part of the stability check, so
+    the mechanics still run — submissions, completions, clock — with all
+    per-query measurement skipped.  Returns the exact last completion time.
+    """
+    heappop = heapq.heappop
+    submit = kernel.submit
+    on_cpu_done = kernel.on_cpu_done
+    on_gpu_done = kernel.on_gpu_done
+    num_arrivals = len(ordered)
+    while True:
+        if events:
+            head = events[0]
+            now = head[0]
+            if now <= next_arrival:
+                _, kind, _, _, query_id = heappop(events)
+                if kind == EVT_CPU_DONE:
+                    if on_cpu_done(query_id, now) is None:
+                        continue
+                else:  # EVT_GPU_DONE
+                    on_gpu_done(query_id, now)
+                if now > last_completion:
+                    last_completion = now
+                continue
+        if cursor >= num_arrivals:
+            return last_completion
+        query = ordered[cursor]
+        cursor += 1
+        next_arrival = (
+            ordered[cursor].arrival_time if cursor < num_arrivals else _INFINITY
+        )
+        submit(query, query.arrival_time)
+
+
+class ServingSimulator:
+    """Event-driven simulator for one inference server.
+
+    ``latency_stats`` selects how measured latencies are aggregated:
+    ``"exact"`` (default) buffers every sample — bit-identical statistics,
+    memory linear in the trace; ``"sketch"`` streams samples into a
+    fixed-space :class:`~repro.utils.sketch.QuantileSketch` — percentiles
+    within the sketch's documented rank-error bound, peak memory O(1) in
+    the trace length, and ``latencies_s`` left empty on the result.
+    """
+
+    def __init__(
+        self,
+        engines: EnginePair,
+        config: ServingConfig,
+        latency_stats: str = "exact",
+    ) -> None:
         self._engines = engines
         self._num_cores = resolve_num_cores(engines, config)
         self._config = config
+        self._latency_stats = _check_latency_stats(latency_stats)
 
     @property
     def config(self) -> ServingConfig:
@@ -624,21 +784,38 @@ class ServingSimulator:
         """Number of CPU worker cores simulated."""
         return self._num_cores
 
+    @property
+    def latency_stats(self) -> str:
+        """Latency aggregation mode: ``"exact"`` or ``"sketch"``."""
+        return self._latency_stats
+
     # ------------------------------------------------------------------ #
 
     def run(
         self,
         queries: Sequence[Query],
         reject_above_sla_s: Optional[float] = None,
-    ) -> Union[SimulationResult, CertainRejection]:
+        accept_within_sla_s: Optional[float] = None,
+    ) -> Union[SimulationResult, CertainRejection, CertainAcceptance]:
         """Simulate serving ``queries`` and return aggregate measurements.
 
         ``reject_above_sla_s`` arms the exact early-rejection exit: the run
         stops and returns a :class:`CertainRejection` the moment enough
         measured latencies exceed the target that the completed run's p95
         would provably exceed it too (:func:`certain_rejection_threshold`).
-        Runs that meet the target always complete and return the ordinary
-        full result, so accepted measurements are unchanged bit for bit.
+        With only rejection armed, runs that meet the target always complete
+        and return the ordinary full result, so accepted measurements are
+        unchanged bit for bit.
+
+        ``accept_within_sla_s`` arms the dual early-acceptance exit: once so
+        few measured latencies exceed the target that neither the full run's
+        p95 nor its late-window p95 can end up over it
+        (:func:`certain_acceptance_threshold`), latency recording stops, the
+        event loop drains to the exact last completion, and a
+        :class:`CertainAcceptance` carrying the measured drain time is
+        returned instead of full statistics.  Callers that report a run's
+        statistics must leave this unarmed (or re-run) — capacity searches
+        arm it only for probe evaluations whose result objects are discarded.
         """
         if not queries:
             raise ValueError("cannot simulate an empty query stream")
@@ -647,9 +824,21 @@ class ServingSimulator:
         ordered = sorted(queries, key=_arrival_key)
         warmup_count = int(len(ordered) * config.warmup_fraction)
         warmup_ids = {q.query_id for q in ordered[:warmup_count]}
+        measured_total = len(ordered) - warmup_count
         reject_sla = reject_above_sla_s if reject_above_sla_s is not None else _INFINITY
-        reject_needed = certain_rejection_threshold(len(ordered) - warmup_count)
+        reject_needed = certain_rejection_threshold(measured_total)
         over_sla = 0
+
+        # Certain-acceptance bookkeeping: the late-window boundary is known
+        # up front (every measured query completes in a no-fault run), so
+        # both the whole-run and late-window certificates can be tracked.
+        accept_armed = accept_within_sla_s is not None
+        accept_sla = accept_within_sla_s if accept_armed else _INFINITY
+        late_start = measured_total // 2
+        accept_allowed = certain_acceptance_threshold(measured_total)
+        accept_allowed_late = certain_acceptance_threshold(measured_total - late_start)
+        accept_over = 0
+        accept_over_late = 0
 
         # Arrivals are consumed straight from the sorted list with a cursor;
         # only completions go through the event heap.  A completion at time t
@@ -663,14 +852,23 @@ class ServingSimulator:
         first_arrival = ordered[0].arrival_time
         last_completion = first_arrival
 
-        # Hot loop: bind everything to locals.  Measured latencies collect
-        # into a plain list and feed the tracker in one vectorized pass.
+        # Hot loop: bind everything to locals.  In exact mode measured
+        # latencies collect into a plain list and feed the tracker in one
+        # vectorized pass; in sketch mode they flush chunk-wise into
+        # fixed-space sketches so peak memory stays O(1) in the trace.
         heappop = heapq.heappop
         submit = kernel.submit
         on_cpu_done = kernel.on_cpu_done
         on_gpu_done = kernel.on_gpu_done
         measured_latencies: List[float] = []
-        record = measured_latencies.append
+        sketch_mode = self._latency_stats == "sketch"
+        if sketch_mode:
+            tracker = PercentileTracker(mode="sketch")
+            late_tracker = PercentileTracker(mode="sketch")
+            record, flush_chunks = _sketch_recorder(tracker, late_tracker, late_start)
+        else:
+            record = measured_latencies.append
+        measured_count = 0
         num_arrivals = len(ordered)
         cursor = 0
         next_arrival = first_arrival
@@ -692,13 +890,47 @@ class ServingSimulator:
                         if completed.query_id not in warmup_ids:
                             latency = now - completed.arrival_time
                             record(latency)
+                            measured_count += 1
                             if latency > reject_sla:
                                 over_sla += 1
                                 if over_sla >= reject_needed:
                                     return CertainRejection(
                                         sla_latency_s=reject_sla,
-                                        measured_queries=len(measured_latencies),
+                                        measured_queries=measured_count,
                                         over_sla_queries=over_sla,
+                                    )
+                            if accept_armed:
+                                if latency > accept_sla:
+                                    accept_over += 1
+                                    if measured_count > late_start:
+                                        accept_over_late += 1
+                                remaining = measured_total - measured_count
+                                if (
+                                    accept_over + remaining <= accept_allowed
+                                    and accept_over_late + remaining
+                                    <= accept_allowed_late
+                                ):
+                                    last_completion = _drain_events(
+                                        events,
+                                        ordered,
+                                        cursor,
+                                        next_arrival,
+                                        kernel,
+                                        last_completion,
+                                    )
+                                    return CertainAcceptance(
+                                        sla_latency_s=accept_sla,
+                                        measured_queries=measured_count,
+                                        over_sla_queries=accept_over,
+                                        drain_s=max(
+                                            0.0,
+                                            last_completion
+                                            - ordered[-1].arrival_time,
+                                        ),
+                                        arrival_span_s=max(
+                                            ordered[-1].arrival_time - first_arrival,
+                                            1e-9,
+                                        ),
                                     )
                         continue
                 if cursor >= num_arrivals:
@@ -710,8 +942,12 @@ class ServingSimulator:
                 )
                 submit(query, query.arrival_time)
 
-        tracker = PercentileTracker()
-        tracker.extend(measured_latencies)
+        if sketch_mode:
+            flush_chunks()
+            samples: List[float] = []
+        else:
+            tracker = PercentileTracker()
+            tracker.extend(measured_latencies)
 
         duration = max(last_completion - first_arrival, 1e-9)
         offered_duration = max(ordered[-1].arrival_time - first_arrival, 1e-9)
@@ -721,7 +957,13 @@ class ServingSimulator:
                 "no queries outside the warmup window; lower warmup_fraction or "
                 "send more queries"
             )
-        samples = tracker.samples()
+        if sketch_mode:
+            p95_late = (
+                late_tracker.percentile(95) if late_tracker.raw_count else 0.0
+            )
+        else:
+            samples = tracker.samples()
+            p95_late = late_window_p95(samples)
         return SimulationResult(
             config=config,
             num_queries=len(ordered),
@@ -738,7 +980,7 @@ class ServingSimulator:
             gpu_work_fraction=(
                 (kernel.gpu_items / kernel.total_items) if kernel.total_items else 0.0
             ),
-            p95_late_window_s=late_window_p95(samples),
+            p95_late_window_s=p95_late,
             drain_s=max(0.0, last_completion - ordered[-1].arrival_time),
             arrival_span_s=offered_duration,
             latencies_s=samples,

@@ -1,6 +1,7 @@
 """Shared utilities: statistics, RNG management, unit helpers, text tables."""
 
 from repro.utils.rng import RngFactory, derive_rng
+from repro.utils.sketch import DEFAULT_K, RANK_ERROR_BOUND, QuantileSketch
 from repro.utils.stats import (
     PercentileTracker,
     StreamingStats,
@@ -30,6 +31,9 @@ from repro.utils.validation import (
 __all__ = [
     "RngFactory",
     "derive_rng",
+    "DEFAULT_K",
+    "RANK_ERROR_BOUND",
+    "QuantileSketch",
     "PercentileTracker",
     "StreamingStats",
     "cdf_points",

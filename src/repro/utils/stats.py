@@ -2,17 +2,23 @@
 
 The serving simulator measures p95/p99 tail latency over tens of thousands of
 queries; ``PercentileTracker`` keeps the raw samples (latencies are small
-floats, so this is cheap) and computes arbitrary percentiles on demand.
-``StreamingStats`` keeps constant-space running moments for counters that do
-not need percentiles (e.g. per-core busy time).
+floats, so this is cheap) and computes arbitrary percentiles on demand.  For
+million-query traces, where exact buffering becomes the peak-RSS driver, the
+opt-in ``PercentileTracker(mode="sketch")`` delegates to the fixed-space
+:class:`repro.utils.sketch.QuantileSketch` instead — same recording API,
+approximate percentiles within the sketch's documented rank-error bound,
+no retained samples.  ``StreamingStats`` keeps constant-space running
+moments for counters that do not need percentiles (e.g. per-core busy time).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.utils.sketch import QuantileSketch
 
 
 def percentile(samples: "Union[Sequence[float], np.ndarray]", pct: float) -> float:
@@ -79,28 +85,47 @@ def max_relative_cdf_gap(
 class PercentileTracker:
     """Collects latency samples and reports percentiles.
 
-    Samples accumulate into a growable ``numpy`` buffer (no per-sample Python
-    list work in the simulators' hot loop), and percentile queries share one
-    sorted copy computed on first use after the run — repeated p50/p95/p99
-    calls do not re-sort.  Values reported are identical to the previous
-    list-based implementation.
+    In the default ``mode="exact"``, samples accumulate into a growable
+    ``numpy`` buffer (no per-sample Python list work in the simulators' hot
+    loop), and percentile queries share one sorted copy computed on first
+    use after the run — repeated p50/p95/p99 calls do not re-sort.  Values
+    reported are identical to the previous list-based implementation.
+
+    In ``mode="sketch"``, samples stream into a fixed-space
+    :class:`repro.utils.sketch.QuantileSketch`: memory stays O(1) in the
+    stream length, percentiles are approximate within the sketch's
+    documented rank-error bound, count/mean stay exact, and
+    :meth:`samples` raises (nothing is retained).
 
     Parameters
     ----------
     warmup:
         Number of initial samples to discard before statistics are computed.
         The serving simulator uses this to exclude the queue ramp-up transient.
+    mode:
+        ``"exact"`` (default) buffers every sample; ``"sketch"`` streams
+        into a fixed-space quantile sketch.
     """
 
-    __slots__ = ("_warmup", "_buffer", "_count", "_sorted")
+    __slots__ = ("_warmup", "_buffer", "_count", "_sorted", "_sketch")
 
-    def __init__(self, warmup: int = 0) -> None:
+    def __init__(self, warmup: int = 0, mode: str = "exact") -> None:
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if mode not in ("exact", "sketch"):
+            raise ValueError(f"mode must be 'exact' or 'sketch', got {mode!r}")
         self._warmup = warmup
         self._buffer = np.empty(256, dtype=np.float64)
         self._count = 0
         self._sorted: "np.ndarray | None" = None
+        self._sketch: Optional[QuantileSketch] = (
+            QuantileSketch() if mode == "sketch" else None
+        )
+
+    @property
+    def mode(self) -> str:
+        """``"exact"`` or ``"sketch"``."""
+        return "exact" if self._sketch is None else "sketch"
 
     def _reserve(self, extra: int) -> None:
         needed = self._count + extra
@@ -122,6 +147,8 @@ class PercentileTracker:
         """
         self._count = 0
         self._sorted = None
+        if self._sketch is not None:
+            self._sketch = QuantileSketch()
 
     def add(self, value: float) -> None:
         """Record one sample.
@@ -132,6 +159,11 @@ class PercentileTracker:
         ``tests/test_utils_stats.py::TestTrackerSortCacheInvalidation``.
         """
         count = self._count
+        if self._sketch is not None:
+            self._count = count + 1
+            if count >= self._warmup:
+                self._sketch.add(value)
+            return
         buffer = self._buffer
         if count == buffer.shape[0]:
             self._reserve(1)
@@ -140,13 +172,51 @@ class PercentileTracker:
         self._count = count + 1
         self._sorted = None
 
-    def extend(self, values: Iterable[float]) -> None:
-        """Record many samples (invalidates the cached sort, like :meth:`add`)."""
-        arr = np.fromiter(values, dtype=np.float64)
+    def extend(self, values: "Union[Iterable[float], np.ndarray]") -> None:
+        """Record many samples (invalidates the cached sort, like :meth:`add`).
+
+        An ``ndarray`` argument takes a bulk fast path — one capacity
+        reservation and one slice copy, no per-element iteration — which is
+        what the chunked simulator paths feed; lists and other iterables
+        convert first.  Recorded values are identical either way.
+        """
+        if isinstance(values, np.ndarray):
+            arr = values.astype(np.float64, copy=False)
+        elif isinstance(values, (list, tuple)):
+            arr = np.asarray(values, dtype=np.float64)
+        else:
+            arr = np.fromiter(values, dtype=np.float64)
+        if self._sketch is not None:
+            skip = max(0, self._warmup - self._count)
+            self._count += int(arr.shape[0])
+            if skip < arr.shape[0]:
+                self._sketch.extend(arr[skip:])
+            return
         self._reserve(arr.shape[0])
         self._buffer[self._count : self._count + arr.shape[0]] = arr
         self._count += arr.shape[0]
         self._sorted = None
+
+    def merge(self, other: "PercentileTracker") -> None:
+        """Fold ``other``'s post-warmup samples into this tracker.
+
+        Both trackers must be warmup-free (aggregation trackers are) and
+        share a mode.  In exact mode the samples concatenate; in sketch
+        mode the underlying sketches merge in fixed space — the whole point
+        of sketch-mode window aggregation.
+        """
+        if self._warmup or other._warmup:
+            raise ValueError("merge supports warmup-free trackers only")
+        if other.mode != self.mode:
+            raise ValueError(
+                f"cannot merge a {other.mode!r}-mode tracker into {self.mode!r}"
+            )
+        if self._sketch is not None:
+            assert other._sketch is not None  # same mode, checked above
+            self._sketch.merge(other._sketch)
+            self._count += other._count
+            return
+        self.extend(other._post_warmup())
 
     @property
     def count(self) -> int:
@@ -167,11 +237,31 @@ class PercentileTracker:
         return self._sorted
 
     def samples(self) -> List[float]:
-        """Return post-warmup samples (a copy, in insertion order)."""
+        """Return post-warmup samples (a copy, in insertion order).
+
+        Raises ``ValueError`` in sketch mode: the sketch retains a bounded
+        summary, not the samples, and silently returning the summary items
+        would misrepresent the stream.
+        """
+        if self._sketch is not None:
+            raise ValueError("samples are not retained in sketch mode")
         return self._post_warmup().tolist()
 
+    def footprint(self) -> int:
+        """Floats currently retained: every post-warmup sample in exact
+        mode, the bounded sketch summary in sketch mode."""
+        if self._sketch is not None:
+            return self._sketch.footprint()
+        return max(0, self._count - self._warmup)
+
     def percentile(self, pct: float) -> float:
-        """Return the ``pct``-th percentile of post-warmup samples."""
+        """Return the ``pct``-th percentile of post-warmup samples.
+
+        Exact in the default mode; within the sketch's documented
+        rank-error bound in sketch mode.
+        """
+        if self._sketch is not None:
+            return self._sketch.percentile(pct)
         return percentile(self._post_warmup_sorted(), pct)
 
     def p50(self) -> float:
@@ -187,7 +277,11 @@ class PercentileTracker:
         return self.percentile(99)
 
     def mean(self) -> float:
-        """Mean of post-warmup samples."""
+        """Mean of post-warmup samples (exact in both modes)."""
+        if self._sketch is not None:
+            if self._sketch.count == 0:
+                raise ValueError("no samples recorded after warmup")
+            return self._sketch.mean()
         post = self._post_warmup()
         if post.shape[0] == 0:
             raise ValueError("no samples recorded after warmup")

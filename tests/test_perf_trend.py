@@ -10,6 +10,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 from perf_trend import (  # noqa: E402
     build_table,
+    build_throughput_table,
+    case_events_per_sec,
+    case_peak_rss_mb,
     case_seconds,
     check_regressions,
     load_benches,
@@ -17,12 +20,15 @@ from perf_trend import (  # noqa: E402
 )
 
 
-def _write_bench(root, number, cases, mode="full"):
+def _write_bench(root, number, cases, mode="full", extras=None):
+    """``extras``: case name -> dict of extra per-case fields to merge."""
     payload = {
         "bench_id": f"BENCH_{number}",
         "mode": mode,
         "cases": {name: {"seconds": seconds} for name, seconds in cases.items()},
     }
+    for name, fields in (extras or {}).items():
+        payload["cases"].setdefault(name, {}).update(fields)
     (root / f"BENCH_{number}.json").write_text(json.dumps(payload))
 
 
@@ -124,6 +130,88 @@ class TestRegressionGate:
     def test_single_bench_passes(self, tmp_path):
         _write_bench(tmp_path, 2, {"a": 1.0})
         assert check_regressions(load_benches(tmp_path), 1.25) == []
+
+
+class TestThroughputGate:
+    """events_per_sec is higher-is-better: the comparison inverts."""
+
+    def test_throughput_drop_past_threshold_fails(self, tmp_path):
+        _write_bench(
+            tmp_path, 7, {"big": 4.0},
+            extras={"big": {"events_per_sec": 250000.0}},
+        )
+        _write_bench(
+            tmp_path, 8, {"big": 4.1},
+            extras={"big": {"events_per_sec": 150000.0}},
+        )
+        failures = check_regressions(load_benches(tmp_path), 1.25)
+        assert len(failures) == 1
+        assert "events/sec" in failures[0] and "big" in failures[0]
+
+    def test_throughput_within_threshold_passes(self, tmp_path):
+        _write_bench(
+            tmp_path, 7, {"big": 4.0},
+            extras={"big": {"events_per_sec": 250000.0}},
+        )
+        _write_bench(
+            tmp_path, 8, {"big": 4.1},
+            extras={"big": {"events_per_sec": 210000.0}},
+        )
+        assert check_regressions(load_benches(tmp_path), 1.25) == []
+
+    def test_throughput_compared_against_best_prior(self, tmp_path):
+        _write_bench(
+            tmp_path, 7, {"big": 4.0},
+            extras={"big": {"events_per_sec": 300000.0}},
+        )
+        _write_bench(
+            tmp_path, 8, {"big": 4.0},
+            extras={"big": {"events_per_sec": 100000.0}},
+        )
+        _write_bench(
+            tmp_path, 9, {"big": 4.0},
+            extras={"big": {"events_per_sec": 200000.0}},
+        )
+        failures = check_regressions(load_benches(tmp_path), 1.25)
+        assert len(failures) == 1
+        assert "300,000" in failures[0]
+
+    def test_benches_without_the_field_are_tolerated(self, tmp_path):
+        # BENCH_1..6 predate events_per_sec: they must neither trip nor
+        # mask a throughput failure, and the extractor must skip them.
+        _write_bench(tmp_path, 6, {"big": 4.0})
+        _write_bench(
+            tmp_path, 7, {"big": 4.0},
+            extras={"big": {"events_per_sec": 250000.0}},
+        )
+        benches = load_benches(tmp_path)
+        assert check_regressions(benches, 1.25) == []
+        assert case_events_per_sec(benches[0][1]) == {}
+        assert case_events_per_sec(benches[1][1]) == {"big": 250000.0}
+
+
+class TestThroughputTable:
+    def test_empty_without_any_throughput_case(self, tmp_path):
+        _write_bench(tmp_path, 2, {"a": 1.0})
+        assert build_throughput_table(load_benches(tmp_path)) == ""
+
+    def test_table_rates_trend_and_rss(self, tmp_path):
+        _write_bench(
+            tmp_path, 7, {"big": 4.0},
+            extras={"big": {"events_per_sec": 200000.0, "peak_rss_mb": 46.0}},
+        )
+        _write_bench(
+            tmp_path, 8, {"big": 4.0},
+            extras={"big": {"events_per_sec": 240000.0, "peak_rss_mb": 47.5}},
+        )
+        table = build_throughput_table(load_benches(tmp_path))
+        assert "| big | 200,000 | 240,000 | 1.20x |" in table
+        assert "peak RSS at BENCH_8" in table and "47.5 MiB" in table
+
+    def test_rss_extractor_skips_absent(self, tmp_path):
+        _write_bench(tmp_path, 6, {"a": 1.0})
+        (_, bench), = load_benches(tmp_path)
+        assert case_peak_rss_mb(bench) == {}
 
 
 class TestMain:

@@ -1,5 +1,7 @@
 """Tests for the load generator and query traces."""
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -7,7 +9,15 @@ from repro.queries.arrival import FixedArrival, PoissonArrival
 from repro.queries.generator import LoadGenerator
 from repro.queries.query import Query
 from repro.queries.size_dist import FixedQuerySizes
-from repro.queries.trace import DiurnalPattern, QueryTrace, generate_diurnal_trace
+from repro.queries.trace import (
+    TRACE_SCHEMA_VERSION,
+    DiurnalPattern,
+    QueryTrace,
+    count_diurnal_queries,
+    diurnal_trace_chunks,
+    generate_diurnal_trace,
+    iter_diurnal_trace,
+)
 
 
 class TestQuery:
@@ -149,3 +159,123 @@ class TestDiurnalTrace:
         b = generate_diurnal_trace(50.0, 20.0, seed=3)
         assert len(a) == len(b)
         assert [q.size for q in a] == [q.size for q in b]
+
+
+class TestBatchTracePins:
+    def test_generate_diurnal_trace_is_regression_pinned(self):
+        # The vectorized synthesis must keep the seeded draw order of the
+        # original per-query loop: these values are the old path's, bit
+        # for bit.
+        trace = generate_diurnal_trace(50.0, 20.0, seed=3)
+        assert len(trace) == 655
+        head = list(trace)[:3]
+        assert [q.arrival_time for q in head] == [
+            0.011230055168693909,
+            0.014067652303799694,
+            0.035604363620640456,
+        ]
+        assert [q.size for q in head] == [105, 77, 174]
+
+
+class TestChunkedSynthesis:
+    """The streamed trace path: schema-versioned, O(chunk) memory."""
+
+    def test_schema_version_pinned(self):
+        assert TRACE_SCHEMA_VERSION == 1
+
+    def test_stream_is_regression_pinned(self):
+        # Schema v1 of the chunked diurnal stream: these exact values are
+        # the compatibility contract for recorded large-trace runs.
+        head = list(itertools.islice(iter_diurnal_trace(50.0, 120.0, seed=3), 4))
+        assert [q.query_id for q in head] == [0, 1, 2, 3]
+        assert [q.arrival_time for q in head] == [
+            0.04863467956022882,
+            0.05302036436917179,
+            0.07489096006389806,
+            0.07660684675535157,
+        ]
+        assert [q.size for q in head] == [39, 279, 24, 153]
+
+    def test_count_matches_stream_without_materialising(self):
+        count = count_diurnal_queries(50.0, 120.0, seed=3)
+        assert count == 3576  # pinned with the schema version
+        assert count == sum(1 for _ in iter_diurnal_trace(50.0, 120.0, seed=3))
+
+    def test_stream_sorted_with_sequential_ids(self):
+        previous_time = -1.0
+        for index, query in enumerate(iter_diurnal_trace(80.0, 90.0, seed=1)):
+            assert query.query_id == index
+            assert query.arrival_time >= previous_time
+            assert query.arrival_time < 90.0
+            previous_time = query.arrival_time
+
+    def test_chunks_follow_the_diurnal_law(self):
+        # Thinning must modulate density: the peak window of the sinusoid
+        # carries more accepted arrivals than the trough window.
+        pattern = DiurnalPattern(period_s=100.0, amplitude=0.8, phase=0.0)
+        times = np.concatenate(
+            [chunk for chunk, _ in diurnal_trace_chunks(
+                100.0, 100.0, pattern=pattern, seed=2
+            )]
+        )
+        peak = np.sum((times >= 15) & (times < 35))
+        trough = np.sum((times >= 65) & (times < 85))
+        assert peak > trough
+
+    def test_chunk_sizes_align_with_arrivals(self):
+        for arrivals, sizes in diurnal_trace_chunks(60.0, 120.0, seed=4):
+            assert arrivals.size == sizes.size
+            assert arrivals.size > 0
+            assert np.all(sizes >= 1)
+
+
+class TestArrivalTimeChunks:
+    def test_chunks_are_regression_pinned(self):
+        times = np.concatenate(
+            list(PoissonArrival(rate_qps=100.0).arrival_time_chunks(
+                10, rng=7, chunk_queries=4
+            ))
+        )
+        assert times.size == 10
+        assert times[0] == 0.007075292557919215
+        assert times[1] == 0.017327326040868264
+
+    def test_yields_exactly_count_in_bounded_chunks(self):
+        chunks = list(PoissonArrival(rate_qps=50.0).arrival_time_chunks(
+            1000, rng=1, chunk_queries=64
+        ))
+        assert all(chunk.size <= 64 for chunk in chunks)
+        assert sum(chunk.size for chunk in chunks) == 1000
+        merged = np.concatenate(chunks)
+        assert np.all(np.diff(merged) >= 0)
+
+    def test_chunks_continue_one_generator_stream(self):
+        # Different chunk granularity re-associates the cumulative sum but
+        # draws the same gap sequence: times agree to float tolerance.
+        arrival = PoissonArrival(rate_qps=200.0)
+        coarse = np.concatenate(list(arrival.arrival_time_chunks(500, rng=3)))
+        fine = np.concatenate(
+            list(arrival.arrival_time_chunks(500, rng=3, chunk_queries=17))
+        )
+        np.testing.assert_allclose(fine, coarse, rtol=1e-12, atol=1e-12)
+
+
+class TestIterQueries:
+    def test_stream_is_regression_pinned(self):
+        generator = LoadGenerator(arrival=PoissonArrival(rate_qps=200.0), seed=4)
+        head = list(itertools.islice(generator.iter_queries(6), 6))
+        assert [q.query_id for q in head] == [0, 1, 2, 3, 4, 5]
+        assert head[0].arrival_time == 0.0024670736035535324
+        assert head[1].arrival_time == 0.003912067821207477
+        assert [q.size for q in head] == [44, 90, 220, 815, 38, 55]
+
+    def test_satisfies_run_stream_contract(self):
+        generator = LoadGenerator(arrival=PoissonArrival(rate_qps=900.0), seed=11)
+        previous_time = -1.0
+        count = 0
+        for index, query in enumerate(generator.iter_queries(2000)):
+            assert query.query_id == index
+            assert query.arrival_time >= previous_time
+            previous_time = query.arrival_time
+            count += 1
+        assert count == 2000

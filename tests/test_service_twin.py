@@ -315,3 +315,40 @@ class TestFleetSpec:
             FleetSpec(
                 name="x", model="ncf", num_servers=1, batch_size=8, policy="psychic"
             )
+
+
+class TestSketchStatisticsTier:
+    def test_sketch_twin_reports_same_verdicts(self):
+        # On figure-sized windows the sketch tier stays pre-compaction
+        # exact, so the verdicts (and the capacity answers, which come
+        # from sketch-signature cache entries) must agree with the exact
+        # twin's.
+        queries, windows = windowed_stream(num_queries=300)
+        exact_twin = make_twin()
+        sketch_twin = make_twin(latency_stats="sketch")
+        with exact_twin, sketch_twin:
+            for window in windows:
+                exact_report = exact_twin.observe(window)
+                sketch_report = sketch_twin.observe(window)
+            assert sketch_twin.latency_stats == "sketch"
+            assert exact_report.real.meets_sla == sketch_report.real.meets_sla
+            assert exact_report.real.p95_latency_s == pytest.approx(
+                sketch_report.real.p95_latency_s, rel=1e-9
+            )
+
+    def test_size_rollup_accumulates_in_both_modes(self):
+        queries, windows = windowed_stream(num_queries=300)
+        for mode in ("exact", "sketch"):
+            twin = make_twin(latency_stats=mode)
+            with twin:
+                for window in windows:
+                    twin.observe(window)
+                rollup = twin.size_rollup
+                assert rollup.latency_stats == mode
+                assert rollup.windows_folded == len(windows)
+                assert rollup.count == len(queries)
+                assert rollup.percentile(50.0) > 0.0
+
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(ValueError, match="latency_stats"):
+            make_twin(latency_stats="histogram")

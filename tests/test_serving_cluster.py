@@ -7,6 +7,7 @@ from repro.core.offload_tuner import FleetKnobTuner
 from repro.execution.engine import build_engine_pair
 from repro.experiments.runner import SweepRunner, canonicalize, config_hash
 from repro.queries.generator import LoadGenerator
+from repro.queries.query import Query
 from repro.serving.cluster import (
     ClusterServer,
     ClusterSimulator,
@@ -613,3 +614,155 @@ class TestSweepRunnerCache:
     def test_empty_sweep_rejected(self):
         with pytest.raises(ValueError, match="at least one point"):
             SweepRunner(processes=1).run("table-1", [])
+
+
+class TestRunStream:
+    """run_stream: the constant-memory companion to run()."""
+
+    def test_bit_identical_to_batch_run(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 4)
+        batch = ClusterSimulator(fleet, "least-outstanding").run(query_stream)
+        streamed = ClusterSimulator(fleet, "least-outstanding").run_stream(
+            iter(query_stream), len(query_stream)
+        )
+        assert streamed.latencies_s == batch.latencies_s
+        assert streamed.p95_latency_s == batch.p95_latency_s
+        assert streamed.p95_late_window_s == batch.p95_late_window_s
+        assert streamed.drain_s == batch.drain_s
+        assert streamed.per_server == batch.per_server
+
+    def test_early_exits_match_batch_run(self, engines, config):
+        sla = 0.1
+        fleet = homogeneous_fleet(engines, config, 1)
+        from repro.serving.simulator import CertainAcceptance, CertainRejection
+
+        for rate in (200.0, 4000.0):
+            queries = LoadGenerator(seed=5).with_rate(rate).generate(600)
+            batch = ClusterSimulator(fleet, "least-outstanding").run(
+                queries, reject_above_sla_s=sla, accept_within_sla_s=sla
+            )
+            streamed = ClusterSimulator(fleet, "least-outstanding").run_stream(
+                iter(queries), len(queries),
+                reject_above_sla_s=sla, accept_within_sla_s=sla,
+            )
+            assert type(streamed) is type(batch)
+            if isinstance(batch, CertainAcceptance):
+                assert streamed == batch
+            elif isinstance(batch, CertainRejection):
+                assert streamed == batch
+
+    def test_chunked_diurnal_trace_streams_end_to_end(self, engines, config):
+        from repro.queries.trace import count_diurnal_queries, iter_diurnal_trace
+
+        fleet = homogeneous_fleet(engines, config, 2)
+        total = count_diurnal_queries(120.0, 60.0, seed=9)
+        result = ClusterSimulator(fleet, "least-outstanding").run_stream(
+            iter_diurnal_trace(120.0, 60.0, seed=9), total
+        )
+        assert result.num_queries == total
+        assert result.measured_queries == total - int(total * 0.1)
+
+    def test_non_sequential_ids_rejected(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 2)
+        shifted = [
+            Query(q.query_id + 1, q.arrival_time, q.size) for q in query_stream
+        ]
+        with pytest.raises(ValueError, match="arrival index"):
+            ClusterSimulator(fleet, "round-robin").run_stream(
+                iter(shifted), len(shifted)
+            )
+
+    def test_unsorted_arrivals_rejected(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 2)
+        swapped = list(query_stream)
+        swapped[5] = Query(5, swapped[200].arrival_time, swapped[5].size)
+        with pytest.raises(ValueError, match="pre-sorted"):
+            ClusterSimulator(fleet, "round-robin").run_stream(
+                iter(swapped), len(swapped)
+            )
+
+    def test_length_mismatch_rejected(self, engines, config, query_stream):
+        fleet = homogeneous_fleet(engines, config, 2)
+        with pytest.raises(ValueError, match="yielded"):
+            ClusterSimulator(fleet, "round-robin").run_stream(
+                iter(query_stream), len(query_stream) + 5
+            )
+
+    def test_empty_stream_rejected(self, engines, config):
+        fleet = homogeneous_fleet(engines, config, 2)
+        with pytest.raises(ValueError, match="empty"):
+            ClusterSimulator(fleet, "round-robin").run_stream(iter([]), 1)
+
+
+class TestSketchLatencyStats:
+    """latency_stats='sketch': fixed-space statistics, same verdicts."""
+
+    def test_p95_within_rank_error_of_exact(self, engines, config, query_stream):
+        import numpy as np
+
+        fleet = homogeneous_fleet(engines, config, 4)
+        exact = ClusterSimulator(fleet, "least-outstanding").run(query_stream)
+        sketched = ClusterSimulator(
+            fleet, "least-outstanding", latency_stats="sketch"
+        ).run(query_stream)
+        # The documented contract: a sketch p95 is an exact percentile of
+        # some rank within RANK_ERROR_BOUND of 95.
+        low, high = np.percentile(exact.latencies_s, [94.0, 96.0])
+        assert low <= sketched.p95_latency_s <= high
+        assert sketched.mean_latency_s == pytest.approx(
+            exact.mean_latency_s, rel=1e-9
+        )
+        assert sketched.measured_queries == exact.measured_queries
+        assert sketched.latencies_s == []  # samples are not retained
+
+    def test_stream_peak_memory_is_constant(self, engines, config):
+        # The acceptance criterion for the sketch tier: streaming a trace
+        # holds O(1) latency state, while the exact tier's buffer grows
+        # linearly with the stream.
+        import tracemalloc
+
+        fleet = homogeneous_fleet(engines, config, 2)
+        queries = LoadGenerator(seed=11).with_rate(900.0).generate(6000)
+
+        def peak_bytes(latency_stats):
+            simulator = ClusterSimulator(
+                fleet, "least-outstanding", latency_stats=latency_stats
+            )
+            tracemalloc.start()
+            simulator.run_stream(iter(queries), len(queries))
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        exact_peak = peak_bytes("exact")
+        sketch_peak = peak_bytes("sketch")
+        # 6000 retained floats vs a bounded compactor hierarchy: the
+        # sketch run must not pay per-sample memory.
+        assert sketch_peak < exact_peak
+
+    def test_sketch_rejects_per_server_collection(self, engines, config):
+        fleet = homogeneous_fleet(engines, config, 2)
+        with pytest.raises(ValueError, match="exact mode"):
+            ClusterSimulator(
+                fleet,
+                "round-robin",
+                latency_stats="sketch",
+                collect_per_server_latencies=True,
+            )
+
+    def test_sketch_rejects_fault_plans(self, engines, config):
+        from repro.faults import CrashWindow, FaultPlan, NodeFaultSchedule
+
+        fleet = homogeneous_fleet(engines, config, 2)
+        plan = FaultPlan(
+            nodes={0: NodeFaultSchedule(crashes=(CrashWindow(0.1, 0.4),))}
+        )
+        with pytest.raises(ValueError, match="fault"):
+            ClusterSimulator(
+                fleet, "round-robin", latency_stats="sketch", fault_plan=plan
+            )
+
+    def test_invalid_mode_rejected(self, engines, config):
+        fleet = homogeneous_fleet(engines, config, 2)
+        with pytest.raises(ValueError, match="latency_stats"):
+            ClusterSimulator(fleet, "round-robin", latency_stats="histogram")

@@ -378,7 +378,14 @@ class UnorderedIterationRule(Rule):
         "set/dict-view order is insertion- and hash-seed-dependent; "
         "result-producing loops must sort or justify"
     )
-    include = ("src/repro/serving/", "src/repro/experiments/")
+    # utils/sketch.py is result-producing in the same sense as the
+    # serving layer: its compactor levels feed reported percentiles, so
+    # an unordered accumulation there would silently reorder summaries.
+    include = (
+        "src/repro/serving/",
+        "src/repro/experiments/",
+        "src/repro/utils/sketch.py",
+    )
 
     _VIEW_METHODS = ("values", "keys")
 
