@@ -47,6 +47,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="Directory for the on-disk result cache (reruns become instant).",
     )
+    parser.add_argument(
+        "--workers",
+        default="",
+        help=(
+            "Comma-separated host:port addresses of remote workers "
+            "(started with `python -m repro.runtime.remote worker`); the run "
+            "is drained by that fleet instead of local processes, with "
+            "host-failure recovery and local fallback."
+        ),
+    )
     return parser
 
 
@@ -62,19 +72,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
         return 2
     ids = args.experiments or None
-    workers = args.jobs if args.jobs else (os.cpu_count() or 1)
+    remote_pool = None
+    if args.workers:
+        from repro.runtime.remote import RemoteWorkerPool
+
+        try:
+            remote_pool = RemoteWorkerPool(
+                args.workers, cache_sync=args.cache_dir or None
+            )
+        except ValueError as error:
+            print(f"--workers: {error}", file=sys.stderr)
+            return 2
+        if remote_pool.live_workers == 0:
+            print(
+                "warning: no remote workers reachable; running locally",
+                file=sys.stderr,
+            )
+        workers = args.jobs if args.jobs > 1 else remote_pool.max_workers
+    else:
+        workers = args.jobs if args.jobs else (os.cpu_count() or 1)
     # One pool per invocation: every parallel consumer below — the sweep
     # runner, capacity searches, figure replay fans — resolves to this pool,
     # so the whole run forks at most one set of workers (lazily, only if
-    # parallel work actually arrives).
-    with shared_pool(workers):
+    # parallel work actually arrives).  With --workers the invocation's pool
+    # is the remote fleet instead, same surface, zero call-site changes.
+    with shared_pool(workers, pool=remote_pool) as invocation_pool:
         results = run_experiments(
             ids,
             processes=workers,
             cache_dir=args.cache_dir or None,
         )
+        fleet_stats = invocation_pool.stats if remote_pool is not None else None
     report = render_report(results)
     print(report)
+    if fleet_stats is not None:
+        counters = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(fleet_stats.items())
+            if value and key != "submitted" and key != "completed"
+        )
+        print(
+            f"[remote] workers={fleet_stats['remote_workers']} "
+            f"tasks={fleet_stats['completed']}/{fleet_stats['submitted']}"
+            + (f" ({counters})" if counters else "")
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")

@@ -13,6 +13,10 @@ routes through:
   to the cold serial search; :func:`run_capacity_searches` interleaves many
   searches' evaluations over the one pool (plus the opt-in near-miss
   bracket-hint tier).
+* :mod:`repro.runtime.remote` — :class:`RemoteWorkerPool`, the same
+  futures surface executed by a fleet of worker processes on other hosts
+  (``python -m repro.runtime.remote worker``), with heartbeat liveness,
+  lease reassignment, and local-fallback degradation.
 
 ``repro.serving.capacity.find_max_qps``,
 ``repro.serving.cluster.find_cluster_max_qps``, the experiment
@@ -45,15 +49,21 @@ __all__ = [
     "CapacitySearch",
     "CAPACITY_SCHEMA_VERSION",
     "run_capacity_searches",
+    "RemoteWorkerPool",
 ]
 
 
 def __getattr__(name):
     # CapacitySearch pulls in the serving stack; import it lazily so
     # `repro.runtime.pool` stays importable from anywhere (including the
-    # serving modules themselves) without a cycle.
+    # serving modules themselves) without a cycle.  RemoteWorkerPool is
+    # lazy for the same reason (its cache sync touches serving).
     if name in ("CapacitySearch", "CAPACITY_SCHEMA_VERSION", "run_capacity_searches"):
         from repro.runtime import capacity
 
         return getattr(capacity, name)
+    if name == "RemoteWorkerPool":
+        from repro.runtime.remote import RemoteWorkerPool
+
+        return RemoteWorkerPool
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -700,8 +700,16 @@ def _parallel_budget(jobs: int, pool: WorkerPool) -> int:
     clamped by the physical core count as well as the pool width.  On a
     one-core host every search therefore degrades to the exact serial
     search, no matter how large a ``jobs`` budget the caller requested.
+
+    Pools that span hosts (``pool.spans_hosts``, e.g. the remote worker
+    fleet) are exempt from the core clamp: their workers run on *other*
+    machines, so the local core count says nothing about how many
+    evaluations can genuinely proceed at once.
     """
-    return max(1, min(jobs, pool.max_workers, _host_cores()))
+    width = min(jobs, pool.max_workers)
+    if not getattr(pool, "spans_hosts", False):
+        width = min(width, _host_cores())
+    return max(1, width)
 
 
 class _SearchExecution:

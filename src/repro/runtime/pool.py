@@ -68,6 +68,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import signal
 import threading
 import time
 from collections import OrderedDict
@@ -75,6 +76,8 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.utils.rng import RngFactory
 
 #: Set (in the child) by the pool initializer; belt to the daemon-flag braces.
 _IN_WORKER = False
@@ -97,6 +100,19 @@ _WORKER_CONTEXTS: "OrderedDict[Tuple[int, int], Any]" = OrderedDict()
 def _worker_initializer() -> None:
     global _IN_WORKER
     _IN_WORKER = True
+    if os.environ.get("REPRO_REMOTE_WORKER"):
+        # Children of a remote worker shell must not outlive it: the shell
+        # can be SIGKILL'd (a host failure in the distributed tests), which
+        # skips every cleanup path, and an orphaned child would then block
+        # on the executor's work queue forever.  PR_SET_PDEATHSIG is
+        # cleared on fork, so each child arms it for itself.
+        try:
+            import ctypes
+
+            libc = ctypes.CDLL(None, use_errno=True)
+            libc.prctl(1, signal.SIGTERM)  # PR_SET_PDEATHSIG
+        except (OSError, AttributeError, TypeError):
+            pass  # non-Linux: orphans are reaped by the harness instead
 
 
 def in_worker() -> bool:
@@ -300,11 +316,13 @@ class WorkerCrashError(RuntimeError):
 class _TaskRecord:
     """Dispatch state for one submitted task, carried across crash retries."""
 
-    __slots__ = ("future", "fn", "item", "context", "attempts", "generation")
+    __slots__ = (
+        "future", "fn", "item", "context", "attempts", "generation", "seq"
+    )
 
     def __init__(
         self, future: Future, fn: Callable[..., Any], item: Any,
-        context: Optional[TaskContext],
+        context: Optional[TaskContext], seq: int = 0,
     ) -> None:
         self.future = future
         self.fn = fn
@@ -312,6 +330,7 @@ class _TaskRecord:
         self.context = context
         self.attempts = 0  # crash-triggered resubmissions so far
         self.generation = 0  # executor generation this dispatch targeted
+        self.seq = seq  # submission ordinal; keys the backoff jitter stream
 
 
 #: Ceiling on the crash-retry backoff so a run never stalls half a second
@@ -339,13 +358,30 @@ class WorkerPool:
         (doubled per attempt, capped at half a second) — enough for a
         transient killer (an OOM spike) to clear without turning recovery
         into a stall.
+    backoff_seed:
+        Root seed of the jitter applied to each backoff delay.  Jitter is
+        derived per ``(task, attempt)`` from an :class:`RngFactory` child
+        stream — never from wall clock or the global RNG — so two runs with
+        the same seed and submission order back off identically.
+    sleeper:
+        How the pool actually waits out a backoff delay; defaults to
+        ``time.sleep``.  Tests inject a recorder here to assert the exact
+        delay sequence without slowing the suite down.
     """
+
+    #: True for executors whose workers live on other hosts.  Budget
+    #: planners (``runtime.capacity._parallel_budget``) clamp parallel width
+    #: to the local core count — correct for forked pools, wrong for a fleet
+    #: of remote machines — and skip that clamp when this is set.
+    spans_hosts: bool = False
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         max_task_retries: int = 3,
         retry_backoff_s: float = 0.05,
+        backoff_seed: int = 0,
+        sleeper: Optional[Callable[[float], None]] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -360,6 +396,10 @@ class WorkerPool:
         self._max_workers = max_workers or os.cpu_count() or 1
         self._max_task_retries = max_task_retries
         self._retry_backoff_s = retry_backoff_s
+        self._backoff_rng = RngFactory(backoff_seed)
+        self._sleeper: Callable[[float], None] = (
+            time.sleep if sleeper is None else sleeper
+        )
         self._executor: Optional[ProcessPoolExecutor] = None
         # Guards executor lifecycle + stats: dispatches race with the
         # executor's callback thread (where crashes are detected).
@@ -443,6 +483,21 @@ class WorkerPool:
         # Outside the lock: reap what is reapable without waiting on it.
         executor.shutdown(wait=False, cancel_futures=True)
 
+    def _backoff_delay(self, seq: int, attempt: int) -> float:
+        """Deterministic jittered backoff before resubmission ``attempt``.
+
+        Exponential in the attempt number, capped at ``_MAX_BACKOFF_S``, and
+        jittered into ``[0.5, 1.0) × base`` by a seed-derived stream keyed on
+        the task's submission ordinal — so concurrent victims of one crash
+        spread out instead of thundering back in lockstep, yet the same run
+        replayed with the same seed waits exactly the same delays.
+        """
+        if self._retry_backoff_s <= 0 or attempt <= 0:
+            return 0.0
+        base = min(self._retry_backoff_s * (2 ** (attempt - 1)), _MAX_BACKOFF_S)
+        stream = self._backoff_rng.child(f"crash-backoff/{seq}/{attempt}")
+        return base * (0.5 + 0.5 * float(stream.random()))
+
     def _crash_contact(self, record: _TaskRecord) -> None:
         """A worker crash took this task down: retry it or quarantine it."""
         self._retire_broken(record.generation)
@@ -458,13 +513,9 @@ class WorkerPool:
                 )
             )
             return
-        if self._retry_backoff_s > 0:
-            time.sleep(
-                min(
-                    self._retry_backoff_s * (2 ** (record.attempts - 1)),
-                    _MAX_BACKOFF_S,
-                )
-            )
+        delay = self._backoff_delay(record.seq, record.attempts)
+        if delay > 0:
+            self._sleeper(delay)
         self._dispatch(record)
 
     def _task_done(self, record: _TaskRecord, handle: Any) -> None:
@@ -506,6 +557,7 @@ class WorkerPool:
         future = Future(item)
         with self._lock:
             self._stats["submitted"] += 1
+            seq = self._stats["submitted"]
         if self.parallelism <= 1:
             try:
                 if context is not None:
@@ -518,7 +570,7 @@ class WorkerPool:
                 with self._lock:
                     self._stats["completed"] += 1
             return future
-        self._dispatch(_TaskRecord(future, fn, item, context))
+        self._dispatch(_TaskRecord(future, fn, item, context, seq=seq))
         return future
 
     def map(
@@ -589,7 +641,9 @@ def active_pool() -> Optional[WorkerPool]:
 
 
 @contextmanager
-def shared_pool(max_workers: Optional[int] = None) -> Iterator[WorkerPool]:
+def shared_pool(
+    max_workers: Optional[int] = None, pool: Optional[WorkerPool] = None
+) -> Iterator[WorkerPool]:
     """Own the invocation-wide shared pool for the duration of the block.
 
     Entry points (the experiments CLI, benchmark harnesses) wrap their whole
@@ -598,18 +652,23 @@ def shared_pool(max_workers: Optional[int] = None) -> Iterator[WorkerPool]:
     and capacity searches it performs.  Nested calls share the outer pool
     (the outer owner closes it); the pool itself still forks lazily, so a
     run whose work turns out serial never forks at all.
+
+    An explicit ``pool`` installs a pre-built executor — e.g. a
+    :class:`repro.runtime.remote.RemoteWorkerPool` dialled up by the CLI —
+    as the invocation's shared pool; ownership transfers, so this context
+    closes it on exit like a pool it forked itself.
     """
     global _ACTIVE
     if _ACTIVE is not None:
         yield _ACTIVE
         return
-    pool = WorkerPool(max_workers)
-    _ACTIVE = pool
+    own = pool if pool is not None else WorkerPool(max_workers)
+    _ACTIVE = own
     try:
-        yield pool
+        yield own
     finally:
         _ACTIVE = None
-        pool.close()
+        own.close()
 
 
 @contextmanager

@@ -66,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="Replay a recorded QueryTrace file as a live stream, then exit.",
     )
     parser.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=60.0,
+        help=(
+            "Disconnect a TCP client after this many seconds of silence "
+            "(0 disables the bound)."
+        ),
+    )
+    parser.add_argument(
         "--window-s",
         type=float,
         default=60.0,
@@ -236,6 +245,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shed_above < 0:
         print(f"--shed-above must be >= 0, got {args.shed_above}", file=sys.stderr)
         return 2
+    if args.idle_timeout_s < 0:
+        print(
+            f"--idle-timeout-s must be >= 0, got {args.idle_timeout_s}",
+            file=sys.stderr,
+        )
+        return 2
     if not (args.port or args.stdin or args.replay):
         print(
             "pick an event source: --port N, --stdin, or --replay FILE",
@@ -297,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 one_shot=args.one_shot,
                                 on_listening=announce,
                                 handle_signals=True,
+                                idle_timeout_s=args.idle_timeout_s or None,
                             )
                         )
                     except KeyboardInterrupt:

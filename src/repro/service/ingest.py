@@ -114,6 +114,7 @@ class IngestPipeline:
         self.reports: List[TwinWindowReport] = []
         self.malformed_lines = 0
         self.shed_windows = 0
+        self.idle_disconnects = 0
 
     # ------------------------------------------------------------------ #
 
@@ -185,6 +186,7 @@ async def serve_tcp(
     one_shot: bool = False,
     on_listening: Optional[Callable[[int], None]] = None,
     handle_signals: bool = False,
+    idle_timeout_s: Optional[float] = 60.0,
 ) -> bool:
     """Accept event lines over TCP until cancelled (or, if ``one_shot``,
     until the first client disconnects — the mode tests and demos use).
@@ -198,6 +200,12 @@ async def serve_tcp(
     and trigger the same clean shutdown path (flush, then return) instead
     of unwinding the loop with a traceback; the return value is True when
     a signal (rather than a disconnect or cancellation) ended the serve.
+
+    ``idle_timeout_s`` bounds how long one connection may sit silent: a
+    half-open client (crashed producer, dropped NAT mapping) is
+    disconnected after that long instead of holding its reader task — and,
+    in ``one_shot`` mode, the whole service — forever.  Disconnects are
+    counted in ``pipeline.idle_disconnects``; ``None`` disables the bound.
     """
     done = asyncio.Event()
     signalled: List[int] = []
@@ -206,7 +214,17 @@ async def serve_tcp(
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if idle_timeout_s is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=idle_timeout_s
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    # Half-open peer: drop it cleanly rather than keeping
+                    # its reader task alive forever.
+                    pipeline.idle_disconnects += 1
+                    break
                 except ValueError:
                     # Line exceeded even the reader's buffer limit; the
                     # reader drops the chunk and stays usable.
@@ -222,6 +240,10 @@ async def serve_tcp(
                 await writer.drain()
         finally:
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # the peer is gone; the close already succeeded locally
             if one_shot:
                 done.set()
 

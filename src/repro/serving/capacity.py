@@ -13,9 +13,20 @@ import hashlib
 import json
 import math
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.execution.engine import EnginePair
 from repro.queries.generator import LoadGenerator
@@ -660,6 +671,8 @@ class CapacityCache:
         scratch.replace(path)
         self._entries[path.name] = (entry["signature"], max_qps)
         self.stats["stores"] += 1
+        for observer in list(_STORE_OBSERVERS):
+            observer(signature, max_qps)
 
     # ------------------------------------------------------------------ #
 
@@ -742,6 +755,80 @@ class CapacityCache:
         *miss* in the counters, even though an entry was found.
         """
         self.stats["hint_hits" if used else "hint_misses"] += 1
+
+
+# --------------------------------------------------------------------------- #
+# Cross-host cache syncing
+# --------------------------------------------------------------------------- #
+
+#: Callbacks notified on every :meth:`CapacityCache.store` in this process.
+#: The distributed executor's worker shim installs one around each task so
+#: the warm-start entries a remote search produced can piggy-back home to
+#: the coordinator together with the task's result.
+_STORE_OBSERVERS: List[Callable[[Dict[str, Any], float], None]] = []
+
+
+@contextmanager
+def observe_cache_stores() -> Iterator[List[Tuple[Dict[str, Any], float]]]:
+    """Collect every ``CapacityCache.store`` performed while active.
+
+    Yields a list that accumulates ``(signature, max_qps)`` pairs in store
+    order, across *all* cache instances in this process.  Observers nest:
+    each collector sees the stores of everything inside its own block.
+    """
+    recorded: List[Tuple[Dict[str, Any], float]] = []
+
+    def _record(signature: Dict[str, Any], max_qps: float) -> None:
+        recorded.append((signature, max_qps))
+
+    _STORE_OBSERVERS.append(_record)
+    try:
+        yield recorded
+    finally:
+        _STORE_OBSERVERS.remove(_record)
+
+
+def apply_synced_entries(
+    cache: CapacityCache, entries: Iterable[Any]
+) -> Dict[str, int]:
+    """Merge warm-start entries recorded on another host into ``cache``.
+
+    Remote workers ship back the ``(signature, max_qps)`` pairs their tasks
+    stored (collected via :func:`observe_cache_stores`); the coordinator
+    folds them into its own cache here.  The wire is not trusted to deliver
+    well-formed pairs, so every entry is validated defensively:
+
+    * **rejected** — wrong shape, a non-dict or non-JSON-serialisable
+      signature, or a non-finite / non-positive capacity;
+    * **conflicts** — an entry already present locally with a *different*
+      value: the existing (first-writer) value is kept, so a replayed sweep
+      never sees its warm-start answers flap under late arrivals;
+    * **applied** — everything else is stored through the cache's ordinary
+      atomic write-then-rename path.
+
+    Returns the per-disposition counts.
+    """
+    counts = {"applied": 0, "conflicts": 0, "rejected": 0}
+    for entry in entries:
+        try:
+            signature, raw_qps = entry
+            max_qps = float(raw_qps)
+            if not isinstance(signature, dict):
+                raise TypeError("signature must be a dict")
+            if not math.isfinite(max_qps) or max_qps <= 0:
+                raise ValueError("capacity must be finite and positive")
+            CapacityCache.digest(signature)  # must be JSON-serialisable
+            existing = cache.load(signature, count=False)
+        except (TypeError, ValueError):
+            counts["rejected"] += 1
+            continue
+        if existing is not None:
+            if existing != max_qps:
+                counts["conflicts"] += 1
+            continue
+        cache.store(signature, max_qps)
+        counts["applied"] += 1
+    return counts
 
 
 def find_max_qps(

@@ -36,6 +36,7 @@ class TestExamplesImportable:
             "capacity_hints_sweep.py",
             "digital_twin.py",
             "fault_storm.py",
+            "distributed_sweep.py",
         ],
     )
     def test_example_imports_cleanly(self, name):
@@ -118,3 +119,12 @@ class TestFaultStormExample:
         example.determinism_demo()
         output = capsys.readouterr().out
         assert "bit-identically" in output
+
+
+class TestDistributedSweepExample:
+    def test_fleet_survives_host_kill_bit_identically(self, capsys):
+        example = load_example("distributed_sweep.py")
+        assert example.run_demo(num_queries=30, iterations=3) == 0
+        output = capsys.readouterr().out
+        assert "SIGKILL worker" in output
+        assert "bit-identical to the serial sweep" in output

@@ -116,3 +116,63 @@ class TestWorkerDeathRetry:
             WorkerPool(2, max_task_retries=-1)
         with pytest.raises(ValueError, match="retry_backoff_s"):
             WorkerPool(2, retry_backoff_s=-0.1)
+
+
+class TestDeterministicBackoff:
+    """Crash-resubmit backoff is seed-derived: no wall clock, no global RNG.
+
+    The delay for (task, attempt) comes from an ``RngFactory`` child stream
+    keyed on the task's submission ordinal, so a replayed run backs off
+    identically — and tests inject a recording ``sleeper`` to assert the
+    exact delays without ever actually sleeping.
+    """
+
+    def test_same_seed_same_delays(self):
+        first = WorkerPool(2, retry_backoff_s=0.05, backoff_seed=7)
+        second = WorkerPool(2, retry_backoff_s=0.05, backoff_seed=7)
+        delays_first = [first._backoff_delay(seq, a) for seq in (1, 2) for a in (1, 2, 3)]
+        delays_second = [second._backoff_delay(seq, a) for seq in (1, 2) for a in (1, 2, 3)]
+        assert delays_first == delays_second
+
+    def test_different_seed_different_delays(self):
+        first = WorkerPool(2, retry_backoff_s=0.05, backoff_seed=7)
+        second = WorkerPool(2, retry_backoff_s=0.05, backoff_seed=8)
+        assert first._backoff_delay(1, 1) != second._backoff_delay(1, 1)
+
+    def test_delay_jittered_exponential_and_capped(self):
+        pool = WorkerPool(2, retry_backoff_s=0.05, backoff_seed=0)
+        for attempt in (1, 2, 3):
+            base = min(0.05 * (2 ** (attempt - 1)), 0.5)
+            delay = pool._backoff_delay(1, attempt)
+            assert 0.5 * base <= delay <= base
+        # Far along the exponential ramp the cap bounds every delay.
+        assert pool._backoff_delay(1, 30) <= 0.5
+
+    def test_zero_backoff_means_zero_delay(self):
+        pool = WorkerPool(2, retry_backoff_s=0.0, backoff_seed=3)
+        assert pool._backoff_delay(1, 1) == 0.0
+        assert pool._backoff_delay(5, 9) == 0.0
+
+    def test_injected_sleeper_records_exact_crash_delays(self):
+        recorded = []
+        with WorkerPool(
+            2,
+            max_task_retries=2,
+            retry_backoff_s=0.01,
+            backoff_seed=11,
+            sleeper=recorded.append,
+        ) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.submit(_poison, "p").result()
+        # One sleep per resubmission, each exactly the seed-derived delay
+        # for (first submitted task, attempt N) — nothing wall-clock about it.
+        reference = WorkerPool(2, retry_backoff_s=0.01, backoff_seed=11)
+        assert recorded == [
+            reference._backoff_delay(1, attempt) for attempt in (1, 2)
+        ]
+
+    def test_sleeper_not_called_without_crashes(self):
+        recorded = []
+        with WorkerPool(2, sleeper=recorded.append) as pool:
+            assert pool.map(_identity, [1, 2, 3]) == [1, 2, 3]
+        assert recorded == []

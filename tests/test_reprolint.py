@@ -205,6 +205,77 @@ class TestRL008SwallowedException:
         assert rules_fired(src, "src/repro/serving/x.py") == []
 
 
+class TestRL010SocketTimeout:
+    def test_bare_accept_flagged(self):
+        src = (
+            "def serve(sock):\n"
+            "    conn, addr = sock.accept()\n"
+            "    return conn\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == ["RL010"]
+
+    def test_accept_with_settimeout_clean(self):
+        src = (
+            "def serve(sock):\n"
+            "    sock.settimeout(5.0)\n"
+            "    conn, addr = sock.accept()\n"
+            "    return conn\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == []
+
+    def test_bare_recv_flagged(self):
+        src = "def pull(sock):\n    return sock.recv(4096)\n"
+        assert rules_fired(src, "src/repro/service/x.py") == ["RL010"]
+
+    def test_settimeout_none_does_not_count(self):
+        src = (
+            "def pull(sock):\n"
+            "    sock.settimeout(None)\n"
+            "    return sock.recv(4096)\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == ["RL010"]
+
+    def test_module_level_default_timeout_covers_functions(self):
+        src = (
+            "import socket\n"
+            "socket.setdefaulttimeout(30.0)\n"
+            "def pull(sock):\n"
+            "    return sock.recv(4096)\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == []
+
+    def test_outer_settimeout_does_not_cover_nested_function(self):
+        src = (
+            "def outer(sock):\n"
+            "    sock.settimeout(5.0)\n"
+            "    def inner(other):\n"
+            "        return other.recv(1)\n"
+            "    return inner\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == ["RL010"]
+
+    def test_create_connection_without_timeout_flagged(self):
+        src = (
+            "import socket\n"
+            "def dial(addr):\n"
+            "    return socket.create_connection(addr)\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == ["RL010"]
+
+    def test_create_connection_with_timeout_clean(self):
+        src = (
+            "import socket\n"
+            "def dial(addr):\n"
+            "    return socket.create_connection(addr, timeout=3.0)\n"
+        )
+        assert rules_fired(src, "src/repro/runtime/x.py") == []
+
+    def test_scoped_to_runtime_and_service(self):
+        src = "def pull(sock):\n    return sock.recv(4096)\n"
+        assert rules_fired(src, "src/repro/serving/x.py") == []
+        assert rules_fired(src, "tests/test_x.py") == []
+
+
 class TestSuppressions:
     def test_justified_suppression_silences_finding(self):
         src = "key = hash((1, 2))  # reprolint: disable=RL001 -- ints only\n"

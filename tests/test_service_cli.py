@@ -163,6 +163,10 @@ class TestMainValidation:
         assert main(["--stdin", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
 
+    def test_negative_idle_timeout_rejected(self, capsys):
+        assert main(["--stdin", "--idle-timeout-s", "-1"]) == 2
+        assert "--idle-timeout-s" in capsys.readouterr().err
+
 
 class TestBuildPipeline:
     def test_real_spec_reflects_arguments(self, tmp_path):
@@ -298,6 +302,37 @@ class TestTcpTransport:
             self.run_client_session(pipeline, lines)
         assert pipeline.malformed_lines == 2
         assert pipeline.twin.cumulative_queries == len(queries)
+
+    def test_half_open_client_disconnected_after_idle_timeout(self):
+        # A client that connects and then goes silent — a crashed producer
+        # or dropped NAT mapping, never sending EOF — must not hold the
+        # one-shot server forever: the idle bound drops it, counts it, and
+        # the events it did deliver are still flushed and reported.
+        pipeline = make_pipeline(window_s=2.0)
+
+        async def scenario():
+            bound = asyncio.get_running_loop().create_future()
+            server = asyncio.create_task(
+                serve_tcp(
+                    pipeline,
+                    port=0,
+                    one_shot=True,
+                    on_listening=bound.set_result,
+                    idle_timeout_s=0.2,
+                )
+            )
+            port = await asyncio.wait_for(bound, timeout=10)
+            _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"1,0.5,64\n")
+            await writer.drain()
+            # No EOF, no more lines: the server must disconnect us.
+            await asyncio.wait_for(server, timeout=30)
+            writer.close()
+
+        with pipeline.twin:
+            asyncio.run(scenario())
+        assert pipeline.idle_disconnects == 1
+        assert pipeline.twin.cumulative_queries == 1  # flushed on disconnect
 
 
 class _InterruptedStream:

@@ -37,7 +37,7 @@ def default_baseline_path() -> Path:
 def run(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.reprolint",
-        description="AST-based project-invariant checker (rules RL001-RL009).",
+        description="AST-based project-invariant checker (rules RL001-RL010).",
     )
     parser.add_argument(
         "paths",

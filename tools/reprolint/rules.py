@@ -1,4 +1,4 @@
-"""The concrete reprolint rules (RL001–RL008).
+"""The concrete reprolint rules (RL001–RL008, RL010).
 
 Every rule encodes an invariant this repository has shipped a bug against —
 or is structurally exposed to — and that the test suite can only
@@ -647,6 +647,139 @@ class SwallowedExceptionRule(Rule):
         return False
 
 
+# --------------------------------------------------------------------------- #
+# RL010 — blocking socket operations must carry an explicit timeout
+# --------------------------------------------------------------------------- #
+
+#: Socket methods that block indefinitely on a socket with no timeout set.
+_BLOCKING_SOCKET_METHODS = {
+    "accept",
+    "connect",
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "recvfrom_into",
+    "sendall",
+}
+
+
+class SocketTimeoutRule(Rule):
+    """Blocking socket calls in runtime/service code must set a timeout.
+
+    The distributed executor's whole failure model rests on "no socket
+    operation blocks forever": a partitioned peer must surface as a timeout
+    the liveness machinery can act on, never as a hung coordinator or a
+    worker stuck in ``recv``.  A bare ``accept``/``recv``/``connect`` on a
+    default (blocking, timeout-less) socket silently re-introduces the
+    hang; the same applies to the twin service's ingest listener.
+
+    Enforced shape: any function that performs a blocking socket method
+    must also call ``.settimeout(...)`` with a non-None argument in that
+    same function (or at module top level, for module-scoped sockets), so
+    the bound is visible next to the operation it protects.
+    ``socket.create_connection`` must pass its ``timeout`` argument
+    explicitly (and not ``None``).
+    """
+
+    rule_id = "RL010"
+    name = "socket-timeout"
+    rationale = (
+        "a bare accept/recv/connect blocks forever on a partitioned peer; "
+        "liveness detection needs every socket op bounded by settimeout or "
+        "an explicit connect timeout"
+    )
+    include = ("src/repro/runtime/", "src/repro/service/")
+
+    @staticmethod
+    def _is_none(node: Optional[ast.AST]) -> bool:
+        return isinstance(node, ast.Constant) and node.value is None
+
+    def _sets_timeout(self, scope: ast.AST, aliases: Dict[str, str]) -> bool:
+        """Whether ``scope`` contains a non-None settimeout-style call,
+        without descending into functions nested inside it."""
+        for node in self._scope_walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "settimeout"
+                and node.args
+                and not self._is_none(node.args[0])
+            ):
+                return True
+            called = dotted_name(node.func, aliases)
+            if (
+                called == "socket.setdefaulttimeout"
+                and node.args
+                and not self._is_none(node.args[0])
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``scope`` without entering nested function/class bodies.
+
+        Every function (however nested) is analysed as its own scope, so
+        descending here would double-report nested defs and let an outer
+        ``settimeout`` spuriously cover an inner function's socket ops.
+        """
+        stack: List[ast.AST] = [scope]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+                ):
+                    continue
+                stack.append(child)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Finding]:
+        aliases = import_aliases(tree)
+        module_covered = self._sets_timeout(tree, aliases)
+        scopes: List[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            covered = module_covered or self._sets_timeout(scope, aliases)
+            for node in self._scope_walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = dotted_name(node.func, aliases)
+                if called == "socket.create_connection":
+                    timeout = None
+                    if len(node.args) >= 2:
+                        timeout = node.args[1]
+                    for keyword in node.keywords:
+                        if keyword.arg == "timeout":
+                            timeout = keyword.value
+                    if timeout is None or self._is_none(timeout):
+                        yield self.finding(
+                            relpath,
+                            node,
+                            "socket.create_connection without an explicit "
+                            "timeout blocks forever on an unreachable host; "
+                            "pass timeout=<seconds>",
+                        )
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BLOCKING_SOCKET_METHODS
+                    and not covered
+                ):
+                    yield self.finding(
+                        relpath,
+                        node,
+                        f"blocking .{node.func.attr}() with no settimeout in "
+                        "scope can hang forever on a partitioned peer; call "
+                        ".settimeout(<seconds>) on the socket in this "
+                        "function first",
+                    )
+
+
 #: The default rule set, in catalog order.  RL009 (docs citations) is not an
 #: AST rule and registers separately in ``tools/reprolint/docs_rule.py``.
 AST_RULES = (
@@ -658,6 +791,7 @@ AST_RULES = (
     RegistryContractRule,
     FloatEqualityRule,
     SwallowedExceptionRule,
+    SocketTimeoutRule,
 )
 
 
